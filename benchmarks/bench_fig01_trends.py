@@ -1,0 +1,65 @@
+"""Figure 1: DLRM memory demand growth vs training hardware (2017-2021).
+
+Regenerates both panels: (a) normalized model capacity and EMB row
+growth against GPU HBM capacity; (b) model bandwidth demand against HBM
+and interconnect bandwidth, with the paper's annotated multiples
+(16x, <6x, 28.35x, 2.26x, 2x).
+"""
+
+from repro.data import trends
+
+from conftest import format_table, report
+
+
+def _figure1_tables() -> str:
+    capacity = trends.capacity_growth()
+    bandwidth = trends.bandwidth_growth()
+    summary = trends.summary()
+
+    rows_a = [
+        (
+            year,
+            f"{cap:.2f}x",
+            f"{emb:.2f}x",
+            f"{hbm:.2f}x",
+        )
+        for year, cap, emb, hbm in zip(
+            capacity["years"],
+            capacity["model_capacity"],
+            capacity["emb_rows"],
+            capacity["gpu_hbm_capacity"],
+        )
+    ]
+    rows_b = [
+        (year, f"{bw:.2f}x")
+        for year, bw in zip(bandwidth["years"], bandwidth["model_bandwidth"])
+    ]
+    hw_rows = [
+        (g.name, g.year, f"{g.hbm_gb} GB", f"{g.hbm_bw_gbs:.0f} GB/s")
+        for g in trends.GPU_GENERATIONS
+    ]
+    parts = [
+        "Figure 1a: normalized growth (2017 = 1.0)",
+        format_table(
+            ["year", "total model", "EMB rows", "GPU HBM capacity"], rows_a
+        ),
+        "",
+        "Figure 1b: model bandwidth demand growth",
+        format_table(["year", "model BW"], rows_b),
+        "",
+        "Accelerator datasheet series",
+        format_table(["GPU", "year", "HBM", "HBM BW"], hw_rows),
+        "",
+        "Headline multiples (paper annotations):",
+        f"  model capacity growth:    {summary['model_capacity_growth']:.2f}x (paper: 16x)",
+        f"  GPU HBM capacity growth:  {summary['gpu_hbm_capacity_growth']:.2f}x (paper: <6x)",
+        f"  model bandwidth growth:   {summary['model_bandwidth_growth']:.2f}x (paper: 28.35x)",
+        f"  HBM bandwidth growth:     {summary['hbm_bandwidth_growth']:.2f}x (paper: 2.26x)",
+        f"  interconnect growth:      {summary['interconnect_bandwidth_growth']:.2f}x (paper: 2x)",
+    ]
+    return "\n".join(parts)
+
+
+def test_figure1_trends(benchmark):
+    text = benchmark(_figure1_tables)
+    report("fig01_trends", text)

@@ -1,0 +1,46 @@
+"""Figure 4: sparse feature cardinality vs chosen hash size.
+
+The paper's scatter shows hash sizes tracking cardinality within about
+an order of magnitude on either side of the ``hash == cardinality``
+line.  This bench regenerates the joint distribution for the RM1
+population and summarizes it (decade spread, log-log correlation, and
+the quartiles of the hash/cardinality ratio).
+"""
+
+import numpy as np
+
+from conftest import build_models, format_table, report
+
+
+def _figure4_summary() -> str:
+    model = build_models()[0]
+    cardinalities = np.array([t.feature.cardinality for t in model.tables], float)
+    hash_sizes = np.array([t.feature.hash_size for t in model.tables], float)
+    ratio = hash_sizes / cardinalities
+    corr = float(np.corrcoef(np.log(cardinalities), np.log(hash_sizes))[0, 1])
+
+    quartiles = np.quantile(ratio, [0.05, 0.25, 0.5, 0.75, 0.95])
+    rows = [
+        ("features", len(model.tables)),
+        ("cardinality range", f"{cardinalities.min():.0f} .. {cardinalities.max():.0f}"),
+        ("hash size range", f"{hash_sizes.min():.0f} .. {hash_sizes.max():.0f}"),
+        ("log-log correlation", f"{corr:.3f}"),
+        ("hash/cardinality p05", f"{quartiles[0]:.2f}"),
+        ("hash/cardinality p25", f"{quartiles[1]:.2f}"),
+        ("hash/cardinality median", f"{quartiles[2]:.2f}"),
+        ("hash/cardinality p75", f"{quartiles[3]:.2f}"),
+        ("hash/cardinality p95", f"{quartiles[4]:.2f}"),
+        ("features hashed below cardinality", f"{np.mean(ratio < 1):.1%}"),
+    ]
+    table = format_table(["statistic", "value"], rows)
+    note = (
+        "Paper shape: scatter around the hash == cardinality line within\n"
+        "roughly one order of magnitude; many features hashed to fewer\n"
+        "rows than their raw space (points below the red line)."
+    )
+    return f"{table}\n\n{note}"
+
+
+def test_figure4_hash_sizes(benchmark):
+    text = benchmark(_figure4_summary)
+    report("fig04_hash_sizes", text)

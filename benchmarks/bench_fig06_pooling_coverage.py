@@ -1,0 +1,46 @@
+"""Figure 6: average pooling factor (a) and coverage (b) across features.
+
+The paper shows pooling factors ranging from ~1 up to ~200 (an order of
+magnitude spread in bandwidth demand) and coverage ranging from under 1%
+to 100%.  This bench profiles a synthetic trace and prints both spreads.
+"""
+
+import numpy as np
+
+from conftest import BENCH_BATCH, build_models, format_table, report
+from repro.data.synthetic import TraceGenerator
+from repro.stats import profile_trace
+
+
+def _figure6_summary() -> str:
+    model = build_models()[0]
+    generator = TraceGenerator(model, batch_size=max(2048, BENCH_BATCH), seed=6)
+    profile = profile_trace(model, generator, num_batches=1, sample_rate=1.0)
+
+    poolings = np.array(
+        [s.avg_pooling for s in profile if s.samples_present > 0]
+    )
+    coverages = np.array([s.coverage for s in profile])
+
+    def spread(name, values, fmt):
+        qs = np.quantile(values, [0.0, 0.25, 0.5, 0.75, 1.0])
+        return (name,) + tuple(fmt % q for q in qs)
+
+    rows = [
+        spread("avg pooling factor (6a)", poolings, "%.1f"),
+        spread("coverage (6b)", coverages, "%.3f"),
+    ]
+    table = format_table(["statistic", "min", "p25", "median", "p75", "max"], rows)
+    notes = [
+        f"features with coverage < 1%: {np.mean(coverages < 0.01):.1%}"
+        " (paper: low-end under 1%)",
+        f"features with coverage = 100%: {np.mean(coverages > 0.999):.1%}",
+        f"max/min pooling ratio: {poolings.max() / poolings.min():.0f}x"
+        " (paper: order-of-magnitude bandwidth spread)",
+    ]
+    return table + "\n\n" + "\n".join(notes)
+
+
+def test_figure6_pooling_coverage(benchmark):
+    text = benchmark.pedantic(_figure6_summary, rounds=1, iterations=1)
+    report("fig06_pooling_coverage", text)

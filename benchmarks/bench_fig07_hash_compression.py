@@ -1,0 +1,49 @@
+"""Figure 7: hashing compresses the raw value distribution.
+
+The paper hashes one production feature into a table larger than its
+observed unique-value count and still finds the table under-utilized:
+~26% of rows unused because of training-data sparsity and another ~22%
+lost to hash collisions.  This bench reproduces the experiment with a
+synthetic power-law feature at the same hash-to-values ratio.
+"""
+
+import numpy as np
+
+from conftest import format_table, report
+from repro.data.distributions import ZipfCategorical
+from repro.hashing import SplitMix64Hasher, hash_compression_profile
+
+CARDINALITY = 60_000
+HASH_SIZE = 50_000  # hash size > unique values *seen* in the trace
+TRAIN_SAMPLES = 400_000
+
+
+def _figure7_profile() -> str:
+    zipf = ZipfCategorical(CARDINALITY, alpha=1.05)
+    raw = zipf.sample(TRAIN_SAMPLES, np.random.default_rng(7))
+    profile = hash_compression_profile(raw, HASH_SIZE, SplitMix64Hasher(seed=7))
+    rows = [
+        ("training samples", f"{TRAIN_SAMPLES:,}"),
+        ("raw cardinality", f"{CARDINALITY:,}"),
+        ("hash size", f"{HASH_SIZE:,}"),
+        ("unique values seen", f"{profile.unique_values_seen:,}"),
+        ("rows receiving accesses", f"{profile.occupied_rows:,}"),
+        ("sparsity (unused: unseen values)", f"{profile.sparsity_pct:.1%}"),
+        ("collision loss (values folded)", f"{profile.collision_pct:.1%}"),
+        ("total table under-utilization", f"{profile.unused_pct:.1%}"),
+        ("top pre-hash value count", f"{profile.pre_hash_counts[0]:,}"),
+        ("top post-hash row count", f"{profile.post_hash_counts[0]:,}"),
+    ]
+    table = format_table(["statistic", "value"], rows)
+    note = (
+        "Paper measured ~26% sparsity + ~22% collision loss for its\n"
+        "example feature; the hash size here is chosen to sit in the same\n"
+        "regime (hash > values seen yet the table stays under-utilized,\n"
+        "and the post-hash curve terminates left of the pre-hash curve)."
+    )
+    return f"{table}\n\n{note}"
+
+
+def test_figure7_hash_compression(benchmark):
+    text = benchmark.pedantic(_figure7_profile, rounds=1, iterations=1)
+    report("fig07_hash_compression", text)

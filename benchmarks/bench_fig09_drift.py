@@ -1,0 +1,62 @@
+"""Figure 9: sparse feature memory demand drifts over 20 months.
+
+User features climb toward ~+10% average pooling factor; content
+features dip slightly negative before recovering toward ~+5%.  The bench
+prints both 20-month series and quantifies the re-sharding implication:
+how stale a month-0 RecShard plan becomes under drifted statistics.
+"""
+
+from conftest import BENCH_BATCH, format_table, report
+from repro.core import RecShardFastSharder
+from repro.core.evaluate import expected_max_cost_ms
+from repro.data.drift import DriftModel
+from repro.data.feature import FeatureKind
+from repro.data.model import rm2
+from repro.memory import paper_node
+from repro.stats import analytic_profile
+
+
+def _figure9_series() -> str:
+    drift = DriftModel()
+    months = list(range(1, 21))
+    user = drift.series(FeatureKind.USER, 20)
+    content = drift.series(FeatureKind.CONTENT, 20)
+    rows = [
+        (m, f"{u:+.1f}%", f"{c:+.1f}%")
+        for m, u, c in zip(months, user, content)
+    ]
+    table = format_table(["month", "user features", "content features"], rows)
+
+    # Re-sharding value: plan at month 0, evaluate at month 18 under
+    # RM2-style UVM pressure (a fully-HBM model has nothing to reshard).
+    # Per-feature idiosyncratic drift (Figure 9 plots kind averages)
+    # drives the rebalancing need.
+    topo_scale = 1e-3 * 97 / 397
+    model = rm2(num_features=97, row_scale=topo_scale * 8 / 16)
+    topology = paper_node(num_gpus=8, scale=topo_scale)
+    profile0 = analytic_profile(model)
+    sharder = RecShardFastSharder(batch_size=BENCH_BATCH)
+    plan0 = sharder.shard(model, profile0, topology)
+
+    noisy_drift = DriftModel(feature_noise=6.0, alpha_noise=25.0)
+    drifted = noisy_drift.drift_model(model, month=18)
+    profile18 = analytic_profile(drifted)
+    stale_cost = expected_max_cost_ms(
+        plan0, drifted, profile18, topology, BENCH_BATCH
+    )
+    fresh_plan = sharder.shard(drifted, profile18, topology)
+    fresh_cost = expected_max_cost_ms(
+        fresh_plan, drifted, profile18, topology, BENCH_BATCH
+    )
+    note = (
+        "Re-sharding implication (Section 3.5): a month-0 plan evaluated\n"
+        f"on month-18 statistics costs {stale_cost:.3f} ms/iter vs "
+        f"{fresh_cost:.3f} ms/iter after re-sharding "
+        f"({stale_cost / fresh_cost:.2f}x stale-plan penalty)."
+    )
+    return f"{table}\n\n{note}"
+
+
+def test_figure9_drift(benchmark):
+    text = benchmark.pedantic(_figure9_series, rounds=1, iterations=1)
+    report("fig09_drift", text)

@@ -1,0 +1,46 @@
+"""Figure 11: EMB training speedup per strategy, normalized to slowest.
+
+Paper shape: RecShard beats the next-fastest strategy by 2.58x (RM1),
+5.26x (RM2) and 7.41x (RM3) on 16 GPUs — the gap widens as UVM pressure
+grows.
+"""
+
+from conftest import format_table, report
+from repro.engine.harness import speedup_table
+
+PAPER_NEXT_BEST = {"RM1": 2.58, "RM2": 5.26, "RM3": 7.41}
+
+
+def _figure11(headline) -> str:
+    rows = []
+    gaps = {}
+    for model_name, results in headline.items():
+        speedups = speedup_table(results)
+        next_best = max(v for k, v in speedups.items() if k != "RecShard")
+        gaps[model_name] = speedups["RecShard"] / next_best
+        for strategy, value in speedups.items():
+            rows.append((model_name, strategy, f"{value:.2f}x"))
+    table = format_table(
+        ["Model", "Strategy", "speedup vs slowest"], rows
+    )
+    notes = ["RecShard over the next-fastest strategy:"]
+    for model_name, gap in gaps.items():
+        notes.append(
+            f"  {model_name}: measured {gap:.2f}x "
+            f"(paper: {PAPER_NEXT_BEST[model_name]:.2f}x)"
+        )
+    return table + "\n\n" + "\n".join(notes)
+
+
+def test_figure11_speedup(benchmark, headline):
+    text = benchmark.pedantic(lambda: _figure11(headline), rounds=1, iterations=1)
+    report("fig11_speedup", text)
+    # Shape: RecShard is the fastest strategy on every model, and the
+    # advantage grows monotonically with UVM pressure (RM1 -> RM3).
+    gaps = []
+    for results in headline.values():
+        speedups = speedup_table(results)
+        next_best = max(v for k, v in speedups.items() if k != "RecShard")
+        assert speedups["RecShard"] >= next_best
+        gaps.append(speedups["RecShard"] / next_best)
+    assert gaps[0] <= gaps[1] <= gaps[2] * 1.2  # widening with pressure

@@ -1,0 +1,63 @@
+"""Figure 12: RecShard's fine-grained partitions for RM2 on 16 GPUs.
+
+Each bar of the paper's figure is one EMB: its height is the fraction of
+the table's rows placed on UVM, grouped (coloured) by owning GPU.  The
+paper reports 53.4% of rows per EMB on average and 61% of all rows
+placed on UVM, with a variable number of EMBs per GPU.  This bench
+prints the per-GPU grouping and the row-placement aggregates.
+"""
+
+import numpy as np
+
+from conftest import format_table, report
+
+
+def _figure12(headline, topology) -> str:
+    result = headline["RM2"]["RecShard"]
+    plan = result.plan
+    uvm_fracs = np.array([p.uvm_fraction for p in plan])
+    tables_per_gpu = [
+        len(plan.tables_on_device(m)) for m in range(topology.num_devices)
+    ]
+    total_rows = sum(p.total_rows for p in plan)
+    uvm_rows = sum(p.rows_per_tier[1] for p in plan)
+
+    rows = []
+    for device in range(topology.num_devices):
+        members = plan.tables_on_device(device)
+        fracs = [p.uvm_fraction for p in members]
+        rows.append(
+            (
+                f"GPU{device}",
+                len(members),
+                f"{np.mean(fracs):.2f}" if fracs else "-",
+                f"{min(fracs):.2f}" if fracs else "-",
+                f"{max(fracs):.2f}" if fracs else "-",
+            )
+        )
+    table = format_table(
+        ["GPU", "# EMBs", "mean UVM frac", "min", "max"], rows
+    )
+    notes = [
+        f"average UVM fraction per EMB: {uvm_fracs.mean():.1%} (paper: 53.4%)",
+        f"total EMB rows on UVM:        {uvm_rows / total_rows:.1%} (paper: 61%)",
+        f"EMBs per GPU spread:          {min(tables_per_gpu)}..{max(tables_per_gpu)}"
+        " (paper: variable, 17..34)",
+        f"split EMBs (0 < UVM frac < 1): "
+        f"{int(np.sum((uvm_fracs > 0) & (uvm_fracs < 1)))}/{len(plan)}",
+    ]
+    return table + "\n\n" + "\n".join(notes)
+
+
+def test_figure12_partitions(benchmark, headline, topology):
+    text = benchmark.pedantic(
+        lambda: _figure12(headline, topology), rounds=1, iterations=1
+    )
+    report("fig12_partitions", text)
+    plan = headline["RM2"]["RecShard"].plan
+    # Shape: fine-grained splits exist and every GPU hosts tables.
+    split = [p for p in plan if 0 < p.uvm_fraction < 1]
+    assert len(split) > len(plan) // 4
+    assert all(
+        len(plan.tables_on_device(m)) > 0 for m in range(topology.num_devices)
+    )

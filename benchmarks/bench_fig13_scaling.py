@@ -1,0 +1,58 @@
+"""Figure 13: slowdown as model size scales 2x and 4x (RM1 -> RM2/RM3).
+
+Paper shape: heuristic fixed-cost strategies suffer >3x average slowdown
+from RM1 to RM3, while RecShard degrades by only ~1.2x — the extra rows
+from hash-size scaling are mostly dead or cold, and RecShard never
+promotes them to HBM.
+"""
+
+import numpy as np
+
+from conftest import BASELINE_NAMES, format_table, report
+
+PAPER = {"baselines_rm3": 3.07, "recshard_rm3": 1.206}
+
+
+def _figure13(headline) -> str:
+    bounds = {
+        model_name: {
+            strategy: result.metrics.bound_time_ms()
+            for strategy, result in results.items()
+        }
+        for model_name, results in headline.items()
+    }
+    rows = []
+    for strategy in list(BASELINE_NAMES) + ["RecShard"]:
+        slow2 = bounds["RM2"][strategy] / bounds["RM1"][strategy]
+        slow4 = bounds["RM3"][strategy] / bounds["RM1"][strategy]
+        rows.append((strategy, f"{slow2:.2f}x", f"{slow4:.2f}x"))
+    table = format_table(
+        ["Strategy", "2x model (RM2/RM1)", "4x model (RM3/RM1)"], rows
+    )
+    baseline_avg = np.mean(
+        [bounds["RM3"][s] / bounds["RM1"][s] for s in BASELINE_NAMES]
+    )
+    recshard = bounds["RM3"]["RecShard"] / bounds["RM1"]["RecShard"]
+    notes = [
+        f"baseline average RM1->RM3 slowdown: {baseline_avg:.2f}x "
+        f"(paper: {PAPER['baselines_rm3']:.2f}x)",
+        f"RecShard RM1->RM3 slowdown:         {recshard:.2f}x "
+        f"(paper: {PAPER['recshard_rm3']:.2f}x)",
+    ]
+    return table + "\n\n" + "\n".join(notes)
+
+
+def test_figure13_scaling(benchmark, headline):
+    text = benchmark.pedantic(lambda: _figure13(headline), rounds=1, iterations=1)
+    report("fig13_scaling", text)
+    bounds = {
+        name: {s: r.metrics.bound_time_ms() for s, r in results.items()}
+        for name, results in headline.items()
+    }
+    recshard = bounds["RM3"]["RecShard"] / bounds["RM1"]["RecShard"]
+    baseline_avg = np.mean(
+        [bounds["RM3"][s] / bounds["RM1"][s] for s in BASELINE_NAMES]
+    )
+    # Shape: RecShard is far less sensitive to model-size scaling.
+    assert recshard < baseline_avg / 2
+    assert recshard < 2.0

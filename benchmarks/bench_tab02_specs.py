@@ -1,0 +1,42 @@
+"""Table 2: the RM1/RM2/RM3 DLRM specifications.
+
+Regenerates the table at the repo's 1/1000 row scale: 397 sparse
+features, total hash sizes doubling from RM1 to RM2 to RM3, dim 64, and
+sizes in the same ratio as the paper's 318/635/1270 GB.
+"""
+
+from conftest import build_models, format_table, report
+
+PAPER_SIZES_GB = {"RM1": 318, "RM2": 635, "RM3": 1270}
+
+
+def _table2() -> str:
+    rows = []
+    for model in build_models():
+        spec = model.table2_row()
+        rows.append(
+            (
+                spec["model"],
+                spec["num_sparse_features"],
+                f"{spec['total_hash_size']:,}",
+                spec["emb_dim"],
+                f"{spec['size_gib'] * 1000:.0f} GB(@1x)",
+                f"{PAPER_SIZES_GB[spec['model']]} GB",
+            )
+        )
+    return format_table(
+        [
+            "Model",
+            "# Sparse Features",
+            "Total Hash Size (scaled 1e-3)",
+            "Emb. Dim.",
+            "Size scaled back to 1x",
+            "Paper size",
+        ],
+        rows,
+    )
+
+
+def test_table2_specs(benchmark):
+    text = benchmark.pedantic(_table2, rounds=1, iterations=1)
+    report("tab02_specs", text)

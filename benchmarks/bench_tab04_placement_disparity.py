@@ -1,0 +1,62 @@
+"""Table 4: row-placement disagreement between baselines and RecShard.
+
+For RM2/RM3 (UVM-pressured), the percentage of all EMB rows that a
+baseline put in UVM but RecShard puts in HBM ("UVM->HBM"), and vice
+versa.  Paper values: ~23-29% UVM->HBM and ~40-59% HBM->UVM — RecShard
+promotes hot rows the baselines strand in UVM and demotes cold/dead
+rows they waste HBM on.
+"""
+
+from conftest import BASELINE_NAMES, format_table, report
+
+PAPER = {
+    "RM2": {"uvm_to_hbm": 0.2867, "hbm_to_uvm": 0.3993},
+    "RM3": {"uvm_to_hbm": 0.2329, "hbm_to_uvm": 0.5834},
+}
+
+
+def _table4(headline) -> str:
+    rows = []
+    for model_name in ("RM2", "RM3"):
+        results = headline[model_name]
+        recshard_plan = results["RecShard"].plan
+        for baseline in BASELINE_NAMES:
+            diff = recshard_plan.placement_disparity(results[baseline].plan)
+            rows.append(
+                (
+                    model_name,
+                    baseline,
+                    f"{diff['uvm_to_hbm']:.2%}",
+                    f"{diff['hbm_to_uvm']:.2%}",
+                )
+            )
+        rows.append(
+            (
+                model_name,
+                "(paper, SB)",
+                f"{PAPER[model_name]['uvm_to_hbm']:.2%}",
+                f"{PAPER[model_name]['hbm_to_uvm']:.2%}",
+            )
+        )
+    table = format_table(
+        ["Model", "Baseline", "UVM->HBM (RecShard promotes)", "HBM->UVM (demotes)"],
+        rows,
+    )
+    note = (
+        "RM1 is omitted as in the paper: it fits entirely in HBM, so\n"
+        "there is no UVM placement to disagree about."
+    )
+    return f"{table}\n\n{note}"
+
+
+def test_table4_placement_disparity(benchmark, headline):
+    text = benchmark.pedantic(lambda: _table4(headline), rounds=1, iterations=1)
+    report("tab04_placement_disparity", text)
+    # Shape: both disparity directions are substantial under pressure.
+    for model_name in ("RM2", "RM3"):
+        recshard_plan = headline[model_name]["RecShard"].plan
+        diff = recshard_plan.placement_disparity(
+            headline[model_name]["Size-Based"].plan
+        )
+        assert diff["uvm_to_hbm"] > 0.02
+        assert diff["hbm_to_uvm"] > 0.10

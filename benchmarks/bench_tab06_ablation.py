@@ -1,0 +1,108 @@
+"""Table 6: RecShard ablation — which statistics matter in the MILP.
+
+Four formulations on RM3 over 16 GPUs: CDF only (pooling and coverage
+forced to 1), CDF + Coverage, CDF + Pooling, and the full formulation.
+Paper shape: UVM accesses fall monotonically — 1.63B (CDF only) -> 881M
+(+coverage) -> 604M (+pooling) -> 353M (full) — each per-sample access
+statistic sharpens the load-balance and placement decisions.
+"""
+
+from conftest import (
+    BENCH_BATCH,
+    BENCH_GPUS,
+    BENCH_ITERS,
+    format_table,
+    recshard_sharder,
+    report,
+)
+from repro import paper_node
+from repro.engine import run_experiment
+from repro.data.synthetic import TraceGenerator
+
+FORMULATIONS = [
+    ("CDF Only", dict(use_coverage=False, use_pooling=False)),
+    ("CDF + Coverage", dict(use_coverage=True, use_pooling=False)),
+    ("CDF + Pooling", dict(use_coverage=False, use_pooling=True)),
+    ("RecShard (Full)", dict(use_coverage=True, use_pooling=True)),
+]
+
+PAPER_UVM = {
+    "CDF Only": "1.63B",
+    "CDF + Coverage": "881M",
+    "CDF + Pooling": "604M",
+    "RecShard (Full)": "353M",
+}
+
+
+def _table6(models, profiles, topology) -> str:
+    model = models[2]  # RM3
+    profile = profiles[model.name]
+    # Our 1/1000-scale RM3 has a smaller live-hot-mass : HBM ratio than
+    # production RM3 (where the hot set did not fully fit).  Shrinking
+    # the node to 60% restores the paper's regime, in which the choice
+    # of statistics decides which hot rows make it into HBM.
+    topology = paper_node(num_gpus=BENCH_GPUS, scale=1e-3 * 0.6)
+    shared_batches = list(
+        TraceGenerator(model, batch_size=BENCH_BATCH, seed=2024).batches(
+            BENCH_ITERS
+        )
+    )
+    rows = []
+    measurements = {}
+    for label, flags in FORMULATIONS:
+        sharder = recshard_sharder(**flags)
+        sharder.name = label
+        result = run_experiment(
+            model,
+            sharder,
+            topology,
+            batch_size=BENCH_BATCH,
+            profile=profile,
+            shared_batches=shared_batches,
+        )
+        hbm = result.metrics.avg_accesses_per_gpu_iteration("hbm")
+        uvm = result.metrics.avg_accesses_per_gpu_iteration("uvm")
+        measurements[label] = (
+            uvm,
+            result.metrics.iteration_stats().max,
+        )
+        rows.append(
+            (
+                label,
+                f"{hbm:,.0f}",
+                f"{uvm:,.0f}",
+                f"{result.metrics.tier_access_fraction('uvm'):.3%}",
+                PAPER_UVM[label],
+                f"{result.metrics.iteration_stats().max:.2f}",
+            )
+        )
+    table = format_table(
+        [
+            "Formulation",
+            "HBM/GPU/iter",
+            "UVM/GPU/iter",
+            "UVM share",
+            "paper UVM (total)",
+            "max GPU ms",
+        ],
+        rows,
+    )
+    note = (
+        "Paper shape: UVM traffic falls monotonically as coverage and\n"
+        "pooling statistics join the CDF in the formulation; the full\n"
+        "formulation is best."
+    )
+    return f"{table}\n\n{note}", measurements
+
+
+def test_table6_ablation(benchmark, models, profiles, topology):
+    (text, measurements) = benchmark.pedantic(
+        lambda: _table6(models, profiles, topology), rounds=1, iterations=1
+    )
+    report("tab06_ablation", text)
+    # Shape: the full formulation beats CDF-only on slow-memory traffic
+    # or on the makespan (both in the paper; either suffices at scale).
+    full_uvm, full_max = measurements["RecShard (Full)"]
+    cdf_uvm, cdf_max = measurements["CDF Only"]
+    assert full_uvm <= cdf_uvm * 1.05 or full_max <= cdf_max
+    assert full_max <= cdf_max * 1.05

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Capacity-constrained sharding: what happens when models outgrow HBM.
+
+Reproduces the paper's central scenario in miniature: the same feature
+set at 1x / 2x / 4x hash sizes (RM1 / RM2 / RM3 of Table 2) on a fixed
+node.  As capacity pressure grows, whole-table baselines are forced to
+strand hot tables in UVM while RecShard's row-level splits keep the hot
+working set in HBM — the gap widens exactly as in Figures 11 and 13.
+
+Run:  python examples/capacity_constrained.py
+"""
+
+from repro import (
+    RecShardFastSharder,
+    compare_strategies,
+    make_baseline,
+    paper_node,
+    speedup_table,
+)
+from repro.data.model import rm1, rm2, rm3
+
+FEATURES = 97
+GPUS = 8
+BATCH = 2048
+
+
+def main():
+    topo_scale = 1e-3 * FEATURES / 397
+    row_scale = topo_scale * GPUS / 16
+    topology = paper_node(num_gpus=GPUS, scale=topo_scale)
+    print(f"node: {GPUS} GPUs, "
+          f"{topology.hbm.capacity_bytes * GPUS / 2**20:.0f} MiB total HBM\n")
+
+    baseline_names = ("Size-Based", "Lookup-Based", "Size-Based-Lookup")
+    bounds = {}
+    for build in (rm1, rm2, rm3):
+        model = build(num_features=FEATURES, row_scale=row_scale)
+        pressure = model.total_bytes / (topology.hbm.capacity_bytes * GPUS)
+        print(f"--- {model.name}: {model.total_bytes / 2**20:.0f} MiB "
+              f"({pressure:.1f}x of HBM) ---")
+        sharders = [make_baseline(n) for n in baseline_names]
+        sharders.append(RecShardFastSharder(batch_size=BATCH, name="RecShard"))
+        results = compare_strategies(
+            model, sharders, topology, batch_size=BATCH, iterations=3
+        )
+        for name, result in results.items():
+            stats = result.metrics.iteration_stats()
+            uvm = result.metrics.tier_access_fraction("uvm")
+            print(f"  {name:>18}: max {stats.max:7.2f} ms  "
+                  f"std {stats.std:5.2f}  UVM {uvm:6.2%}")
+        speedups = speedup_table(results)
+        next_best = max(v for k, v in speedups.items() if k != "RecShard")
+        print(f"  RecShard vs next best: {speedups['RecShard'] / next_best:.2f}x")
+        bounds[model.name] = {
+            s: r.metrics.bound_time_ms() for s, r in results.items()
+        }
+        print()
+
+    print("--- scaling sensitivity (Figure 13) ---")
+    for strategy in list(baseline_names) + ["RecShard"]:
+        slow = bounds["RM3"][strategy] / bounds["RM1"][strategy]
+        print(f"  {strategy:>18}: RM1 -> RM3 slowdown {slow:.2f}x")
+    print("\nPaper shape: baselines slow down >3x while RecShard stays ~1.2x —")
+    print("the extra rows from larger hash sizes are cold or dead, and")
+    print("RecShard never promotes them to HBM.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Train a real (numpy) DLRM on RecShard-remapped tiered storage.
+
+Demonstrates that the remapping layer is *performance-only*: a DLRM
+whose embedding tables are physically split across HBM/UVM partitions
+(per a RecShard plan) computes bit-identical predictions and gradients
+to the unsharded model, while its per-tier access counters show the hot
+traffic staying in the fast partition.
+
+Run:  python examples/dlrm_training.py
+"""
+
+import numpy as np
+
+from repro import RecShardFastSharder, SystemTopology, TraceGenerator
+from repro.core.remap import RemappingTable
+from repro.data.feature import SparseFeatureSpec
+from repro.data.model import EmbeddingTableSpec, ModelSpec
+from repro.dlrm import DLRM, DLRMConfig, TieredEmbeddingBag, train_epoch
+from repro.dlrm.train import bce_loss, synthetic_ctr_labels
+from repro.stats import analytic_profile
+
+BATCH = 128
+STEPS = 30
+
+
+def build_world():
+    """A small DLRM-scale model plus a tight two-tier topology."""
+    rng = np.random.default_rng(5)
+    features = []
+    for i in range(6):
+        hash_size = int(rng.uniform(200, 1200))
+        features.append(
+            SparseFeatureSpec(
+                name=f"f{i}",
+                cardinality=hash_size * 2,
+                hash_size=hash_size,
+                alpha=float(rng.uniform(0.9, 1.5)),
+                avg_pooling=float(rng.uniform(2, 8)),
+                coverage=float(rng.uniform(0.4, 1.0)),
+                hash_seed=i,
+            )
+        )
+    model_spec = ModelSpec(
+        name="dlrm-demo",
+        tables=tuple(EmbeddingTableSpec(feature=f, dim=16) for f in features),
+    )
+    topology = SystemTopology.two_tier(
+        num_devices=1,
+        hbm_capacity=int(model_spec.total_bytes * 0.35),
+        hbm_bandwidth=200e9,
+        uvm_capacity=model_spec.total_bytes,
+        uvm_bandwidth=10e9,
+    )
+    return model_spec, topology
+
+
+def main():
+    model_spec, topology = build_world()
+    profile = analytic_profile(model_spec)
+    plan = RecShardFastSharder(batch_size=BATCH).shard(
+        model_spec, profile, topology
+    )
+    print(f"plan: {plan.summary(model_spec, topology)['uvm_row_fraction']:.1%} "
+          "of rows on UVM\n")
+
+    config = DLRMConfig(
+        dense_features=8,
+        table_rows=[t.num_rows for t in model_spec.tables],
+        embedding_dim=16,
+        seed=1,
+    )
+    flat = DLRM(config)
+    tiered = DLRM(config)  # same seed -> identical initial weights
+    tiered_tables = []
+    for j, bag in enumerate(tiered.tables):
+        remap = RemappingTable(
+            profile[j].cdf.row_order, plan[j].rows_per_tier
+        )
+        tiered_tables.append(TieredEmbeddingBag(bag.weight, remap))
+    tiered.replace_tables(tiered_tables)
+
+    rng = np.random.default_rng(42)
+    gen = TraceGenerator(model_spec, batch_size=BATCH, seed=7)
+    batches = []
+    for sparse in gen.batches(STEPS):
+        dense = rng.normal(size=(BATCH, config.dense_features))
+        labels = synthetic_ctr_labels(dense, sparse, rng)
+        batches.append((dense, sparse, labels))
+
+    losses_flat = train_epoch(flat, batches, lr=0.15)
+    losses_tiered = train_epoch(tiered, batches, lr=0.15)
+    print(f"flat   DLRM: loss {losses_flat[0]:.4f} -> {losses_flat[-1]:.4f}")
+    print(f"tiered DLRM: loss {losses_tiered[0]:.4f} -> {losses_tiered[-1]:.4f}")
+    drift = max(
+        abs(a - b) for a, b in zip(losses_flat, losses_tiered)
+    )
+    print(f"max per-step loss difference: {drift:.2e} "
+          "(remapping is computation-transparent)")
+
+    counts = tiered.tier_access_counts()
+    total = counts.sum()
+    print(f"\nembedding accesses: HBM {counts[0]:,} ({counts[0] / total:.1%}), "
+          f"UVM {counts[1]:,} ({counts[1] / total:.1%})")
+    print("RecShard kept the hot working set in the fast partition while")
+    print(f"only {plan.summary(model_spec, topology)['uvm_row_fraction']:.0%} "
+          "of rows occupy HBM-priced memory.")
+
+    # Verify end-state equivalence explicitly.
+    dense, sparse, labels = batches[0]
+    p_flat = flat.forward(dense, sparse)
+    p_tiered = tiered.forward(dense, sparse)
+    print(f"\npost-training prediction max|diff|: "
+          f"{np.abs(p_flat - p_tiered).max():.2e}")
+    print(f"final BCE (flat vs tiered): {bce_loss(p_flat, labels):.6f} / "
+          f"{bce_loss(p_tiered, labels):.6f}")
+
+
+if __name__ == "__main__":
+    main()

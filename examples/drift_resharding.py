@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Temporal drift and the case for periodic re-sharding (Section 3.5).
+
+Production models retrain continuously for months while feature
+statistics drift (Figure 9: user features' pooling factors climb ~10%).
+This example plans once at month 0, then replays the plan against
+drifted workloads month by month, comparing against a freshly re-sharded
+plan — quantifying when re-sharding pays for itself.
+
+Run:  python examples/drift_resharding.py
+"""
+
+from repro import RecShardFastSharder, paper_node
+from repro.core.evaluate import expected_max_cost_ms
+from repro.data.drift import DriftModel
+from repro.data.model import rm2
+from repro.stats import analytic_profile
+
+FEATURES = 97
+GPUS = 8
+BATCH = 2048
+MONTHS = (0, 3, 6, 9, 12, 15, 18)
+
+
+def main():
+    topo_scale = 1e-3 * FEATURES / 397
+    model = rm2(num_features=FEATURES, row_scale=topo_scale * GPUS / 16)
+    topology = paper_node(num_gpus=GPUS, scale=topo_scale)
+    drift = DriftModel(feature_noise=6.0, alpha_noise=25.0)
+    sharder = RecShardFastSharder(batch_size=BATCH)
+
+    profile0 = analytic_profile(model)
+    plan0 = sharder.shard(model, profile0, topology)
+    print("planned once at month 0; replaying against drifted statistics\n")
+    print(f"{'month':>6} {'stale plan (ms)':>16} {'re-sharded (ms)':>16} "
+          f"{'penalty':>8}")
+
+    for month in MONTHS:
+        drifted = drift.drift_model(model, month)
+        profile_m = analytic_profile(drifted)
+        stale = expected_max_cost_ms(plan0, drifted, profile_m, topology, BATCH)
+        fresh_plan = sharder.shard(drifted, profile_m, topology)
+        fresh = expected_max_cost_ms(
+            fresh_plan, drifted, profile_m, topology, BATCH
+        )
+        print(f"{month:>6} {stale:>16.3f} {fresh:>16.3f} "
+              f"{stale / fresh:>7.2f}x")
+
+    print(
+        "\nThe stale-plan penalty grows with drift; RecShard re-evaluates"
+        "\nthe benefit cheaply (the MILP re-solves in seconds at this"
+        "\nscale, under a minute at production scale per Section 6.6) and"
+        "\nre-shards when the penalty exceeds the re-sharding cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""State-of-the-art baseline sharding strategies (Section 5).
+
+Baselines follow a two-step recipe: assign each table a fixed cost
+(Size, Lookup, or Size-and-Lookup), then greedily place whole tables on
+the least-loaded GPU, spilling to UVM once HBM saturates.
+"""
+
+from repro.baselines.cost import (
+    lookup_cost,
+    size_cost,
+    size_lookup_cost,
+)
+from repro.baselines.greedy import GreedySharder, make_baseline
+
+__all__ = [
+    "GreedySharder",
+    "lookup_cost",
+    "make_baseline",
+    "size_cost",
+    "size_lookup_cost",
+]

@@ -1,0 +1,38 @@
+"""Baseline EMB cost functions (Section 5, Step I).
+
+Each function maps (table spec, table stats) to a scalar cost used by
+the greedy heuristic.  They intentionally reproduce the baselines'
+blind spots: Size ignores access behaviour entirely, Lookup ignores
+capacity and coverage, Size-and-Lookup blends the two with a log-size
+term approximating caching effects.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def size_cost(table, stats) -> float:
+    """Size [Acun+ HPCA'21, Lui+ ISPASS'21]: hash size x embedding dim."""
+    return float(table.num_rows) * table.dim
+
+
+def lookup_cost(table, stats) -> float:
+    """Lookup [Acun+, Lui+]: average pooling factor x embedding dim."""
+    return stats.avg_pooling * table.dim
+
+
+def size_lookup_cost(table, stats) -> float:
+    """Size-and-Lookup: lookup cost x log10(hash size).
+
+    The log term adds a non-linearity meant to capture the caching
+    benefit of smaller tables (Section 5, third cost function).
+    """
+    return lookup_cost(table, stats) * math.log10(max(10.0, float(table.num_rows)))
+
+
+COST_FUNCTIONS = {
+    "Size-Based": size_cost,
+    "Lookup-Based": lookup_cost,
+    "Size-Based-Lookup": size_lookup_cost,
+}

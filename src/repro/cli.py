@@ -1,0 +1,169 @@
+"""Command-line interface: profile, shard, and compare from a shell.
+
+Examples::
+
+    python -m repro characterize --model rm1
+    python -m repro shard --model rm2 --gpus 16 --formulation convex
+    python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import make_baseline
+from repro.core import RecShardFastSharder, RecShardSharder
+from repro.data.model import rm1, rm2, rm3
+from repro.engine import compare_strategies
+from repro.engine.harness import speedup_table
+from repro.memory import paper_node
+from repro.stats import analytic_profile
+from repro.stats.summary import characterization_summary, format_summary
+
+_MODELS = {"rm1": rm1, "rm2": rm2, "rm3": rm3}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", choices=sorted(_MODELS), default="rm2",
+        help="workload from Table 2 (default: rm2)",
+    )
+    parser.add_argument(
+        "--features", type=int, default=397,
+        help="number of sparse features (default: the paper's 397)",
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=16, help="simulated GPUs (default: 16)"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=2048, help="batch size (default: 2048)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="feature population seed"
+    )
+
+
+def _build_world(args):
+    """Model + topology with capacity regimes matched to the paper."""
+    topo_scale = 1e-3 * args.features / 397
+    row_scale = topo_scale * args.gpus / 16
+    model = _MODELS[args.model](
+        num_features=args.features, row_scale=row_scale, seed=args.seed
+    )
+    topology = paper_node(num_gpus=args.gpus, scale=topo_scale)
+    return model, topology
+
+
+def _cmd_characterize(args) -> int:
+    model, _ = _build_world(args)
+    profile = analytic_profile(model)
+    print(f"characterization of {model.name} "
+          f"({model.num_tables} features, {model.total_bytes / 2**20:.0f} MiB):")
+    print(format_summary(characterization_summary(profile)))
+    return 0
+
+
+def _make_recshard(args):
+    if args.milp_time <= 0:
+        return RecShardFastSharder(
+            batch_size=args.batch, name="RecShard",
+            reclaim_dead=args.reclaim_dead,
+        )
+    return RecShardSharder(
+        batch_size=args.batch,
+        steps=args.steps,
+        formulation=args.formulation,
+        time_limit=args.milp_time,
+        reclaim_dead=args.reclaim_dead,
+        name="RecShard",
+    )
+
+
+def _cmd_shard(args) -> int:
+    model, topology = _build_world(args)
+    profile = analytic_profile(model)
+    plan = _make_recshard(args).shard(model, profile, topology)
+    plan.validate(model, topology)
+    summary = plan.summary(model, topology)
+    print(f"plan for {model.name} on {args.gpus} GPUs "
+          f"(solver: {plan.metadata.get('solver', '-')}):")
+    print(f"  rows on UVM: {summary['uvm_row_fraction']:.1%}")
+    print(f"  mean per-table UVM fraction: "
+          f"{summary['mean_table_uvm_fraction']:.1%}")
+    print(f"  tables per GPU: {summary['tables_per_device']}")
+    if "objective_ms" in plan.metadata:
+        print(f"  MILP objective: {plan.metadata['objective_ms']:.4f} ms "
+              f"({plan.metadata.get('milp_status')}, "
+              f"{plan.metadata.get('solve_seconds', 0):.1f}s)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    model, topology = _build_world(args)
+    profile = analytic_profile(model)
+    sharders = [
+        make_baseline("Size-Based"),
+        make_baseline("Lookup-Based"),
+        make_baseline("Size-Based-Lookup"),
+        _make_recshard(args),
+    ]
+    results = compare_strategies(
+        model, sharders, topology,
+        batch_size=args.batch, iterations=args.iters, profile=profile,
+    )
+    print(f"{model.name} on {args.gpus} GPUs, batch {args.batch}, "
+          f"{args.iters} iterations:")
+    print(f"{'strategy':>20}  {'min/max/mean/std (ms)':>28}  {'UVM share':>9}")
+    for name, result in results.items():
+        stats = result.metrics.iteration_stats()
+        uvm = result.metrics.tier_access_fraction("uvm")
+        print(f"{name:>20}  {stats.as_row():>28}  {uvm:>9.2%}")
+    speedups = speedup_table(results)
+    next_best = max(v for k, v in speedups.items() if k != "RecShard")
+    print(f"\nRecShard speedup vs slowest:   {speedups['RecShard']:.2f}x")
+    print(f"RecShard speedup vs next best: "
+          f"{speedups['RecShard'] / next_best:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RecShard reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_char = sub.add_parser(
+        "characterize", help="print the Section 3 feature characterization"
+    )
+    _add_common(p_char)
+    p_char.set_defaults(func=_cmd_characterize)
+
+    for name, func, helptext in (
+        ("shard", _cmd_shard, "produce and summarize a RecShard plan"),
+        ("compare", _cmd_compare, "run RecShard against the baselines"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        _add_common(p)
+        p.add_argument("--steps", type=int, default=100,
+                       help="ICDF discretization steps (default: 100)")
+        p.add_argument("--formulation", choices=("convex", "step"),
+                       default="convex")
+        p.add_argument("--milp-time", type=float, default=15.0,
+                       help="MILP budget in seconds; 0 = fast solver only")
+        p.add_argument("--reclaim-dead", action="store_true",
+                       help="do not charge never-accessed rows to UVM")
+        if name == "compare":
+            p.add_argument("--iters", type=int, default=3,
+                           help="measured iterations (default: 3)")
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

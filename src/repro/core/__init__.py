@@ -1,0 +1,29 @@
+"""RecShard core: fine-grained EMB partitioning and placement.
+
+The paper's primary contribution (Section 4): given per-table statistics
+(frequency CDF, average pooling factor, coverage) and a tiered memory
+topology, solve a MILP that simultaneously picks per-table HBM/UVM row
+splits and table-to-GPU assignments minimizing the maximum per-GPU
+embedding cost, then remap hashed indices so hot rows are contiguous.
+"""
+
+from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.core.remap import RemappingLayer, RemappingTable
+from repro.core.formulation import RecShardInputs, TableInputs, build_milp
+from repro.core.recshard import RecShardSharder
+from repro.core.fast import RecShardFastSharder
+from repro.core.multitier import MultiTierSharder
+
+__all__ = [
+    "MultiTierSharder",
+    "PlanError",
+    "RecShardFastSharder",
+    "RecShardInputs",
+    "RecShardSharder",
+    "RemappingLayer",
+    "RemappingTable",
+    "ShardingPlan",
+    "TableInputs",
+    "TablePlacement",
+    "build_milp",
+]

@@ -1,0 +1,63 @@
+"""Analytic plan evaluation under the MILP's cost model.
+
+Computes, for any sharding plan, the expected per-device embedding cost
+(Constraints 11-12): per-table expected accesses split across tiers by
+the profiled frequency CDF and charged at tier bandwidths.  Used to
+compare candidate plans (MILP incumbent vs fast heuristic), to
+cross-check measured times, and by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import ShardingPlan
+from repro.memory.topology import SystemTopology
+
+
+def expected_device_costs_ms(
+    plan: ShardingPlan,
+    model,
+    profile,
+    topology: SystemTopology,
+    batch_size: int,
+    use_coverage: bool = True,
+    use_pooling: bool = True,
+) -> np.ndarray:
+    """Expected per-device per-iteration embedding cost in milliseconds."""
+    costs = np.zeros(topology.num_devices)
+    inv_bw = [1.0 / tier.bandwidth for tier in topology.tiers]
+    for placement in plan:
+        stats = profile[placement.table_index]
+        table = model.tables[placement.table_index]
+        if stats.total_accesses <= 0:
+            continue
+        coverage = stats.coverage if use_coverage else 1.0
+        pooling = stats.avg_pooling if use_pooling else 1.0
+        expected_accesses = coverage * pooling * batch_size
+        cdf = stats.cdf
+        prev_cov = 0.0
+        rows_seen = 0
+        for tier_index, rows in enumerate(placement.rows_per_tier):
+            rows_seen += rows
+            cov = cdf.coverage_of_rows(rows_seen)
+            frac = cov - prev_cov
+            prev_cov = cov
+            if frac > 0:
+                costs[placement.device] += (
+                    expected_accesses * frac * table.row_bytes * inv_bw[tier_index]
+                )
+    return costs * 1e3
+
+
+def expected_max_cost_ms(
+    plan: ShardingPlan,
+    model,
+    profile,
+    topology: SystemTopology,
+    batch_size: int,
+) -> float:
+    """The plan's expected makespan — the quantity RecShard minimizes."""
+    return float(
+        expected_device_costs_ms(plan, model, profile, topology, batch_size).max()
+    )

@@ -1,0 +1,419 @@
+"""A fast combinatorial approximation of the RecShard MILP.
+
+The MILP is the paper's mechanism, but commercial-solver performance is
+not always available.  This sharder exploits the same statistics and the
+ICDF convexity to get near-MILP plans in milliseconds:
+
+1. *Global waterfill*: allocate the aggregate HBM budget across tables
+   step by step, always taking the step with the best marginal cost
+   reduction per byte (optimal for the capacity-relaxed problem because
+   per-table marginal densities are non-increasing — ICDF convexity).
+2. *LPT assignment*: place tables on devices in descending cost order,
+   always onto the least-loaded device where the split fits.  A split
+   can be shrunk (fewer hot rows in HBM) to fit a tight device, or
+   padded with dead rows (which cost nothing to serve) when the
+   device's host slice cannot absorb the table's UVM remainder.
+3. *Per-device refill*: spend any HBM left unused on each device on the
+   next-best steps of its own tables.
+4. *Local search*: move tables off the busiest device while it reduces
+   the makespan.
+
+It also serves as the fallback when the MILP backend cannot produce an
+incumbent within its time limit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.core.formulation import RecShardInputs, TableInputs
+from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.memory.topology import SystemTopology
+
+_MS = 1e3
+
+
+class _TableState:
+    """Mutable split state of one table during solving.
+
+    ``step`` indexes the ICDF grid (hot rows in HBM); ``extra_rows``
+    counts additional dead/cold rows promoted to HBM purely to satisfy a
+    device's host-capacity limit — they serve (almost) no accesses, so
+    they do not change the cost estimate.
+    """
+
+    __slots__ = (
+        "index", "inputs", "step", "extra_rows", "weight",
+        "inv_bw_hbm", "inv_bw_uvm", "alloc_bytes",
+    )
+
+    def __init__(self, index: int, inputs: TableInputs, batch_size: int,
+                 inv_bw_hbm: float, inv_bw_uvm: float,
+                 use_coverage: bool, use_pooling: bool, reclaim_dead: bool):
+        self.index = index
+        self.inputs = inputs
+        self.step = 0
+        self.extra_rows = 0
+        pooling = inputs.avg_pooling if use_pooling else 1.0
+        coverage = inputs.coverage if use_coverage else 1.0
+        self.weight = coverage * pooling * inputs.row_bytes * batch_size * _MS
+        self.inv_bw_hbm = inv_bw_hbm
+        self.inv_bw_uvm = inv_bw_uvm
+        # Bytes that must be backed by memory somewhere (dead rows are
+        # exempt under reclaim_dead).
+        self.alloc_bytes = (
+            inputs.live_bytes if reclaim_dead else inputs.total_bytes
+        )
+
+    @property
+    def fraction(self) -> float:
+        return float(self.inputs.icdf.fractions[self.step])
+
+    @property
+    def grid_rows(self) -> int:
+        return math.ceil(self.inputs.icdf.rows[self.step] - 1e-9)
+
+    @property
+    def hbm_rows(self) -> int:
+        return min(self.grid_rows + self.extra_rows, self.inputs.hash_size)
+
+    @property
+    def hbm_bytes(self) -> int:
+        return self.hbm_rows * self.inputs.row_bytes
+
+    def host_bytes(self) -> int:
+        return max(0, self.alloc_bytes - self.hbm_bytes)
+
+    def min_hbm_rows_for_host(self, host_free: int) -> int:
+        """Fewest HBM rows that keep the UVM remainder within ``host_free``."""
+        deficit = self.alloc_bytes - host_free
+        if deficit <= 0:
+            return 0
+        return math.ceil(deficit / self.inputs.row_bytes)
+
+    def cost(self) -> float:
+        """Expected per-iteration cost (ms) at the current split."""
+        if self.inputs.total_accesses <= 0:
+            return 0.0
+        frac = self.fraction
+        return self.weight * (
+            frac * self.inv_bw_hbm + (1.0 - frac) * self.inv_bw_uvm
+        )
+
+    def next_step_delta(self) -> tuple[float, int] | None:
+        """(cost reduction, extra bytes) of advancing one ICDF step."""
+        icdf = self.inputs.icdf
+        if self.step >= icdf.steps or self.inputs.total_accesses <= 0:
+            return None
+        d_frac = float(icdf.fractions[self.step + 1] - icdf.fractions[self.step])
+        next_rows = math.ceil(icdf.rows[self.step + 1] - 1e-9)
+        d_rows = next_rows - self.grid_rows
+        # Extra dead rows already in HBM absorb part of the advance.
+        d_rows = max(0, d_rows - self.extra_rows)
+        d_bytes = d_rows * self.inputs.row_bytes
+        d_cost = self.weight * d_frac * (self.inv_bw_uvm - self.inv_bw_hbm)
+        return d_cost, d_bytes
+
+    def advance(self) -> None:
+        icdf = self.inputs.icdf
+        grid_gain = (
+            math.ceil(icdf.rows[self.step + 1] - 1e-9) - self.grid_rows
+        )
+        self.extra_rows = max(0, self.extra_rows - grid_gain)
+        self.step += 1
+
+
+class RecShardFastSharder:
+    """Greedy waterfill + LPT + local-search RecShard approximation."""
+
+    def __init__(
+        self,
+        batch_size: int,
+        steps: int = 100,
+        use_coverage: bool = True,
+        use_pooling: bool = True,
+        reclaim_dead: bool = False,
+        refine_rounds: int = 400,
+        name: str = "RecShard-fast",
+    ):
+        self.batch_size = int(batch_size)
+        self.steps = int(steps)
+        self.use_coverage = use_coverage
+        self.use_pooling = use_pooling
+        self.reclaim_dead = reclaim_dead
+        self.refine_rounds = int(refine_rounds)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def shard(self, model, profile, topology: SystemTopology) -> ShardingPlan:
+        inputs = RecShardInputs.from_profile(model, profile, steps=self.steps)
+        return self.shard_from_inputs(model, inputs, topology)
+
+    def shard_from_inputs(
+        self, model, inputs: RecShardInputs, topology: SystemTopology
+    ) -> ShardingPlan:
+        if topology.num_tiers != 2:
+            raise ValueError("RecShardFastSharder targets two-tier topologies")
+        inv_bw_hbm = 1.0 / topology.hbm.bandwidth
+        inv_bw_uvm = 1.0 / topology.uvm.bandwidth
+        states = [
+            _TableState(
+                j, t, self.batch_size, inv_bw_hbm, inv_bw_uvm,
+                self.use_coverage, self.use_pooling, self.reclaim_dead,
+            )
+            for j, t in enumerate(inputs.tables)
+        ]
+
+        hbm_budget = topology.hbm.capacity_bytes * topology.num_devices
+        self._waterfill(states, hbm_budget)
+        device_of, loads, hbm_free, host_free = self._assign(states, topology)
+        self._refill(states, device_of, hbm_free)
+        loads = self._recompute_loads(states, device_of, topology.num_devices)
+        self._local_search(states, device_of, loads, hbm_free, host_free)
+        # Moves free HBM behind them; one more refill converts it into
+        # additional hot rows.
+        self._refill(states, device_of, hbm_free)
+
+        placements = []
+        for state in states:
+            hbm_rows = state.hbm_rows
+            placements.append(
+                TablePlacement(
+                    table_index=state.index,
+                    device=device_of[state.index],
+                    rows_per_tier=(hbm_rows, state.inputs.hash_size - hbm_rows),
+                )
+            )
+        loads = self._recompute_loads(states, device_of, topology.num_devices)
+        metadata = {
+            "estimated_max_cost_ms": max(loads),
+            "estimated_device_costs_ms": loads,
+            "solver": "fast",
+        }
+        if self.reclaim_dead:
+            metadata["reclaim_dead"] = True
+            metadata["dead_rows"] = [
+                t.hash_size - t.live_rows for t in inputs.tables
+            ]
+        return ShardingPlan(
+            strategy=self.name, placements=placements, metadata=metadata
+        )
+
+    # ------------------------------------------------------------------
+    def _waterfill(self, states: list[_TableState], budget: int) -> None:
+        """Spend the aggregate HBM budget on the densest ICDF steps."""
+        remaining = budget
+        heap: list[tuple[float, int]] = []
+
+        def push(state: _TableState) -> None:
+            delta = state.next_step_delta()
+            if delta is not None:
+                d_cost, d_bytes = delta
+                density = d_cost / d_bytes if d_bytes else float("inf")
+                heapq.heappush(heap, (-density, state.index))
+
+        for state in states:
+            push(state)
+        while heap and remaining > 0:
+            _, index = heapq.heappop(heap)
+            state = states[index]
+            delta = state.next_step_delta()
+            if delta is None:
+                continue
+            _, d_bytes = delta
+            if d_bytes > remaining:
+                continue  # later (smaller) steps may still fit
+            state.advance()
+            remaining -= d_bytes
+            push(state)
+
+    def _assign(self, states, topology):
+        """LPT placement under per-device HBM and host capacity.
+
+        A device can host a table iff the table's minimum HBM footprint
+        required by the device's remaining host space fits the device's
+        remaining HBM.  The split is shrunk or padded to fit.
+        """
+        num_devices = topology.num_devices
+        loads = [0.0] * num_devices
+        hbm_free = [topology.hbm.capacity_bytes] * num_devices
+        host_free = [topology.uvm.capacity_bytes] * num_devices
+        device_of = [0] * len(states)
+
+        for state in sorted(states, key=lambda s: -s.cost()):
+            chosen = None
+            # First preference: least-loaded device fitting the current split.
+            for device in sorted(range(num_devices), key=lambda m: loads[m]):
+                if (
+                    hbm_free[device] >= state.hbm_bytes
+                    and host_free[device] >= state.host_bytes()
+                ):
+                    chosen = device
+                    break
+            if chosen is None:
+                # Adapt the split.  Feasible devices are those where the
+                # host-driven minimum HBM rows fit the free HBM.
+                feasible = []
+                for device in range(num_devices):
+                    min_rows = state.min_hbm_rows_for_host(host_free[device])
+                    if min_rows * state.inputs.row_bytes <= hbm_free[device]:
+                        feasible.append((device, min_rows))
+                if not feasible:
+                    raise PlanError(
+                        f"{self.name}: table {state.index} fits no device "
+                        "(HBM and host both exhausted)"
+                    )
+                device, min_rows = min(feasible, key=lambda d: loads[d[0]])
+                self._resize_to_fit(state, min_rows, hbm_free[device])
+                chosen = device
+            device_of[state.index] = chosen
+            loads[chosen] += state.cost()
+            hbm_free[chosen] -= state.hbm_bytes
+            host_free[chosen] -= state.host_bytes()
+        return device_of, loads, hbm_free, host_free
+
+    @staticmethod
+    def _resize_to_fit(state: _TableState, min_rows: int, hbm_free: int) -> None:
+        """Adjust the split to ``min_rows <= hbm_rows`` within ``hbm_free``."""
+        max_rows = hbm_free // state.inputs.row_bytes
+        icdf = state.inputs.icdf
+        # Largest grid step within max_rows.
+        step = state.step
+        while step > 0 and math.ceil(icdf.rows[step] - 1e-9) > max_rows:
+            step -= 1
+        state.step = step
+        state.extra_rows = 0
+        if state.grid_rows < min_rows:
+            state.extra_rows = min(min_rows, max_rows) - state.grid_rows
+
+    def _refill(self, states, device_of, hbm_free) -> None:
+        """Spend per-device leftover HBM on that device's own tables."""
+        by_device: dict[int, list[_TableState]] = {}
+        for state in states:
+            by_device.setdefault(device_of[state.index], []).append(state)
+        for device, members in by_device.items():
+            heap: list[tuple[float, int]] = []
+            index_of = {s.index: s for s in members}
+
+            def push(state: _TableState) -> None:
+                delta = state.next_step_delta()
+                if delta is not None:
+                    d_cost, d_bytes = delta
+                    density = d_cost / d_bytes if d_bytes else float("inf")
+                    heapq.heappush(heap, (-density, state.index))
+
+            for state in members:
+                push(state)
+            while heap:
+                _, idx = heapq.heappop(heap)
+                state = index_of[idx]
+                delta = state.next_step_delta()
+                if delta is None:
+                    continue
+                _, d_bytes = delta
+                if d_bytes > hbm_free[device]:
+                    continue
+                state.advance()
+                hbm_free[device] -= d_bytes
+                push(state)
+
+    def _recompute_loads(self, states, device_of, num_devices) -> list[float]:
+        loads = [0.0] * num_devices
+        for state in states:
+            loads[device_of[state.index]] += state.cost()
+        return loads
+
+    def _local_search(self, states, device_of, loads, hbm_free, host_free):
+        """Reduce the makespan by moving or swapping busiest-device tables."""
+        for _ in range(self.refine_rounds):
+            busiest = max(range(len(loads)), key=lambda m: loads[m])
+            if not (
+                self._try_move(states, device_of, loads, hbm_free, host_free, busiest)
+                or self._try_swap(states, device_of, loads, hbm_free, host_free, busiest)
+            ):
+                break
+
+    def _transfer(self, state, src, dst, device_of, loads, hbm_free, host_free):
+        cost = state.cost()
+        device_of[state.index] = dst
+        loads[src] -= cost
+        loads[dst] += cost
+        hbm_free[src] += state.hbm_bytes
+        hbm_free[dst] -= state.hbm_bytes
+        host_free[src] += state.host_bytes()
+        host_free[dst] -= state.host_bytes()
+
+    def _try_move(self, states, device_of, loads, hbm_free, host_free, busiest):
+        """One table off the busiest device, if the makespan improves."""
+        members = sorted(
+            (s for s in states if device_of[s.index] == busiest),
+            key=lambda s: -s.cost(),
+        )
+        others = sorted(
+            (m for m in range(len(loads)) if m != busiest),
+            key=lambda m: loads[m],
+        )
+        for state in members:
+            cost = state.cost()
+            if cost <= 0:
+                continue
+            for target in others:
+                fits = (
+                    hbm_free[target] >= state.hbm_bytes
+                    and host_free[target] >= state.host_bytes()
+                )
+                better = (
+                    max(loads[busiest] - cost, loads[target] + cost)
+                    < loads[busiest]
+                )
+                if fits and better:
+                    self._transfer(
+                        state, busiest, target, device_of, loads, hbm_free, host_free
+                    )
+                    return True
+        return False
+
+    def _try_swap(self, states, device_of, loads, hbm_free, host_free, busiest):
+        """Exchange a costly busiest-device table for a cheaper one."""
+        members = sorted(
+            (s for s in states if device_of[s.index] == busiest),
+            key=lambda s: -s.cost(),
+        )
+        others = sorted(
+            (m for m in range(len(loads)) if m != busiest),
+            key=lambda m: loads[m],
+        )
+        for mine in members:
+            my_cost = mine.cost()
+            if my_cost <= 0:
+                continue
+            for target in others:
+                for theirs in states:
+                    if device_of[theirs.index] != target:
+                        continue
+                    their_cost = theirs.cost()
+                    if their_cost >= my_cost:
+                        continue
+                    new_busy = loads[busiest] - my_cost + their_cost
+                    new_target = loads[target] + my_cost - their_cost
+                    if max(new_busy, new_target) >= loads[busiest] - 1e-12:
+                        continue
+                    hbm_ok = (
+                        hbm_free[target] + theirs.hbm_bytes >= mine.hbm_bytes
+                        and hbm_free[busiest] + mine.hbm_bytes >= theirs.hbm_bytes
+                    )
+                    host_ok = (
+                        host_free[target] + theirs.host_bytes() >= mine.host_bytes()
+                        and host_free[busiest] + mine.host_bytes() >= theirs.host_bytes()
+                    )
+                    if not (hbm_ok and host_ok):
+                        continue
+                    self._transfer(
+                        theirs, target, busiest, device_of, loads, hbm_free, host_free
+                    )
+                    self._transfer(
+                        mine, busiest, target, device_of, loads, hbm_free, host_free
+                    )
+                    return True
+        return False

@@ -1,0 +1,293 @@
+"""RecShard's MILP formulation (Section 4.2, Constraints 1-12).
+
+Decision structure, following Table 1 and the paper's constraints:
+
+* ``p[m][j]`` — binary: table *j* is assigned to GPU *m* (Constraints 2-3).
+* ``pct[j]`` — fraction of table *j*'s accesses served from HBM
+  (Constraint 5's split point).
+* ``mem[j]`` — HBM bytes needed to cover ``pct[j]`` of accesses, derived
+  from the inverse value-frequency CDF (Constraint 4).
+* Per-GPU HBM and host-DRAM capacity limits (Constraints 9-10).
+* Per-table cost ``c_j`` combining HBM- and UVM-served access fractions
+  with the tier bandwidths (Constraint 11), weighted by coverage and
+  summed per GPU (Constraint 12); the objective minimizes the maximum
+  per-GPU cost ``C`` (Constraint 1).
+
+Two encodings of the ICDF are provided:
+
+* ``"step"`` — the paper's: one binary ``x[i][j]`` per ICDF step
+  (Constraints 4-7).
+* ``"convex"`` — equivalent, exploiting that every descending-frequency
+  ICDF is convex: ``mem[j]`` is bounded below by the chords of the
+  sampled ICDF, eliminating the per-step binaries.  See
+  :meth:`repro.stats.cdf.PiecewiseICDF.convex_cuts`.
+
+The per-GPU capacity and cost terms multiply the binary ``p[m][j]`` with
+the continuous ``pct[j]`` / ``mem[j]``; these bilinear products are
+linearized exactly with the standard bounded-product constraints
+(``w = p * pct``, ``u = p * mem``), which is what a commercial solver
+does internally for such terms.
+
+Units: memory in MiB, time in milliseconds — this keeps the constraint
+matrix well-scaled for HiGHS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.model import ModelSpec
+from repro.memory.topology import SystemTopology
+from repro.milp.model import LinExpr, Model, Var, lin_sum
+from repro.stats.cdf import PiecewiseICDF
+from repro.stats.profiler import ModelProfile
+
+MIB = 2**20
+_MS = 1e3  # seconds -> milliseconds
+
+
+@dataclass(frozen=True)
+class TableInputs:
+    """Everything the MILP needs to know about one embedding table."""
+
+    name: str
+    row_bytes: int
+    hash_size: int
+    live_rows: int
+    icdf: PiecewiseICDF
+    avg_pooling: float
+    coverage: float
+    total_accesses: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.hash_size * self.row_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        return self.live_rows * self.row_bytes
+
+
+@dataclass(frozen=True)
+class RecShardInputs:
+    """MILP inputs for a whole model."""
+
+    tables: tuple[TableInputs, ...]
+
+    @classmethod
+    def from_profile(
+        cls, model: ModelSpec, profile: ModelProfile, steps: int = 100
+    ) -> "RecShardInputs":
+        """Derive inputs from a model spec plus its training-data profile."""
+        if len(profile) != model.num_tables:
+            raise ValueError(
+                f"profile has {len(profile)} tables, model has {model.num_tables}"
+            )
+        tables = []
+        for spec, stats in zip(model.tables, profile):
+            tables.append(
+                TableInputs(
+                    name=spec.name,
+                    row_bytes=spec.row_bytes,
+                    hash_size=spec.num_rows,
+                    live_rows=stats.cdf.live_rows,
+                    icdf=stats.cdf.icdf_points(steps),
+                    avg_pooling=stats.avg_pooling,
+                    coverage=stats.coverage,
+                    total_accesses=stats.total_accesses,
+                )
+            )
+        return cls(tables=tuple(tables))
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
+@dataclass
+class FormulationHandles:
+    """The built model plus the variables needed to extract a plan."""
+
+    model: Model
+    assign: list[list[Var]]  # assign[m][j] == p_mj
+    pct: list[Var]  # pct[j], HBM-served access fraction
+    mem: list[Var]  # mem[j], HBM MiB
+    max_cost: Var  # C, the minimized makespan (ms)
+    device_costs: list[LinExpr]  # c_m expressions (ms)
+
+
+def build_milp(
+    inputs: RecShardInputs,
+    topology: SystemTopology,
+    batch_size: int,
+    formulation: str = "convex",
+    use_coverage: bool = True,
+    use_pooling: bool = True,
+    reclaim_dead: bool = False,
+    symmetry_breaking: bool = True,
+) -> FormulationHandles:
+    """Build the two-tier RecShard MILP.
+
+    Args:
+        inputs: per-table statistics.
+        topology: two-tier (HBM + UVM) system.
+        batch_size: training batch size ``B`` (Constraint 11).
+        formulation: ``"convex"`` (default) or ``"step"`` (paper-faithful).
+        use_coverage: when False, coverage is treated as 1 for every
+            table (the Table 6 ablation).
+        use_pooling: when False, the average pooling factor is treated
+            as 1 for every table (the Table 6 ablation).
+        reclaim_dead: when True, rows never observed in the profile are
+            not charged against UVM capacity (Section 3.4's reclaim).
+        symmetry_breaking: order per-GPU costs to break device symmetry,
+            which speeds up branch and bound on homogeneous nodes.
+    """
+    if topology.num_tiers != 2:
+        raise ValueError(
+            "build_milp targets the two-tier hierarchy; use MultiTierSharder "
+            f"for {topology.num_tiers} tiers"
+        )
+    if formulation not in ("convex", "step"):
+        raise ValueError(f"unknown formulation {formulation!r}")
+
+    num_devices = topology.num_devices
+    num_tables = len(inputs)
+    cap_hbm_mib = topology.hbm.capacity_bytes / MIB
+    cap_host_mib = topology.uvm.capacity_bytes / MIB
+    inv_bw_hbm = 1.0 / topology.hbm.bandwidth
+    inv_bw_uvm = 1.0 / topology.uvm.bandwidth
+
+    model = Model("recshard")
+    max_cost = model.continuous_var(lb=0.0, name="C")
+
+    # p_mj: table -> GPU assignment (Constraints 2-3).
+    assign = [
+        [model.binary_var(name=f"p[{m}][{j}]") for j in range(num_tables)]
+        for m in range(num_devices)
+    ]
+    for j in range(num_tables):
+        model.add(
+            lin_sum(assign[m][j] for m in range(num_devices)) == 1,
+            name=f"assign_once[{j}]",
+        )
+
+    pct: list[Var] = []
+    mem: list[Var] = []
+    for j, table in enumerate(inputs.tables):
+        live_mib = table.live_bytes / MIB
+        has_accesses = table.total_accesses > 0
+        pct_j = model.continuous_var(
+            lb=0.0, ub=1.0 if has_accesses else 0.0, name=f"pct[{j}]"
+        )
+        mem_j = model.continuous_var(lb=0.0, ub=live_mib, name=f"mem[{j}]")
+        pct.append(pct_j)
+        mem.append(mem_j)
+        if not has_accesses:
+            model.add(mem_j <= 0.0, name=f"mem_zero[{j}]")
+            continue
+        row_mib = table.row_bytes / MIB
+        if formulation == "convex":
+            # mem >= every chord of the sampled ICDF; the chords' upper
+            # envelope equals the piecewise-linear ICDF (convexity).
+            for k, (slope, intercept) in enumerate(table.icdf.convex_cuts()):
+                model.add(
+                    mem_j >= pct_j * (slope * row_mib) + intercept * row_mib,
+                    name=f"icdf_cut[{j}][{k}]",
+                )
+        else:
+            # The paper's step binaries (Constraints 4-7).
+            steps = table.icdf.steps
+            x = [model.binary_var(name=f"x[{i}][{j}]") for i in range(steps + 1)]
+            model.add(lin_sum(x) == 1, name=f"one_step[{j}]")
+            model.add(
+                lin_sum(
+                    x[i] * float(table.icdf.fractions[i]) for i in range(steps + 1)
+                )
+                == pct_j,
+                name=f"step_pct[{j}]",
+            )
+            model.add(
+                lin_sum(
+                    x[i] * (float(table.icdf.rows[i]) * row_mib)
+                    for i in range(steps + 1)
+                )
+                == mem_j,
+                name=f"step_mem[{j}]",
+            )
+
+    # Linearized products w = p * pct and u = p * mem, then capacity and
+    # cost constraints per device.
+    device_costs: list[LinExpr] = []
+    for m in range(num_devices):
+        hbm_terms: list = []
+        host_terms: list = []
+        cost_terms: list = []
+        for j, table in enumerate(inputs.tables):
+            p_mj = assign[m][j]
+            live_mib = table.live_bytes / MIB
+            uvm_charge_mib = (
+                table.live_bytes if reclaim_dead else table.total_bytes
+            ) / MIB
+
+            u_mj = model.continuous_var(lb=0.0, ub=live_mib, name=f"u[{m}][{j}]")
+            model.add(u_mj <= p_mj * live_mib, name=f"u_on[{m}][{j}]")
+            model.add(u_mj <= mem[j] + 0.0, name=f"u_mem[{m}][{j}]")
+            model.add(
+                u_mj >= mem[j] - (1.0 - p_mj) * live_mib, name=f"u_lb[{m}][{j}]"
+            )
+            hbm_terms.append(u_mj)
+            host_terms.append(p_mj * uvm_charge_mib - u_mj)
+
+            if table.total_accesses <= 0:
+                continue
+            w_mj = model.continuous_var(lb=0.0, ub=1.0, name=f"w[{m}][{j}]")
+            model.add(w_mj <= p_mj + 0.0, name=f"w_on[{m}][{j}]")
+            model.add(w_mj <= pct[j] + 0.0, name=f"w_pct[{m}][{j}]")
+            model.add(w_mj >= pct[j] + p_mj - 1.0, name=f"w_lb[{m}][{j}]")
+
+            # Constraint 11: per-step demand (pool * dim * bytes * B),
+            # split between HBM and UVM by the chosen access fractions.
+            pooling = table.avg_pooling if use_pooling else 1.0
+            coverage = table.coverage if use_coverage else 1.0
+            demand_bytes = pooling * table.row_bytes * batch_size
+            weight = coverage * demand_bytes * _MS
+            # p*c_j = weight * (w/BW_hbm + (p - w)/BW_uvm)
+            cost_terms.append(w_mj * (weight * (inv_bw_hbm - inv_bw_uvm)))
+            cost_terms.append(p_mj * (weight * inv_bw_uvm))
+
+        model.add(lin_sum(hbm_terms) <= cap_hbm_mib, name=f"cap_hbm[{m}]")
+        model.add(lin_sum(host_terms) <= cap_host_mib, name=f"cap_host[{m}]")
+        cost_m = lin_sum(cost_terms)
+        device_costs.append(cost_m)
+        model.add(cost_m <= max_cost + 0.0, name=f"makespan[{m}]")  # Constraint 1
+
+    if symmetry_breaking:
+        # Devices are interchangeable; forcing non-increasing cost order
+        # removes the M! permutation symmetry from the search tree.
+        for m in range(num_devices - 1):
+            model.add(
+                device_costs[m] >= device_costs[m + 1], name=f"sym[{m}]"
+            )
+
+    # Primary objective: the makespan C (Constraint 1).  A vanishing
+    # secondary term rewards HBM coverage on non-critical devices, which
+    # the makespan alone leaves unconstrained (solver indifference would
+    # otherwise strand free HBM).
+    total_cost_scale = sum(
+        (t.coverage if use_coverage else 1.0)
+        * (t.avg_pooling if use_pooling else 1.0)
+        * t.row_bytes
+        * batch_size
+        * _MS
+        * inv_bw_uvm
+        for t in inputs.tables
+    )
+    epsilon = 1e-6 * max(total_cost_scale, 1e-12) / max(1, num_tables)
+    model.minimize(max_cost - epsilon * lin_sum(pct))
+    return FormulationHandles(
+        model=model,
+        assign=assign,
+        pct=pct,
+        mem=mem,
+        max_cost=max_cost,
+        device_costs=device_costs,
+    )

@@ -1,0 +1,377 @@
+"""Multi-tier extension of RecShard (Section 4.4).
+
+Each additional memory tier is "a new point on each EMB's CDF": a table
+splits at ``T - 1`` boundaries of its ICDF, the hottest block going to
+the fastest tier.  Two solving methods are provided:
+
+* ``"milp"`` — the paper-faithful step formulation generalized to T
+  tiers (one binary per ICDF step per boundary); exact but intended for
+  small instances.
+* ``"greedy"`` — sequential per-tier waterfill plus LPT assignment,
+  scaling to full-size models (same machinery as
+  :class:`~repro.core.fast.RecShardFastSharder`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.core.formulation import MIB, RecShardInputs
+from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.memory.topology import SystemTopology
+from repro.milp.model import Model, lin_sum
+
+_MS = 1e3
+
+
+class MultiTierSharder:
+    """RecShard generalized to hierarchies with more than two tiers."""
+
+    def __init__(
+        self,
+        batch_size: int,
+        steps: int = 20,
+        method: str = "greedy",
+        backend: str = "highs",
+        time_limit: float = 60.0,
+        mip_gap: float = 0.02,
+        name: str = "RecShard-multitier",
+    ):
+        if method not in ("greedy", "milp"):
+            raise ValueError(f"unknown method {method!r}")
+        self.batch_size = int(batch_size)
+        self.steps = int(steps)
+        self.method = method
+        self.backend = backend
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+        self.name = name
+
+    def shard(self, model, profile, topology: SystemTopology) -> ShardingPlan:
+        inputs = RecShardInputs.from_profile(model, profile, steps=self.steps)
+        if self.method == "milp":
+            return self._shard_milp(inputs, topology)
+        return self._shard_greedy(inputs, topology)
+
+    # ------------------------------------------------------------------
+    # Greedy: sequential waterfill over tiers, then LPT assignment
+    # ------------------------------------------------------------------
+    def _shard_greedy(self, inputs: RecShardInputs, topology) -> ShardingPlan:
+        num_tiers = topology.num_tiers
+        inv_bw = [1.0 / t.bandwidth for t in topology.tiers]
+        weights = [
+            t.coverage * t.avg_pooling * t.row_bytes * self.batch_size * _MS
+            for t in inputs.tables
+        ]
+        # boundary_steps[j][t] = ICDF step index of boundary t (cumulative).
+        boundary_steps = [[0] * (num_tiers - 1) for _ in inputs.tables]
+
+        for tier in range(num_tiers - 1):
+            budget = topology.tiers[tier].capacity_bytes * topology.num_devices
+            # Bytes already committed to this tier is zero: boundaries are
+            # cumulative, so tier t holds rows between boundaries t-1 and t.
+            heap: list[tuple[float, int]] = []
+
+            def push(j: int) -> None:
+                icdf = inputs.tables[j].icdf
+                step = boundary_steps[j][tier]
+                if step >= icdf.steps or inputs.tables[j].total_accesses <= 0:
+                    return
+                d_frac = float(icdf.fractions[step + 1] - icdf.fractions[step])
+                d_rows = math.ceil(icdf.rows[step + 1] - 1e-9) - math.ceil(
+                    icdf.rows[step] - 1e-9
+                )
+                d_bytes = d_rows * inputs.tables[j].row_bytes
+                gain = weights[j] * d_frac * (inv_bw[tier + 1] - inv_bw[tier])
+                density = gain / d_bytes if d_bytes else float("inf")
+                heapq.heappush(heap, (-density, j))
+
+            lower = [
+                boundary_steps[j][tier - 1] if tier > 0 else 0
+                for j in range(len(inputs.tables))
+            ]
+            for j in range(len(inputs.tables)):
+                boundary_steps[j][tier] = lower[j]
+                push(j)
+            remaining = budget
+            while heap and remaining > 0:
+                _, j = heapq.heappop(heap)
+                icdf = inputs.tables[j].icdf
+                step = boundary_steps[j][tier]
+                if step >= icdf.steps:
+                    continue
+                d_rows = math.ceil(icdf.rows[step + 1] - 1e-9) - math.ceil(
+                    icdf.rows[step] - 1e-9
+                )
+                d_bytes = d_rows * inputs.tables[j].row_bytes
+                if d_bytes > remaining:
+                    continue
+                boundary_steps[j][tier] = step + 1
+                remaining -= d_bytes
+                push(j)
+
+        placements, costs = self._extract(inputs, topology, boundary_steps, weights, inv_bw)
+        device_of = self._assign_lpt(inputs, topology, placements, costs)
+        final = [
+            TablePlacement(p.table_index, device_of[p.table_index], p.rows_per_tier)
+            for p in placements
+        ]
+        return ShardingPlan(
+            strategy=self.name, placements=final, metadata={"solver": "greedy"}
+        )
+
+    def _extract(self, inputs, topology, boundary_steps, weights, inv_bw):
+        """Boundary steps -> per-tier row counts and expected costs."""
+        num_tiers = topology.num_tiers
+        placements = []
+        costs = []
+        for j, table in enumerate(inputs.tables):
+            icdf = table.icdf
+            cum_rows = [
+                math.ceil(icdf.rows[boundary_steps[j][t]] - 1e-9)
+                for t in range(num_tiers - 1)
+            ]
+            rows = []
+            prev = 0
+            for t in range(num_tiers - 1):
+                rows.append(cum_rows[t] - prev)
+                prev = cum_rows[t]
+            rows.append(table.hash_size - prev)  # tail + dead rows
+            placements.append(
+                TablePlacement(table_index=j, device=0, rows_per_tier=tuple(rows))
+            )
+            fracs = [float(icdf.fractions[boundary_steps[j][t]]) for t in range(num_tiers - 1)]
+            fracs.append(1.0)
+            cost = 0.0
+            prev_frac = 0.0
+            for t in range(num_tiers):
+                cost += weights[j] * (fracs[t] - prev_frac) * inv_bw[t] if t < len(fracs) else 0.0
+                prev_frac = fracs[t] if t < len(fracs) else prev_frac
+            costs.append(cost if table.total_accesses > 0 else 0.0)
+        return placements, costs
+
+    def _assign_lpt(self, inputs, topology, placements, costs):
+        """Least-loaded placement under per-device per-tier capacities.
+
+        When no device fits a table's current splits, the splits are
+        demoted tier by tier (rows cascade toward slower tiers) until
+        the device with the most free space can hold the table.
+        """
+        num_devices = topology.num_devices
+        num_tiers = topology.num_tiers
+        loads = [0.0] * num_devices
+        free = [
+            [tier.capacity_bytes for tier in topology.tiers]
+            for _ in range(num_devices)
+        ]
+        device_of = [0] * len(placements)
+        order = sorted(range(len(placements)), key=lambda j: -costs[j])
+        for j in order:
+            placement = placements[j]
+            row_bytes = inputs.tables[j].row_bytes
+            need = [r * row_bytes for r in placement.rows_per_tier]
+            candidates = [
+                m
+                for m in range(num_devices)
+                if all(free[m][t] >= need[t] for t in range(num_tiers))
+            ]
+            if candidates:
+                device = min(candidates, key=lambda m: loads[m])
+            else:
+                # Demote rows toward slower tiers on the roomiest device.
+                device = max(
+                    range(num_devices), key=lambda m: sum(free[m][:-1])
+                )
+                rows = list(placement.rows_per_tier)
+                for t in range(num_tiers - 1):
+                    max_rows = max(0, free[device][t] // row_bytes)
+                    overflow = rows[t] - max_rows
+                    if overflow > 0:
+                        rows[t] -= overflow
+                        rows[t + 1] += overflow
+                if rows[-1] * row_bytes > free[device][-1]:
+                    raise PlanError(
+                        f"multi-tier: table {j} fits no device even after "
+                        "demotion"
+                    )
+                placements[j] = TablePlacement(
+                    table_index=placement.table_index,
+                    device=placement.device,
+                    rows_per_tier=tuple(rows),
+                )
+                need = [r * row_bytes for r in rows]
+            device_of[j] = device
+            loads[device] += costs[j]
+            for t, n in enumerate(need):
+                free[device][t] -= n
+        return device_of
+
+    # ------------------------------------------------------------------
+    # MILP: step formulation generalized to T tiers
+    # ------------------------------------------------------------------
+    def _shard_milp(self, inputs: RecShardInputs, topology) -> ShardingPlan:
+        num_tiers = topology.num_tiers
+        num_devices = topology.num_devices
+        num_boundaries = num_tiers - 1
+        inv_bw = [1.0 / t.bandwidth for t in topology.tiers]
+        caps_mib = [t.capacity_bytes / MIB for t in topology.tiers]
+
+        milp = Model("recshard-multitier")
+        max_cost = milp.continuous_var(lb=0.0, name="C")
+        assign = [
+            [milp.binary_var(name=f"p[{m}][{j}]") for j in range(len(inputs.tables))]
+            for m in range(num_devices)
+        ]
+        for j in range(len(inputs.tables)):
+            milp.add(lin_sum(assign[m][j] for m in range(num_devices)) == 1)
+
+        # Boundary variables per table: q (access fraction) and r (MiB).
+        q_vars: list[list] = []
+        r_vars: list[list] = []
+        for j, table in enumerate(inputs.tables):
+            icdf = table.icdf
+            row_mib = table.row_bytes / MIB
+            q_j, r_j = [], []
+            for b in range(num_boundaries):
+                q = milp.continuous_var(lb=0.0, ub=1.0, name=f"q[{j}][{b}]")
+                r = milp.continuous_var(
+                    lb=0.0, ub=table.live_bytes / MIB, name=f"r[{j}][{b}]"
+                )
+                if table.total_accesses > 0:
+                    x = [
+                        milp.binary_var(name=f"x[{j}][{b}][{i}]")
+                        for i in range(icdf.steps + 1)
+                    ]
+                    milp.add(lin_sum(x) == 1)
+                    milp.add(
+                        lin_sum(
+                            x[i] * float(icdf.fractions[i])
+                            for i in range(icdf.steps + 1)
+                        )
+                        == q
+                    )
+                    milp.add(
+                        lin_sum(
+                            x[i] * (float(icdf.rows[i]) * row_mib)
+                            for i in range(icdf.steps + 1)
+                        )
+                        == r
+                    )
+                else:
+                    milp.add(q <= 0.0)
+                    milp.add(r <= 0.0)
+                q_j.append(q)
+                r_j.append(r)
+            for b in range(num_boundaries - 1):
+                milp.add(q_j[b] <= q_j[b + 1] + 0.0)
+                milp.add(r_j[b] <= r_j[b + 1] + 0.0)
+            q_vars.append(q_j)
+            r_vars.append(r_j)
+
+        for m in range(num_devices):
+            cost_terms = []
+            tier_usage: list[list] = [[] for _ in range(num_tiers)]
+            for j, table in enumerate(inputs.tables):
+                p_mj = assign[m][j]
+                live_mib = table.live_bytes / MIB
+                weight = (
+                    table.coverage
+                    * table.avg_pooling
+                    * table.row_bytes
+                    * self.batch_size
+                    * _MS
+                )
+                # u[t] = p * (r_t - r_{t-1}) per tier; last tier gets the
+                # remainder (live tail plus dead rows).
+                prev_r = None
+                for t in range(num_tiers):
+                    if t < num_boundaries:
+                        mem_expr = (
+                            r_vars[j][t] - prev_r if prev_r is not None else r_vars[j][t]
+                        )
+                        ub = live_mib
+                        u = milp.continuous_var(lb=0.0, ub=ub, name=f"u[{m}][{j}][{t}]")
+                        milp.add(u <= p_mj * ub)
+                        milp.add(u <= mem_expr + 0.0)
+                        milp.add(u >= mem_expr - (1.0 - p_mj) * ub)
+                        tier_usage[t].append(u)
+                        prev_r = r_vars[j][t]
+                    else:
+                        total_mib = table.total_bytes / MIB
+                        # remainder = total - r_{T-2}; charge via p and -u.
+                        u_last = milp.continuous_var(
+                            lb=0.0, ub=total_mib, name=f"u[{m}][{j}][{t}]"
+                        )
+                        last_expr = (
+                            p_mj * total_mib - _times_p(milp, p_mj, prev_r, live_mib)
+                            if prev_r is not None
+                            else p_mj * total_mib
+                        )
+                        milp.add(u_last >= last_expr, name=f"ulast[{m}][{j}]")
+                        tier_usage[t].append(u_last)
+                if table.total_accesses > 0:
+                    # cost = weight * [sum_b w_b (1/bw_b - 1/bw_{b+1}) + p/bw_last]
+                    for b in range(num_boundaries):
+                        w = milp.continuous_var(lb=0.0, ub=1.0, name=f"w[{m}][{j}][{b}]")
+                        milp.add(w <= p_mj + 0.0)
+                        milp.add(w <= q_vars[j][b] + 0.0)
+                        milp.add(w >= q_vars[j][b] + p_mj - 1.0)
+                        cost_terms.append(w * (weight * (inv_bw[b] - inv_bw[b + 1])))
+                    cost_terms.append(p_mj * (weight * inv_bw[-1]))
+            for t in range(num_tiers):
+                milp.add(lin_sum(tier_usage[t]) <= caps_mib[t], name=f"cap[{m}][{t}]")
+            milp.add(lin_sum(cost_terms) <= max_cost + 0.0, name=f"makespan[{m}]")
+
+        milp.minimize(max_cost)
+        result = milp.solve(
+            backend=self.backend, time_limit=self.time_limit, mip_gap=self.mip_gap
+        )
+        if not result.status.has_solution:
+            raise RuntimeError(
+                f"multi-tier MILP produced no incumbent (status={result.status})"
+            )
+
+        placements = []
+        for j, table in enumerate(inputs.tables):
+            device = max(
+                range(num_devices), key=lambda m: result.value(assign[m][j])
+            )
+            cum_rows = []
+            for b in range(num_boundaries):
+                mem_bytes = result.value(r_vars[j][b]) * MIB + 1e-6
+                rows = int(min(mem_bytes // table.row_bytes, table.hash_size))
+                cum_rows.append(rows)
+            cum_rows = [min(r, table.hash_size) for r in cum_rows]
+            for b in range(1, num_boundaries):
+                cum_rows[b] = max(cum_rows[b], cum_rows[b - 1])
+            rows_per_tier = []
+            prev = 0
+            for r in cum_rows:
+                rows_per_tier.append(r - prev)
+                prev = r
+            rows_per_tier.append(table.hash_size - prev)
+            placements.append(
+                TablePlacement(
+                    table_index=j, device=device, rows_per_tier=tuple(rows_per_tier)
+                )
+            )
+        return ShardingPlan(
+            strategy=self.name,
+            placements=placements,
+            metadata={
+                "solver": f"milp/{self.backend}",
+                "objective_ms": result.objective,
+                "solve_seconds": result.solve_time,
+                "milp_status": result.status.value,
+            },
+        )
+
+
+def _times_p(milp: Model, p, var, ub: float):
+    """Auxiliary product p * var for bounded var (standard linearization)."""
+    prod = milp.continuous_var(lb=0.0, ub=ub)
+    milp.add(prod <= p * ub)
+    milp.add(prod <= var + 0.0)
+    milp.add(prod >= var - (1.0 - p) * ub)
+    return prod

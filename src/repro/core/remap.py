@@ -1,0 +1,143 @@
+"""The remapping layer (Section 4.3).
+
+The MILP selects each table's hottest rows for HBM, but those rows sit
+at arbitrary hashed positions.  Embedding storage is contiguous per
+partition, so RecShard builds a per-table remapping table translating
+each hashed index to (tier, offset-within-tier).  For the two-tier case
+the paper packs this into 4 bytes per row using the sign bit: HBM rows
+map to their non-negative HBM offset, UVM rows to ``-(offset + 1)``.
+
+Remapping runs as a data-loading transform (outside the training
+critical path), which :meth:`RemappingLayer.transform` mirrors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import ShardingPlan
+from repro.data.batch import JaggedBatch, JaggedFeature
+
+
+class RemappingTable:
+    """Index remapping for one table.
+
+    Args:
+        row_order: all row ids ranked by descending access frequency
+            (from the profile's :class:`~repro.stats.cdf.FrequencyCDF`).
+        rows_per_tier: how many of the ranked rows go to each tier, in
+            tier order; must sum to the table's row count.
+    """
+
+    def __init__(self, row_order: np.ndarray, rows_per_tier: tuple[int, ...]):
+        row_order = np.asarray(row_order, dtype=np.int64)
+        hash_size = row_order.size
+        if sum(rows_per_tier) != hash_size:
+            raise ValueError(
+                f"rows_per_tier sums to {sum(rows_per_tier)}, expected {hash_size}"
+            )
+        self.hash_size = hash_size
+        self.rows_per_tier = tuple(int(r) for r in rows_per_tier)
+        self.num_tiers = len(rows_per_tier)
+
+        self.tier_of_row = np.empty(hash_size, dtype=np.uint8)
+        self.offset_of_row = np.empty(hash_size, dtype=np.int64)
+        self._tier_rows: list[np.ndarray] = []
+        start = 0
+        for tier_index, rows in enumerate(self.rows_per_tier):
+            block = row_order[start : start + rows]
+            self.tier_of_row[block] = tier_index
+            self.offset_of_row[block] = np.arange(rows, dtype=np.int64)
+            self._tier_rows.append(block)
+            start += rows
+
+    # ------------------------------------------------------------------
+    # Forward mapping
+    # ------------------------------------------------------------------
+    def apply(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map hashed indices to (tier ids, offsets within tier)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.tier_of_row[indices], self.offset_of_row[indices]
+
+    def apply_signed(self, indices: np.ndarray) -> np.ndarray:
+        """Two-tier packed mapping: HBM -> offset, UVM -> -(offset + 1)."""
+        if self.num_tiers != 2:
+            raise ValueError(
+                f"signed remapping needs exactly 2 tiers, have {self.num_tiers}"
+            )
+        tiers, offsets = self.apply(indices)
+        return np.where(tiers == 0, offsets, -(offsets + 1))
+
+    def tier_counts(self, indices: np.ndarray) -> np.ndarray:
+        """How many of ``indices`` land on each tier (access accounting)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.zeros(self.num_tiers, dtype=np.int64)
+        return np.bincount(self.tier_of_row[indices], minlength=self.num_tiers)
+
+    # ------------------------------------------------------------------
+    # Inverse mapping
+    # ------------------------------------------------------------------
+    def original_row(self, tier: int, offset: int) -> int:
+        """Hashed row id stored at (tier, offset) — inverse of apply()."""
+        return int(self._tier_rows[tier][offset])
+
+    def decode_signed(self, signed: np.ndarray) -> np.ndarray:
+        """Invert :meth:`apply_signed` back to hashed indices."""
+        signed = np.asarray(signed, dtype=np.int64)
+        hashed = np.empty_like(signed)
+        hbm = signed >= 0
+        if hbm.any():
+            hashed[hbm] = self._tier_rows[0][signed[hbm]]
+        if (~hbm).any():
+            hashed[~hbm] = self._tier_rows[1][-(signed[~hbm]) - 1]
+        return hashed
+
+    @property
+    def storage_bytes(self) -> int:
+        """Deployment cost of this table's mapping: 4 bytes per row
+        (Section 6.6 — the sign encodes the partition)."""
+        return 4 * self.hash_size
+
+
+class RemappingLayer:
+    """All remapping tables of a plan, applied as a batch transform."""
+
+    def __init__(self, tables: list[RemappingTable]):
+        self.tables = tables
+
+    @classmethod
+    def from_plan(cls, plan: ShardingPlan, profile) -> "RemappingLayer":
+        """Build from a plan plus the profile that defines row rankings."""
+        if len(profile) != len(plan):
+            raise ValueError(
+                f"profile covers {len(profile)} tables, plan {len(plan)}"
+            )
+        tables = [
+            RemappingTable(profile[p.table_index].cdf.row_order, p.rows_per_tier)
+            for p in plan
+        ]
+        return cls(tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __getitem__(self, index: int) -> RemappingTable:
+        return self.tables[index]
+
+    def transform(self, batch: JaggedBatch) -> JaggedBatch:
+        """Remap a batch to signed storage indices (two-tier plans)."""
+        if batch.num_features != len(self.tables):
+            raise ValueError(
+                f"batch has {batch.num_features} features, layer has "
+                f"{len(self.tables)}"
+            )
+        remapped = [
+            JaggedFeature(table.apply_signed(feature.values), feature.offsets)
+            for table, feature in zip(self.tables, batch)
+        ]
+        return JaggedBatch(remapped)
+
+    @property
+    def storage_bytes(self) -> int:
+        return sum(t.storage_bytes for t in self.tables)

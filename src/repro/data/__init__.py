@@ -1,0 +1,46 @@
+"""Synthetic training-data substrate.
+
+The paper profiles Meta production traces; those are not available, so
+this package generates statistically equivalent synthetic data: per-
+feature Zipf categorical distributions (Section 3.1), long-tailed pooling
+factor distributions (Section 3.2), per-feature coverage (Section 3.3),
+temporal drift (Section 3.5, Figure 9), and the RM1/RM2/RM3 model specs
+of Table 2 at a configurable row scale.
+"""
+
+from repro.data.batch import JaggedBatch
+from repro.data.distributions import (
+    LogNormalPooling,
+    UniformCategorical,
+    ZipfCategorical,
+)
+from repro.data.feature import FeatureKind, SparseFeatureSpec
+from repro.data.model import (
+    EmbeddingTableSpec,
+    ModelSpec,
+    generate_feature_population,
+    rm1,
+    rm2,
+    rm3,
+)
+from repro.data.synthetic import TraceGenerator
+from repro.data.drift import DriftModel
+from repro.data import trends
+
+__all__ = [
+    "DriftModel",
+    "EmbeddingTableSpec",
+    "FeatureKind",
+    "JaggedBatch",
+    "LogNormalPooling",
+    "ModelSpec",
+    "SparseFeatureSpec",
+    "TraceGenerator",
+    "UniformCategorical",
+    "ZipfCategorical",
+    "generate_feature_population",
+    "rm1",
+    "rm2",
+    "rm3",
+    "trends",
+]

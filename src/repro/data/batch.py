@@ -1,0 +1,128 @@
+"""Jagged batch structure for multi-hot sparse features.
+
+A training batch holds, per feature, a variable number of (hashed)
+embedding indices per sample.  We store each feature as a flat ``values``
+array plus an ``offsets`` array of length ``batch_size + 1`` — the same
+representation as TorchRec's KeyedJaggedTensor and FBGEMM's table-batched
+embedding input.  A NULL feature sample (Figure 3's sparse feature B) is
+a zero-length segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class JaggedFeature:
+    """One feature's slice of a batch: flat values plus segment offsets."""
+
+    values: np.ndarray  # int64 indices, shape (total_lookups,)
+    offsets: np.ndarray  # int64, shape (batch_size + 1,), non-decreasing
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=np.int64)
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise ValueError("offsets must be a 1-D array of length batch_size + 1")
+        if self.offsets[0] != 0 or self.offsets[-1] != self.values.size:
+            raise ValueError(
+                "offsets must start at 0 and end at len(values); got "
+                f"[{self.offsets[0]}, {self.offsets[-1]}] for {self.values.size} values"
+            )
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+
+    @property
+    def batch_size(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-sample pooling factors (0 marks a NULL sample)."""
+        return np.diff(self.offsets)
+
+    @property
+    def total_lookups(self) -> int:
+        return int(self.values.size)
+
+    def sample(self, index: int) -> np.ndarray:
+        """The indices of one sample (possibly empty)."""
+        return self.values[self.offsets[index] : self.offsets[index + 1]]
+
+    def take(self, sample_indices: np.ndarray) -> "JaggedFeature":
+        """Sub-batch restricted to ``sample_indices`` (used by 1% sampling)."""
+        sample_indices = np.asarray(sample_indices, dtype=np.int64)
+        lengths = self.lengths[sample_indices]
+        new_offsets = np.zeros(sample_indices.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_offsets[1:])
+        if self.values.size:
+            starts = self.offsets[sample_indices]
+            gather = _ranges(starts, lengths)
+            new_values = self.values[gather]
+        else:
+            new_values = np.empty(0, dtype=np.int64)
+        return JaggedFeature(new_values, new_offsets)
+
+    @classmethod
+    def from_lists(cls, per_sample: list[list[int]]) -> "JaggedFeature":
+        """Build from a list of per-sample index lists (tests, examples)."""
+        lengths = np.array([len(s) for s in per_sample], dtype=np.int64)
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values = np.fromiter(
+            (v for sample in per_sample for v in sample),
+            dtype=np.int64,
+            count=int(lengths.sum()),
+        )
+        return cls(values, offsets)
+
+
+def _ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(start, start+length)`` runs without Python loops."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Standard trick: cumulative index minus per-run base correction.
+    ends = np.cumsum(lengths)
+    index = np.arange(total, dtype=np.int64)
+    run_id = np.searchsorted(ends, index, side="right")
+    run_start_pos = np.concatenate(([0], ends[:-1]))
+    return starts[run_id] + (index - run_start_pos[run_id])
+
+
+@dataclass
+class JaggedBatch:
+    """A full training batch: one :class:`JaggedFeature` per sparse feature."""
+
+    features: list[JaggedFeature]
+
+    def __post_init__(self):
+        if self.features:
+            sizes = {f.batch_size for f in self.features}
+            if len(sizes) != 1:
+                raise ValueError(f"features disagree on batch size: {sorted(sizes)}")
+
+    @property
+    def batch_size(self) -> int:
+        return self.features[0].batch_size if self.features else 0
+
+    @property
+    def num_features(self) -> int:
+        return len(self.features)
+
+    @property
+    def total_lookups(self) -> int:
+        return sum(f.total_lookups for f in self.features)
+
+    def take(self, sample_indices: np.ndarray) -> "JaggedBatch":
+        """Sub-batch over the given sample indices, across all features."""
+        return JaggedBatch([f.take(sample_indices) for f in self.features])
+
+    def __iter__(self):
+        return iter(self.features)
+
+    def __getitem__(self, feature_index: int) -> JaggedFeature:
+        return self.features[feature_index]

@@ -1,0 +1,102 @@
+"""Sparse feature specifications.
+
+A sparse feature is described by the statistics the paper characterizes:
+its categorical value distribution (cardinality + Zipf strength), its
+pooling factor distribution, its coverage, and the hashing configuration
+that turns raw categorical values into embedding table indices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.data.distributions import LogNormalPooling, ZipfCategorical
+from repro.hashing.hashers import SplitMix64Hasher
+
+
+class FeatureKind(enum.Enum):
+    """Feature families from Figure 9 (they drift differently over time)."""
+
+    USER = "user"
+    CONTENT = "content"
+
+
+@dataclass(frozen=True)
+class SparseFeatureSpec:
+    """Statistical description of one sparse feature.
+
+    Attributes:
+        name: feature identifier.
+        cardinality: size of the raw categorical value space.
+        hash_size: embedding table row count the raw space is hashed into.
+        alpha: Zipf exponent of the categorical value distribution.
+        avg_pooling: mean pooling factor (hot indices per present sample).
+        pooling_sigma: log-normal spread of the pooling factor.
+        coverage: probability the feature is present in a random sample.
+        kind: user/content family (drives temporal drift).
+        hash_seed: seed of the feature's hash function.
+    """
+
+    name: str
+    cardinality: int
+    hash_size: int
+    alpha: float
+    avg_pooling: float
+    pooling_sigma: float = 0.75
+    coverage: float = 1.0
+    kind: FeatureKind = FeatureKind.CONTENT
+    hash_seed: int = 0
+
+    def __post_init__(self):
+        if self.cardinality < 1:
+            raise ValueError(f"{self.name}: cardinality must be >= 1")
+        if self.hash_size < 1:
+            raise ValueError(f"{self.name}: hash_size must be >= 1")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError(f"{self.name}: coverage must be in [0, 1]")
+        if self.avg_pooling < 1:
+            raise ValueError(f"{self.name}: avg_pooling must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived distributions (constructed on demand; specs stay frozen)
+    # ------------------------------------------------------------------
+    def value_distribution(self) -> ZipfCategorical:
+        return ZipfCategorical(self.cardinality, self.alpha)
+
+    def pooling_distribution(self) -> LogNormalPooling:
+        return LogNormalPooling(self.avg_pooling, self.pooling_sigma)
+
+    def hasher(self) -> SplitMix64Hasher:
+        return SplitMix64Hasher(self.hash_seed)
+
+    def hash_values(self, raw_values: np.ndarray) -> np.ndarray:
+        """Map raw categorical values into ``[0, hash_size)``."""
+        return self.hasher().hash_into(raw_values, self.hash_size)
+
+    def post_hash_pmf(self) -> np.ndarray:
+        """Access probability of each embedding row, post-hash.
+
+        Pushes the Zipf pmf over raw values through the feature's hash
+        function.  Rows that no raw value maps to get probability zero —
+        these are the dead rows of Section 3.4.
+        """
+        raw_pmf = self.value_distribution().pmf
+        hashed = self.hash_values(np.arange(self.cardinality, dtype=np.int64))
+        pmf = np.zeros(self.hash_size, dtype=np.float64)
+        np.add.at(pmf, hashed, raw_pmf)
+        return pmf
+
+    def expected_lookups_per_sample(self) -> float:
+        """Expected EMB rows touched per training sample (bandwidth proxy)."""
+        return self.coverage * self.avg_pooling
+
+    def scaled_hash_size(self, factor: float) -> "SparseFeatureSpec":
+        """Copy of this spec with the hash size scaled by ``factor``."""
+        return replace(self, hash_size=max(1, int(round(self.hash_size * factor))))
+
+    def with_pooling(self, avg_pooling: float) -> "SparseFeatureSpec":
+        """Copy of this spec with a different mean pooling factor."""
+        return replace(self, avg_pooling=float(avg_pooling))

@@ -1,0 +1,91 @@
+"""Synthetic trace generation.
+
+Produces an endless stream of :class:`~repro.data.batch.JaggedBatch`
+training batches whose per-feature statistics follow the model spec: each
+feature appears with its coverage probability, draws a pooling factor
+from its pooling distribution, and draws that many (hashed) embedding
+indices from its post-hash access distribution.
+
+Indices are sampled directly from the post-hash distribution (the raw
+Zipf pmf pushed through the feature's hash function, cached per feature)
+— statistically identical to sampling raw values and hashing each one,
+but without holding multi-million-entry raw CDFs resident.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.batch import JaggedBatch, JaggedFeature
+from repro.data.model import ModelSpec
+
+
+class _FeatureSampler:
+    """Cached per-feature sampling state."""
+
+    __slots__ = ("coverage", "pooling", "post_hash_cdf")
+
+    def __init__(self, feature):
+        self.coverage = feature.coverage
+        self.pooling = feature.pooling_distribution()
+        cdf = np.cumsum(feature.post_hash_pmf())
+        cdf[-1] = 1.0
+        self.post_hash_cdf = cdf
+
+    def sample_feature(self, batch_size: int, rng: np.random.Generator) -> JaggedFeature:
+        present = rng.random(batch_size) < self.coverage
+        lengths = np.zeros(batch_size, dtype=np.int64)
+        num_present = int(present.sum())
+        if num_present:
+            lengths[present] = self.pooling.sample(num_present, rng)
+        offsets = np.zeros(batch_size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        if total:
+            uniforms = rng.random(total)
+            values = np.searchsorted(self.post_hash_cdf, uniforms, side="right")
+            values = values.astype(np.int64)
+        else:
+            values = np.empty(0, dtype=np.int64)
+        return JaggedFeature(values, offsets)
+
+
+class TraceGenerator:
+    """Generates synthetic training batches for a :class:`ModelSpec`.
+
+    Args:
+        model: the model spec whose features drive generation.
+        batch_size: samples per batch.
+        seed: RNG seed; a given (model, seed) pair replays identically.
+    """
+
+    def __init__(self, model: ModelSpec, batch_size: int, seed: int = 0):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self._samplers = [_FeatureSampler(t.feature) for t in model.tables]
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Rewind the stream to its first batch."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def next_batch(self) -> JaggedBatch:
+        return JaggedBatch(
+            [s.sample_feature(self.batch_size, self._rng) for s in self._samplers]
+        )
+
+    def batches(self, count: int) -> Iterator[JaggedBatch]:
+        """Yield ``count`` consecutive batches."""
+        for _ in range(count):
+            yield self.next_batch()
+
+    def expected_lookups_per_batch(self) -> float:
+        """Expected total embedding rows touched per batch (all features)."""
+        return self.batch_size * sum(
+            t.feature.expected_lookups_per_sample() for t in self.model.tables
+        )

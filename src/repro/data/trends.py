@@ -1,0 +1,91 @@
+"""Historical growth trends behind Figure 1.
+
+Figure 1 motivates the paper: 2017-2021 DLRM memory capacity demand grew
+16x and bandwidth demand ~30x, while GPU HBM capacity grew <6x and
+HBM/interconnect bandwidth ~2x.  The GPU hardware specifications are
+public datasheet numbers; the model-demand series are reconstructed to
+match the figure's annotated endpoints (the paper does not tabulate the
+intermediate years), growing geometrically between the 2017 baseline and
+the published 2021 multiples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+YEARS = (2017, 2018, 2019, 2020, 2021)
+
+# Annotated endpoints from Figure 1.
+MODEL_CAPACITY_GROWTH_2021 = 16.0  # "grown by 16 times"
+MODEL_EMB_ROWS_GROWTH_2021 = 16.0  # EMB rows track total capacity (>99% of it)
+MODEL_BANDWIDTH_GROWTH_2021 = 28.35  # annotated in Figure 1b
+HBM_BANDWIDTH_GROWTH = 2.26  # V100 -> A100 80GB, annotated
+INTERCONNECT_GROWTH = 2.0  # NVLink 2.0 -> 3.0, annotated
+
+
+@dataclass(frozen=True)
+class GpuGeneration:
+    """Public datasheet specs for the accelerators in Figure 1."""
+
+    name: str
+    year: int
+    hbm_gb: int
+    hbm_bw_gbs: float
+
+
+GPU_GENERATIONS = (
+    GpuGeneration("P100", 2016, 16, 732.0),
+    GpuGeneration("V100", 2017, 16, 900.0),
+    GpuGeneration("A100 (40GB)", 2020, 40, 1555.0),
+    GpuGeneration("A100 (80GB)", 2021, 80, 2039.0),
+)
+
+NVLINK_BW_GBS = {"NVLINK1.0": 160.0, "NVLINK2.0": 300.0, "NVLINK3.0": 600.0}
+
+
+def _geometric_series(end_multiple: float, num_points: int = len(YEARS)) -> list[float]:
+    """Growth normalized to 1.0 at the first year, geometric to the end."""
+    ratio = end_multiple ** (1.0 / (num_points - 1))
+    return [ratio**i for i in range(num_points)]
+
+
+def capacity_growth() -> dict:
+    """Figure 1a series: model capacity, EMB rows, and GPU HBM (normalized)."""
+    hbm_by_year = []
+    baseline = None
+    for year in YEARS:
+        best = max(
+            (g.hbm_gb for g in GPU_GENERATIONS if g.year <= year), default=0
+        )
+        if baseline is None:
+            baseline = best
+        hbm_by_year.append(best / baseline)
+    return {
+        "years": list(YEARS),
+        "model_capacity": _geometric_series(MODEL_CAPACITY_GROWTH_2021),
+        "emb_rows": _geometric_series(MODEL_EMB_ROWS_GROWTH_2021),
+        "gpu_hbm_capacity": hbm_by_year,
+    }
+
+
+def bandwidth_growth() -> dict:
+    """Figure 1b series: model bandwidth demand vs hardware bandwidth."""
+    return {
+        "years": list(YEARS),
+        "model_bandwidth": _geometric_series(MODEL_BANDWIDTH_GROWTH_2021),
+        "hbm_bw_gbs": [g.hbm_bw_gbs for g in GPU_GENERATIONS],
+        "hbm_generations": [g.name for g in GPU_GENERATIONS],
+        "interconnect_bw_gbs": dict(NVLINK_BW_GBS),
+    }
+
+
+def summary() -> dict:
+    """The headline multiples the paper quotes from Figure 1."""
+    capacity = capacity_growth()
+    return {
+        "model_capacity_growth": MODEL_CAPACITY_GROWTH_2021,
+        "gpu_hbm_capacity_growth": capacity["gpu_hbm_capacity"][-1],
+        "model_bandwidth_growth": MODEL_BANDWIDTH_GROWTH_2021,
+        "hbm_bandwidth_growth": HBM_BANDWIDTH_GROWTH,
+        "interconnect_bandwidth_growth": INTERCONNECT_GROWTH,
+    }

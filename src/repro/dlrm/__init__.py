@@ -1,0 +1,30 @@
+"""A numpy DLRM substrate (the Figure 2 architecture).
+
+Stands in for the paper's PyTorch/FBGEMM DLRM: bottom MLP over dense
+features, embedding bags with sum pooling over sparse features, dot
+feature interaction, top MLP, and sigmoid CTR output — with manual
+backward passes and SGD, plus tiered embedding storage that honours a
+RecShard remapping layer and counts per-tier accesses.
+"""
+
+from repro.dlrm.layers import (
+    EmbeddingBag,
+    Linear,
+    MLP,
+    TieredEmbeddingBag,
+    dot_interaction,
+)
+from repro.dlrm.model import DLRM, DLRMConfig
+from repro.dlrm.train import bce_loss, train_epoch
+
+__all__ = [
+    "DLRM",
+    "DLRMConfig",
+    "EmbeddingBag",
+    "Linear",
+    "MLP",
+    "TieredEmbeddingBag",
+    "bce_loss",
+    "dot_interaction",
+    "train_epoch",
+]

@@ -1,0 +1,222 @@
+"""Neural network layers in numpy with manual backward passes.
+
+Minimal but real: enough to train the Figure 2 DLRM end to end and to
+demonstrate that RecShard's remapping layer leaves model computation
+bit-identical while redirecting storage across memory tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.remap import RemappingTable
+from repro.data.batch import JaggedFeature
+
+
+class Linear:
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self._input: np.ndarray | None = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight = self._input.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def sgd_step(self, lr: float) -> None:
+        self.weight -= lr * self.grad_weight
+        self.bias -= lr * self.grad_bias
+
+
+class MLP:
+    """Stack of Linear layers with ReLU between them (none after the last)."""
+
+    def __init__(self, layer_sizes: list[int], rng: np.random.Generator):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        self.layers = [
+            Linear(layer_sizes[i], layer_sizes[i + 1], rng)
+            for i in range(len(layer_sizes) - 1)
+        ]
+        self._relu_masks: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._relu_masks = []
+        for i, layer in enumerate(self.layers):
+            x = layer.forward(x)
+            if i < len(self.layers) - 1:
+                mask = x > 0
+                self._relu_masks.append(mask)
+                x = x * mask
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for i in range(len(self.layers) - 1, -1, -1):
+            if i < len(self.layers) - 1:
+                grad_out = grad_out * self._relu_masks[i]
+            grad_out = self.layers[i].backward(grad_out)
+        return grad_out
+
+    def sgd_step(self, lr: float) -> None:
+        for layer in self.layers:
+            layer.sgd_step(lr)
+
+
+class EmbeddingBag:
+    """Embedding table with sum pooling over jagged inputs (Figure 3).
+
+    NULL samples (zero-length segments) pool to the zero vector, exactly
+    as the paper's Figure 3 describes.
+    """
+
+    def __init__(self, num_rows: int, dim: int, rng: np.random.Generator):
+        self.weight = rng.normal(0.0, 0.05, size=(num_rows, dim))
+        self._last: JaggedFeature | None = None
+
+    @property
+    def num_rows(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, feature: JaggedFeature) -> np.ndarray:
+        self._last = feature
+        if feature.values.size == 0:
+            return np.zeros((feature.batch_size, self.dim))
+        gathered = self.weight[feature.values]
+        return _segment_sum(gathered, feature.offsets, feature.batch_size)
+
+    def backward(self, grad_out: np.ndarray, lr: float) -> None:
+        """Sparse SGD: scatter-add the pooled gradient into touched rows."""
+        feature = self._last
+        if feature is None:
+            raise RuntimeError("backward called before forward")
+        if feature.values.size == 0:
+            return
+        lengths = feature.lengths
+        per_lookup = np.repeat(grad_out, lengths, axis=0)
+        np.subtract.at(self.weight, feature.values, lr * per_lookup)
+
+
+def _segment_sum(values: np.ndarray, offsets: np.ndarray, batch_size: int) -> np.ndarray:
+    """Sum-pool flat gathered rows into per-sample vectors."""
+    out = np.zeros((batch_size, values.shape[1]))
+    segment_ids = np.repeat(np.arange(batch_size), np.diff(offsets))
+    np.add.at(out, segment_ids, values)
+    return out
+
+
+class TieredEmbeddingBag:
+    """An EmbeddingBag split across memory tiers via a remapping table.
+
+    Storage is physically separate per tier (one array per tier), the
+    remapping table translating hashed indices to (tier, offset).  Every
+    lookup is counted per tier, demonstrating the access accounting of
+    Tables 5-6 inside real training.  Forward output is bit-identical to
+    an unsharded :class:`EmbeddingBag` holding the same logical weights.
+    """
+
+    def __init__(self, weight: np.ndarray, remap: RemappingTable):
+        if weight.shape[0] != remap.hash_size:
+            raise ValueError(
+                f"weight has {weight.shape[0]} rows, remap expects {remap.hash_size}"
+            )
+        self.remap = remap
+        self.dim = weight.shape[1]
+        # Physically partition the logical table by tier.
+        self.tier_storage: list[np.ndarray] = []
+        for tier in range(remap.num_tiers):
+            rows = remap.rows_per_tier[tier]
+            block = np.empty((rows, self.dim))
+            for offset in range(rows):
+                block[offset] = weight[remap.original_row(tier, offset)]
+            self.tier_storage.append(block)
+        self.access_counts = np.zeros(remap.num_tiers, dtype=np.int64)
+        self._last: tuple | None = None
+
+    def forward(self, feature: JaggedFeature) -> np.ndarray:
+        tiers, offsets = self.remap.apply(feature.values)
+        if feature.values.size:
+            self.access_counts += np.bincount(tiers, minlength=self.remap.num_tiers)
+        gathered = np.zeros((feature.values.size, self.dim))
+        for tier in range(self.remap.num_tiers):
+            mask = tiers == tier
+            if mask.any():
+                gathered[mask] = self.tier_storage[tier][offsets[mask]]
+        self._last = (feature, tiers, offsets)
+        return _segment_sum(gathered, feature.offsets, feature.batch_size)
+
+    def backward(self, grad_out: np.ndarray, lr: float) -> None:
+        if self._last is None:
+            raise RuntimeError("backward called before forward")
+        feature, tiers, offsets = self._last
+        if feature.values.size == 0:
+            return
+        per_lookup = np.repeat(grad_out, feature.lengths, axis=0)
+        for tier in range(self.remap.num_tiers):
+            mask = tiers == tier
+            if mask.any():
+                np.subtract.at(
+                    self.tier_storage[tier], offsets[mask], lr * per_lookup[mask]
+                )
+
+    def logical_weight(self) -> np.ndarray:
+        """Reassemble the logical (hashed-index-ordered) table."""
+        out = np.empty((self.remap.hash_size, self.dim))
+        for tier in range(self.remap.num_tiers):
+            rows = self.remap.rows_per_tier[tier]
+            if rows:
+                row_ids = [self.remap.original_row(tier, o) for o in range(rows)]
+                out[row_ids] = self.tier_storage[tier]
+        return out
+
+
+def dot_interaction(bottom_out: np.ndarray, pooled: list[np.ndarray]) -> np.ndarray:
+    """DLRM dot feature interaction.
+
+    Stacks the bottom-MLP output with every pooled embedding and takes
+    all pairwise dot products (lower triangle), concatenated with the
+    bottom-MLP output itself.
+    """
+    stacked = np.stack([bottom_out] + pooled, axis=1)  # (B, F, D)
+    gram = np.einsum("bfd,bgd->bfg", stacked, stacked)
+    num_vectors = stacked.shape[1]
+    li, lj = np.tril_indices(num_vectors, k=-1)
+    return np.concatenate([bottom_out, gram[:, li, lj]], axis=1)
+
+
+def dot_interaction_backward(
+    grad_out: np.ndarray, bottom_out: np.ndarray, pooled: list[np.ndarray]
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Backward pass of :func:`dot_interaction`."""
+    batch, dense_dim = bottom_out.shape
+    stacked = np.stack([bottom_out] + pooled, axis=1)
+    num_vectors = stacked.shape[1]
+    li, lj = np.tril_indices(num_vectors, k=-1)
+
+    grad_dense = grad_out[:, :dense_dim].copy()
+    grad_pairs = grad_out[:, dense_dim:]
+
+    grad_gram = np.zeros((batch, num_vectors, num_vectors))
+    grad_gram[:, li, lj] = grad_pairs
+    # d(gram)/d(stacked): symmetric contribution of each pair.
+    grad_stacked = np.einsum("bfg,bgd->bfd", grad_gram, stacked)
+    grad_stacked += np.einsum("bgf,bgd->bfd", grad_gram, stacked)
+
+    grad_bottom = grad_stacked[:, 0, :] + grad_dense
+    grad_pooled = [grad_stacked[:, 1 + k, :] for k in range(len(pooled))]
+    return grad_bottom, grad_pooled

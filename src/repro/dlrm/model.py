@@ -1,0 +1,119 @@
+"""The DLRM model (Figure 2) in numpy.
+
+Dense features pass through the bottom MLP; sparse features pass through
+embedding bags with sum pooling; the dot feature-interaction layer
+combines them; the top MLP plus a sigmoid produce the CTR estimate.
+Embedding bags may be plain or tiered (RecShard-remapped) — the two are
+numerically identical, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.batch import JaggedBatch
+from repro.dlrm.layers import (
+    EmbeddingBag,
+    MLP,
+    TieredEmbeddingBag,
+    dot_interaction,
+    dot_interaction_backward,
+)
+
+
+@dataclass
+class DLRMConfig:
+    """Architecture hyperparameters."""
+
+    dense_features: int
+    table_rows: list[int]
+    embedding_dim: int = 16
+    bottom_layers: list[int] = field(default_factory=lambda: [32, 16])
+    top_layers: list[int] = field(default_factory=lambda: [64, 32])
+    seed: int = 0
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_rows)
+
+    def interaction_dim(self) -> int:
+        num_vectors = 1 + self.num_tables
+        return self.embedding_dim + num_vectors * (num_vectors - 1) // 2
+
+
+class DLRM:
+    """Canonical DLRM with manual forward/backward passes."""
+
+    def __init__(self, config: DLRMConfig):
+        if not config.table_rows:
+            raise ValueError("DLRM needs at least one embedding table")
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.bottom = MLP(
+            [config.dense_features] + config.bottom_layers + [config.embedding_dim],
+            rng,
+        )
+        self.tables: list = [
+            EmbeddingBag(rows, config.embedding_dim, rng)
+            for rows in config.table_rows
+        ]
+        self.top = MLP([config.interaction_dim()] + config.top_layers + [1], rng)
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def replace_tables(self, tables: list) -> None:
+        """Swap embedding bags (e.g. for :class:`TieredEmbeddingBag`)."""
+        if len(tables) != len(self.tables):
+            raise ValueError(
+                f"expected {len(self.tables)} tables, got {len(tables)}"
+            )
+        self.tables = tables
+
+    def tier_access_counts(self) -> np.ndarray | None:
+        """Summed per-tier access counts when tables are tiered."""
+        counts = None
+        for table in self.tables:
+            if isinstance(table, TieredEmbeddingBag):
+                counts = (
+                    table.access_counts.copy()
+                    if counts is None
+                    else counts + table.access_counts
+                )
+        return counts
+
+    # ------------------------------------------------------------------
+    def forward(self, dense: np.ndarray, sparse: JaggedBatch) -> np.ndarray:
+        """Predicted CTR probabilities, shape (batch,)."""
+        if sparse.num_features != len(self.tables):
+            raise ValueError(
+                f"batch has {sparse.num_features} sparse features, model has "
+                f"{len(self.tables)}"
+            )
+        bottom_out = self.bottom.forward(dense)
+        pooled = [table.forward(feat) for table, feat in zip(self.tables, sparse)]
+        interacted = dot_interaction(bottom_out, pooled)
+        logits = self.top.forward(interacted)[:, 0]
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        self._cache = (bottom_out, pooled, probs)
+        return probs
+
+    def backward(self, labels: np.ndarray, lr: float) -> None:
+        """BCE gradient + SGD update through every component."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        bottom_out, pooled, probs = self._cache
+        batch = probs.shape[0]
+        # d(BCE)/d(logits) = (p - y) / batch
+        grad_logits = ((probs - labels) / batch)[:, None]
+        grad_interacted = self.top.backward(grad_logits)
+        grad_bottom, grad_pooled = dot_interaction_backward(
+            grad_interacted, bottom_out, pooled
+        )
+        self.bottom.backward(grad_bottom)
+        self.top.sgd_step(lr)
+        self.bottom.sgd_step(lr)
+        for table, grad in zip(self.tables, grad_pooled):
+            table.backward(grad, lr)
+        self._cache = None

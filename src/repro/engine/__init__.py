@@ -1,0 +1,28 @@
+"""Trace-driven sharded embedding execution engine.
+
+Stands in for the paper's 16x A100 node plus FBGEMM kernels: replays
+embedding lookup traces against a sharding plan, counts per-tier
+accesses, and charges each access with the tiered bandwidth model the
+paper's MILP uses (and validates on hardware).  Produces the per-GPU
+per-iteration EMB times and access counts of Tables 3 and 5.
+"""
+
+from repro.engine.cache import CacheModel, cached_rows_per_table
+from repro.engine.executor import ShardedExecutor
+from repro.engine.metrics import IterationStats, RunMetrics
+from repro.engine.harness import (
+    ExperimentResult,
+    compare_strategies,
+    run_experiment,
+)
+
+__all__ = [
+    "CacheModel",
+    "ExperimentResult",
+    "IterationStats",
+    "RunMetrics",
+    "ShardedExecutor",
+    "cached_rows_per_table",
+    "compare_strategies",
+    "run_experiment",
+]

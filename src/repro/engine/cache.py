@@ -1,0 +1,105 @@
+"""An optional GPU cache model for the execution engine.
+
+The paper's Table 3 shows RecShard improving RM1's *mean* per-GPU time
+even though RM1 fits entirely in HBM — impossible under a purely
+additive bandwidth model, where identical total traffic implies
+identical mean time. The gain comes from locality: each GPU's cache
+(L2) retains its hottest embedding rows, and a GPU serving a compact,
+well-chosen working set hits cache far more often than one serving a
+sprawling one.
+
+This module models that effect at the same level of abstraction as the
+rest of the engine: per device, the expectedly-hottest HBM-resident
+rows up to the cache capacity are served at cache bandwidth instead of
+HBM bandwidth. Because RecShard's remapping packs each table's hottest
+rows first, "expectedly hottest" is simply a per-table rank threshold.
+
+The model is off by default; `bench_ablation_cache.py` quantifies its
+effect on the RM1 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Device cache parameters.
+
+    Attributes:
+        capacity_bytes: cache bytes available for embedding rows per
+            device (A100: 40 MB L2; scale it like the other capacities).
+        bandwidth: effective bytes/second for cache hits.
+    """
+
+    capacity_bytes: int
+    bandwidth: float
+
+    def __post_init__(self):
+        if self.capacity_bytes < 0:
+            raise ValueError("cache capacity must be >= 0")
+        if self.bandwidth <= 0:
+            raise ValueError("cache bandwidth must be > 0")
+
+
+def cached_rows_per_table(
+    cache: CacheModel,
+    plan,
+    profile,
+    model,
+    device: int,
+) -> dict[int, int]:
+    """How many leading (hottest) HBM rows of each table fit the cache.
+
+    Greedy by expected per-row access count across all tables assigned
+    to ``device``: exactly the steady-state content of an LRU cache
+    under independent reference draws. Only HBM-resident rows compete
+    (UVM reads stream through without useful reuse at this granularity).
+
+    Returns {table_index: cached row count}; tables absent from the
+    device are omitted.
+    """
+    members = [p for p in plan if p.device == device]
+    if not members or cache.capacity_bytes <= 0:
+        return {p.table_index: 0 for p in members}
+
+    counts_list = []
+    owner_list = []
+    bytes_list = []
+    for placement in members:
+        stats = profile[placement.table_index]
+        hbm_rows = placement.rows_per_tier[0]
+        if hbm_rows == 0 or stats.total_accesses <= 0:
+            continue
+        # Ranked (descending) expected counts of the HBM-resident rows.
+        ranked = stats.counts[stats.cdf.row_order[:hbm_rows]]
+        counts_list.append(ranked)
+        owner_list.append(
+            np.full(ranked.size, placement.table_index, dtype=np.int64)
+        )
+        bytes_list.append(
+            np.full(
+                ranked.size,
+                model.tables[placement.table_index].row_bytes,
+                dtype=np.int64,
+            )
+        )
+    cached = {p.table_index: 0 for p in members}
+    if not counts_list:
+        return cached
+
+    counts = np.concatenate(counts_list)
+    owners = np.concatenate(owner_list)
+    row_bytes = np.concatenate(bytes_list)
+    order = np.argsort(-counts, kind="stable")
+    cum_bytes = np.cumsum(row_bytes[order])
+    take = int(np.searchsorted(cum_bytes, cache.capacity_bytes, side="right"))
+    if take == 0:
+        return cached
+    chosen_owners = owners[order[:take]]
+    for table_index, num in zip(*np.unique(chosen_owners, return_counts=True)):
+        cached[int(table_index)] = int(num)
+    return cached

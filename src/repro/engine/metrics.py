@@ -1,0 +1,97 @@
+"""Execution metrics: per-GPU iteration times and per-tier access counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Summary of per-GPU average iteration times (a Table 3 row).
+
+    All values in simulated milliseconds.  Training throughput is bound
+    by the slowest GPU, so ``max`` is the figure of merit; ``std``
+    captures load balance.
+    """
+
+    min: float
+    max: float
+    mean: float
+    std: float
+
+    def as_row(self) -> str:
+        return f"{self.min:.2f}/{self.max:.2f}/{self.mean:.2f}/{self.std:.2f}"
+
+
+@dataclass
+class RunMetrics:
+    """Raw measurements of one strategy's execution run.
+
+    Attributes:
+        strategy: strategy label.
+        times_ms: (iterations, devices) per-iteration per-GPU EMB time.
+        tier_accesses: tier name -> (iterations, devices) access counts.
+        cache_hits: (iterations, devices) accesses served from the cache
+            model, when one was enabled (hits are a subset of the HBM
+            tier's counts, never additional traffic).
+    """
+
+    strategy: str
+    times_ms: np.ndarray
+    tier_accesses: dict[str, np.ndarray] = field(default_factory=dict)
+    cache_hits: np.ndarray | None = None
+
+    @property
+    def num_iterations(self) -> int:
+        return self.times_ms.shape[0]
+
+    @property
+    def num_devices(self) -> int:
+        return self.times_ms.shape[1]
+
+    def per_device_avg_times(self) -> np.ndarray:
+        """Per-GPU iteration time averaged over iterations (Table 3 basis)."""
+        return self.times_ms.mean(axis=0)
+
+    def iteration_stats(self) -> IterationStats:
+        """Min/Max/Mean/StdDev across per-GPU averages (a Table 3 row)."""
+        per_device = self.per_device_avg_times()
+        return IterationStats(
+            min=float(per_device.min()),
+            max=float(per_device.max()),
+            mean=float(per_device.mean()),
+            std=float(per_device.std()),
+        )
+
+    def bound_time_ms(self) -> float:
+        """Training-throughput-relevant time: the slowest GPU's average."""
+        return float(self.per_device_avg_times().max())
+
+    def avg_accesses_per_gpu_iteration(self, tier: str) -> float:
+        """Average accesses per GPU per iteration on ``tier`` (Table 5)."""
+        counts = self.tier_accesses[tier]
+        return float(counts.mean())
+
+    def tier_access_fraction(self, tier: str) -> float:
+        """Fraction of all accesses served from ``tier``."""
+        total = sum(counts.sum() for counts in self.tier_accesses.values())
+        if total == 0:
+            return 0.0
+        return float(self.tier_accesses[tier].sum() / total)
+
+    def cache_hit_fraction(self) -> float:
+        """Fraction of all accesses served from cache (0 without a model)."""
+        if self.cache_hits is None:
+            return 0.0
+        total = sum(counts.sum() for counts in self.tier_accesses.values())
+        if total == 0:
+            return 0.0
+        return float(self.cache_hits.sum() / total)
+
+    def table5_row(self) -> dict[str, float]:
+        return {
+            tier: self.avg_accesses_per_gpu_iteration(tier)
+            for tier in self.tier_accesses
+        }

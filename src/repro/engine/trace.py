@@ -1,0 +1,10 @@
+"""Trace structures (re-exported; defined beside the generator).
+
+The jagged batch containers live in :mod:`repro.data.batch` because both
+the data generator and the engine consume them; this module re-exports
+them under the engine namespace for discoverability.
+"""
+
+from repro.data.batch import JaggedBatch, JaggedFeature
+
+__all__ = ["JaggedBatch", "JaggedFeature"]

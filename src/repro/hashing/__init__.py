@@ -1,0 +1,31 @@
+"""Feature hashing substrate.
+
+In modern DLRMs embedding tables function as hash tables (Section 3.4):
+raw categorical values are hashed into a fixed-size row space, which
+bounds table size and handles unseen values but causes collisions and
+dead rows (the birthday paradox, Figures 7 and 8).
+"""
+
+from repro.hashing.hashers import (
+    IdentityHasher,
+    MultiplyShiftHasher,
+    SplitMix64Hasher,
+)
+from repro.hashing.collisions import (
+    birthday_sweep,
+    collision_fraction,
+    expected_occupancy,
+    hash_compression_profile,
+    measure_occupancy,
+)
+
+__all__ = [
+    "IdentityHasher",
+    "MultiplyShiftHasher",
+    "SplitMix64Hasher",
+    "birthday_sweep",
+    "collision_fraction",
+    "expected_occupancy",
+    "hash_compression_profile",
+    "measure_occupancy",
+]

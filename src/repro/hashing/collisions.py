@@ -1,0 +1,145 @@
+"""Birthday-paradox analytics for embedding hashing (Figures 7 and 8).
+
+Hashing ``N`` distinct values into ``H`` slots leaves slots empty and
+values colliding.  These helpers compute both the analytic expectations
+(random hashing) and empirical measurements with a concrete hasher, which
+the benchmarks compare side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def expected_occupancy(num_values: int, hash_size: int) -> float:
+    """Expected fraction of hash slots occupied under random hashing.
+
+    Exactly ``1 - (1 - 1/H)^N``, which tends to ``1 - exp(-N/H)``.  At
+    ``H == N`` this is ``1 - 1/e ~= 0.632`` — the paper's observation
+    that ~1/e of slots go unused when the hash size equals the number of
+    unique inputs.
+    """
+    if num_values < 0 or hash_size < 1:
+        raise ValueError("need num_values >= 0 and hash_size >= 1")
+    return float(-np.expm1(num_values * np.log1p(-1.0 / hash_size)))
+
+
+def collision_fraction(num_values: int, hash_size: int) -> float:
+    """Expected fraction of distinct input values that collide.
+
+    A value "collides" when it shares a slot with another distinct value;
+    equivalently ``1 - occupied_slots / N`` counts the values beyond the
+    first in each occupied slot.
+    """
+    if num_values < 1:
+        return 0.0
+    occupied = expected_occupancy(num_values, hash_size) * hash_size
+    return float(max(0.0, 1.0 - occupied / num_values))
+
+
+def measure_occupancy(num_values: int, hash_size: int, hasher) -> int:
+    """Number of slots actually occupied when hashing ``0..N-1``."""
+    hashed = hasher.hash_into(np.arange(num_values, dtype=np.int64), hash_size)
+    return int(np.unique(hashed).size)
+
+
+@dataclass(frozen=True)
+class BirthdaySweepPoint:
+    """One point of the Figure 8 sweep."""
+
+    multiple: float  # hash size as a multiple of input cardinality
+    hash_size: int
+    usage: float  # fraction of slots occupied
+    collisions: float  # fraction of values colliding
+    sparsity: float  # 1 - usage
+
+    @property
+    def as_row(self) -> tuple[float, float, float, float]:
+        return (self.multiple, self.usage, self.collisions, self.sparsity)
+
+
+def birthday_sweep(
+    num_values: int,
+    multiples,
+    hasher=None,
+) -> list[BirthdaySweepPoint]:
+    """Sweep hash size as a multiple of cardinality (Figure 8).
+
+    With ``hasher=None`` the analytic expectations are returned; with a
+    concrete hasher the fractions are measured empirically.
+    """
+    points = []
+    for multiple in multiples:
+        hash_size = max(1, int(round(num_values * float(multiple))))
+        if hasher is None:
+            usage = expected_occupancy(num_values, hash_size)
+            collide = collision_fraction(num_values, hash_size)
+        else:
+            occupied = measure_occupancy(num_values, hash_size, hasher)
+            usage = occupied / hash_size
+            collide = max(0.0, 1.0 - occupied / num_values)
+        points.append(
+            BirthdaySweepPoint(
+                multiple=float(multiple),
+                hash_size=hash_size,
+                usage=usage,
+                collisions=collide,
+                sparsity=1.0 - usage,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class HashCompressionProfile:
+    """Pre- vs post-hash frequency profile of one feature (Figure 7).
+
+    Attributes:
+        pre_hash_counts: per-value access counts, descending.
+        post_hash_counts: per-row access counts post-hash, descending.
+        hash_size: table row count.
+        unique_values_seen: distinct raw values observed.
+        occupied_rows: rows receiving at least one access.
+        sparsity_pct: fraction of the table unused because the observed
+            value space is smaller than the hash space.
+        collision_pct: additional fraction lost to hash collisions
+            (values folded together relative to a 1:1 mapping).
+    """
+
+    pre_hash_counts: np.ndarray
+    post_hash_counts: np.ndarray
+    hash_size: int
+    unique_values_seen: int
+    occupied_rows: int
+
+    @property
+    def sparsity_pct(self) -> float:
+        return 1.0 - self.unique_values_seen / self.hash_size
+
+    @property
+    def collision_pct(self) -> float:
+        return (self.unique_values_seen - self.occupied_rows) / self.hash_size
+
+    @property
+    def unused_pct(self) -> float:
+        """Total unused fraction of the table (sparsity + collisions)."""
+        return 1.0 - self.occupied_rows / self.hash_size
+
+
+def hash_compression_profile(
+    raw_values: np.ndarray, hash_size: int, hasher
+) -> HashCompressionProfile:
+    """Measure how hashing compresses a raw value distribution (Figure 7)."""
+    raw_values = np.asarray(raw_values, dtype=np.int64)
+    unique_vals, pre_counts = np.unique(raw_values, return_counts=True)
+    hashed = hasher.hash_into(raw_values, hash_size)
+    _, post_counts = np.unique(hashed, return_counts=True)
+    return HashCompressionProfile(
+        pre_hash_counts=np.sort(pre_counts)[::-1],
+        post_hash_counts=np.sort(post_counts)[::-1],
+        hash_size=int(hash_size),
+        unique_values_seen=int(unique_vals.size),
+        occupied_rows=int(post_counts.size),
+    )

@@ -1,0 +1,93 @@
+"""Deterministic integer hash functions over numpy arrays.
+
+All hashers share one interface: ``hash_into(values, size)`` maps an
+int64 array into ``[0, size)``.  They are pure functions of the value and
+the seed, so a feature's hash mapping is stable across profiling,
+sharding, and execution — the property the remapping layer relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class SplitMix64Hasher:
+    """SplitMix64 finalizer hash — strong avalanche, the default hasher."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def hash64(self, values: np.ndarray) -> np.ndarray:
+        """Mix values to 64-bit hashes (before range reduction)."""
+        x = values.astype(np.uint64, copy=True)
+        with np.errstate(over="ignore"):
+            x += np.uint64((self.seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)
+            x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            x &= _MASK64
+            x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            x &= _MASK64
+            x ^= x >> np.uint64(31)
+        return x
+
+    def hash_into(self, values: np.ndarray, size: int) -> np.ndarray:
+        if size < 1:
+            raise ValueError(f"hash size must be >= 1, got {size}")
+        return (self.hash64(np.asarray(values)) % np.uint64(size)).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"SplitMix64Hasher(seed={self.seed})"
+
+
+class MultiplyShiftHasher:
+    """Classic multiply-shift universal hashing (Dietzfelbinger et al.).
+
+    Weaker mixing than SplitMix64 but cheaper; kept as an alternative to
+    show that RecShard's statistics are hash-function agnostic.
+    """
+
+    # Large odd multipliers derived from the golden ratio and e.
+    _MULTIPLIERS = (0x9E3779B97F4A7C15, 0xADB85EA5D72D8C2B)
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._a = np.uint64(self._MULTIPLIERS[self.seed % 2] | 1)
+        self._b = np.uint64((self.seed * 0x5851F42D4C957F2D + 0x14057B7EF767814F) & 0xFFFFFFFFFFFFFFFF)
+
+    def hash64(self, values: np.ndarray) -> np.ndarray:
+        x = values.astype(np.uint64, copy=False)
+        with np.errstate(over="ignore"):
+            return (x * self._a + self._b) & _MASK64
+
+    def hash_into(self, values: np.ndarray, size: int) -> np.ndarray:
+        if size < 1:
+            raise ValueError(f"hash size must be >= 1, got {size}")
+        # Use the high bits, which carry the most mixing in multiply-shift.
+        scaled = self.hash64(np.asarray(values)) >> np.uint64(32)
+        return ((scaled * np.uint64(size)) >> np.uint64(32)).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"MultiplyShiftHasher(seed={self.seed})"
+
+
+class IdentityHasher:
+    """No hashing: value modulo size.
+
+    Lets experiments compare hashed tables against the hypothetical 1:1
+    mapping (the pre-hash curve in Figure 7).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def hash64(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values).astype(np.uint64, copy=False)
+
+    def hash_into(self, values: np.ndarray, size: int) -> np.ndarray:
+        if size < 1:
+            raise ValueError(f"hash size must be >= 1, got {size}")
+        return (np.asarray(values, dtype=np.int64) % size).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return "IdentityHasher()"

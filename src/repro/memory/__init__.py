@@ -1,0 +1,19 @@
+"""Tiered memory system model.
+
+Stands in for the paper's training node: per-GPU HBM plus host DRAM
+reached through UVM (and optionally further tiers, Section 4.4).  The
+model captures what the sharding problem needs — per-tier capacity and
+effective bandwidth per device.
+"""
+
+from repro.memory.tier import MemoryTier
+from repro.memory.topology import SystemTopology
+from repro.memory.presets import paper_node, three_tier_node, GIB
+
+__all__ = [
+    "GIB",
+    "MemoryTier",
+    "SystemTopology",
+    "paper_node",
+    "three_tier_node",
+]

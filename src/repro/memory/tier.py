@@ -1,0 +1,38 @@
+"""A single memory tier: capacity plus effective bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryTier:
+    """One level of the memory hierarchy, as seen from the accessing GPU.
+
+    Attributes:
+        name: tier label ("hbm", "uvm", "ssd", ...).
+        capacity_bytes: bytes available to embedding rows on this tier
+            (per device for device tiers; the per-device slice for host
+            tiers, matching the paper's per-GPU ``CapH``).
+        bandwidth: effective bytes/second for embedding-gather traffic.
+            This is the *achieved* random-gather bandwidth, not the
+            datasheet peak (see ``repro.memory.presets``).
+    """
+
+    name: str
+    capacity_bytes: int
+    bandwidth: float
+
+    def __post_init__(self):
+        if self.capacity_bytes < 0:
+            raise ValueError(f"{self.name}: capacity must be >= 0")
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be > 0")
+
+    def seconds_for_bytes(self, num_bytes: float) -> float:
+        """Transfer-time estimate for ``num_bytes`` of gather traffic."""
+        return num_bytes / self.bandwidth
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.capacity_bytes / 2**30

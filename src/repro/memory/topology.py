@@ -1,0 +1,78 @@
+"""System topology: homogeneous devices over an ordered tier hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.tier import MemoryTier
+
+
+@dataclass(frozen=True)
+class SystemTopology:
+    """A training node: ``num_devices`` GPUs, each seeing the same tiers.
+
+    Tiers are ordered fastest first.  The first tier is device-local
+    (HBM); subsequent tiers are host-side but capacity-sliced per device,
+    mirroring the paper's per-GPU ``CapD`` / ``CapH`` accounting, which
+    keeps the sharding assignment abstract over physical GPUs.
+    """
+
+    num_devices: int
+    tiers: tuple[MemoryTier, ...]
+
+    def __post_init__(self):
+        if self.num_devices < 1:
+            raise ValueError("need at least one device")
+        if len(self.tiers) < 1:
+            raise ValueError("need at least one memory tier")
+        bandwidths = [t.bandwidth for t in self.tiers]
+        if any(b1 < b2 for b1, b2 in zip(bandwidths, bandwidths[1:])):
+            raise ValueError("tiers must be ordered fastest (highest bandwidth) first")
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tiers)
+
+    @property
+    def tier_names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.tiers)
+
+    @property
+    def hbm(self) -> MemoryTier:
+        """The fastest (device-local) tier."""
+        return self.tiers[0]
+
+    @property
+    def uvm(self) -> MemoryTier:
+        """The second tier (host DRAM via UVM) in the two-tier setting."""
+        if len(self.tiers) < 2:
+            raise ValueError("topology has no UVM tier")
+        return self.tiers[1]
+
+    def tier(self, name: str) -> MemoryTier:
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tier named {name!r} (have {self.tier_names})")
+
+    def total_capacity_bytes(self, tier_index: int = 0) -> int:
+        """Aggregate capacity of one tier across all devices."""
+        return self.tiers[tier_index].capacity_bytes * self.num_devices
+
+    @classmethod
+    def two_tier(
+        cls,
+        num_devices: int,
+        hbm_capacity: int,
+        hbm_bandwidth: float,
+        uvm_capacity: int,
+        uvm_bandwidth: float,
+    ) -> "SystemTopology":
+        """Convenience constructor for the paper's HBM + UVM hierarchy."""
+        return cls(
+            num_devices=num_devices,
+            tiers=(
+                MemoryTier("hbm", hbm_capacity, hbm_bandwidth),
+                MemoryTier("uvm", uvm_capacity, uvm_bandwidth),
+            ),
+        )

@@ -1,0 +1,175 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+Built on HiGHS LP relaxations through :func:`scipy.optimize.linprog`.  It
+exists as an independent substrate (the paper depends on a commercial
+solver) and as a cross-check of the scipy MILP backend on small models.
+It uses best-first search with most-fractional branching and a simple
+LP-rounding primal heuristic.
+
+It is intended for models with tens of integer variables; the full
+RecShard formulations should use the ``"highs"`` backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.milp.model import Model
+from repro.milp.result import SolveResult, SolveStatus
+
+_INF = float("inf")
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    tiebreak: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+
+
+def _solve_lp(objective, a_ub, b_ub, a_eq, b_eq, lower, upper):
+    """Solve one LP relaxation; returns (objective, x) or (None, None)."""
+    result = linprog(
+        c=objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=np.column_stack([lower, upper]),
+        method="highs",
+    )
+    if not result.success:
+        return None, None
+    return float(result.fun), result.x
+
+
+def solve_branch_bound(
+    model: Model,
+    time_limit: float | None = None,
+    mip_gap: float | None = None,
+    node_limit: int | None = None,
+) -> SolveResult:
+    """Solve ``model`` by best-first branch and bound."""
+    compiled = model.compile()
+    start = time.perf_counter()
+    deadline = start + time_limit if time_limit is not None else None
+    max_nodes = node_limit if node_limit is not None else 200_000
+    gap_target = mip_gap if mip_gap is not None else 1e-6
+
+    objective = np.asarray(compiled.objective)
+    int_mask = np.asarray(compiled.integrality, dtype=bool)
+    base_lower = np.asarray(compiled.lower, dtype=float)
+    base_upper = np.asarray(compiled.upper, dtype=float)
+
+    # Split two-sided rows into <= / == matrices once.
+    ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+    for coeffs, lb, ub in compiled.rows:
+        row = np.zeros(compiled.num_vars)
+        for col, coef in coeffs.items():
+            row[col] = coef
+        if lb == ub:
+            eq_rows.append(row)
+            eq_rhs.append(lb)
+            continue
+        if ub < _INF:
+            ub_rows.append(row)
+            ub_rhs.append(ub)
+        if lb > -_INF:
+            ub_rows.append(-row)
+            ub_rhs.append(-lb)
+    a_ub = sparse.csr_matrix(np.array(ub_rows)) if ub_rows else None
+    b_ub = np.array(ub_rhs) if ub_rhs else None
+    a_eq = sparse.csr_matrix(np.array(eq_rows)) if eq_rows else None
+    b_eq = np.array(eq_rhs) if eq_rhs else None
+
+    counter = itertools.count()
+    root_obj, root_x = _solve_lp(objective, a_ub, b_ub, a_eq, b_eq, base_lower, base_upper)
+    if root_x is None:
+        return SolveResult(
+            status=SolveStatus.INFEASIBLE,
+            solve_time=time.perf_counter() - start,
+            message="root LP infeasible",
+        )
+
+    best_obj = _INF
+    best_x: np.ndarray | None = None
+    heap: list[_Node] = [_Node(root_obj, next(counter), base_lower, base_upper)]
+    explored = 0
+
+    def _try_incumbent(x: np.ndarray) -> None:
+        """Round integers and accept the point if it stays feasible."""
+        nonlocal best_obj, best_x
+        candidate = x.copy()
+        candidate[int_mask] = np.round(candidate[int_mask])
+        values = [float(v) for v in candidate]
+        if model.check_feasible(values, tol=1e-6):
+            obj = float(objective @ candidate)
+            if obj < best_obj:
+                best_obj = obj
+                best_x = candidate
+
+    while heap:
+        if deadline is not None and time.perf_counter() > deadline:
+            break
+        if explored >= max_nodes:
+            break
+        node = heapq.heappop(heap)
+        if node.bound >= best_obj - abs(best_obj) * gap_target:
+            continue  # pruned by incumbent
+        lp_obj, lp_x = _solve_lp(objective, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper)
+        explored += 1
+        if lp_x is None or lp_obj >= best_obj:
+            continue
+
+        fractional = np.where(
+            int_mask & (np.abs(lp_x - np.round(lp_x)) > _INT_TOL)
+        )[0]
+        if fractional.size == 0:
+            if lp_obj < best_obj:
+                best_obj = lp_obj
+                best_x = lp_x.copy()
+                best_x[int_mask] = np.round(best_x[int_mask])
+            continue
+
+        _try_incumbent(lp_x)
+
+        # Branch on the most fractional integer variable.
+        fracs = np.abs(lp_x[fractional] - np.round(lp_x[fractional]))
+        branch_var = int(fractional[np.argmax(np.minimum(fracs, 1 - fracs))])
+        floor_val = np.floor(lp_x[branch_var])
+
+        down_upper = node.upper.copy()
+        down_upper[branch_var] = floor_val
+        if node.lower[branch_var] <= floor_val:
+            heapq.heappush(heap, _Node(lp_obj, next(counter), node.lower, down_upper))
+
+        up_lower = node.lower.copy()
+        up_lower[branch_var] = floor_val + 1
+        if up_lower[branch_var] <= node.upper[branch_var]:
+            heapq.heappush(heap, _Node(lp_obj, next(counter), up_lower, node.upper))
+
+    elapsed = time.perf_counter() - start
+    if best_x is None:
+        status = SolveStatus.TIME_LIMIT if heap else SolveStatus.INFEASIBLE
+        return SolveResult(status=status, solve_time=elapsed, nodes=explored)
+
+    remaining_bound = min((n.bound for n in heap), default=best_obj)
+    gap = abs(best_obj - remaining_bound) / max(1e-12, abs(best_obj))
+    status = SolveStatus.OPTIMAL if not heap or gap <= gap_target else SolveStatus.FEASIBLE
+    return SolveResult(
+        status=status,
+        objective=best_obj,
+        values=[float(v) for v in best_x],
+        solve_time=elapsed,
+        gap=gap,
+        nodes=explored,
+    )

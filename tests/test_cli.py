@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.model == "rm2"
+        assert args.gpus == 16
+        assert args.milp_time == 15.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "--model", "rm9"])
+
+
+class TestCommands:
+    COMMON = ["--features", "40", "--gpus", "2", "--batch", "256"]
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--model", "rm1"] + self.COMMON) == 0
+        out = capsys.readouterr().out
+        assert "avg_pooling" in out
+        assert "coverage" in out
+
+    def test_shard_fast(self, capsys):
+        argv = ["shard", "--model", "rm2", "--milp-time", "0"] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "rows on UVM" in out
+        assert "tables per GPU" in out
+
+    def test_shard_milp(self, capsys):
+        argv = [
+            "shard", "--model", "rm1", "--milp-time", "10", "--steps", "10",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "plan for RM1" in out
+
+    def test_compare(self, capsys):
+        argv = [
+            "compare", "--model", "rm2", "--milp-time", "0", "--iters", "2",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "RecShard speedup vs next best" in out
+        assert "Size-Based" in out
+
+    def test_shard_reclaim_dead(self, capsys):
+        argv = [
+            "shard", "--model", "rm3", "--milp-time", "0", "--reclaim-dead",
+        ] + self.COMMON
+        assert main(argv) == 0
+        assert "rows on UVM" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Tests for the RecShard MILP formulation (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import RecShardInputs, build_milp
+from repro.milp.result import SolveStatus
+
+
+class TestInputs:
+    def test_from_profile(self, small_model, small_profile):
+        inputs = RecShardInputs.from_profile(small_model, small_profile, steps=10)
+        assert len(inputs) == small_model.num_tables
+        table = inputs.tables[0]
+        assert table.hash_size == small_model.tables[0].num_rows
+        assert table.icdf.steps == 10
+        assert table.avg_pooling > 0
+
+    def test_profile_length_mismatch(self, small_model, small_profile):
+        small_profile.tables.pop()
+        with pytest.raises(ValueError):
+            RecShardInputs.from_profile(small_model, small_profile)
+
+
+class TestBuildMilp:
+    def test_structure_counts(self, small_model, small_profile, tight_topology):
+        inputs = RecShardInputs.from_profile(small_model, small_profile, steps=8)
+        handles = build_milp(inputs, tight_topology, batch_size=256)
+        num_devices = tight_topology.num_devices
+        num_tables = len(inputs)
+        assert len(handles.assign) == num_devices
+        assert len(handles.assign[0]) == num_tables
+        assert len(handles.pct) == num_tables
+        # Binary count: only the assignment variables in convex form.
+        assert handles.model.num_binary == num_devices * num_tables
+
+    def test_step_formulation_has_step_binaries(
+        self, small_model, small_profile, tight_topology
+    ):
+        inputs = RecShardInputs.from_profile(small_model, small_profile, steps=8)
+        handles = build_milp(
+            inputs, tight_topology, batch_size=256, formulation="step"
+        )
+        expected = tight_topology.num_devices * len(inputs) + len(inputs) * 9
+        assert handles.model.num_binary == expected
+
+    def test_rejects_non_two_tier(self, small_model, small_profile):
+        from repro.memory import three_tier_node
+
+        inputs = RecShardInputs.from_profile(small_model, small_profile, steps=4)
+        with pytest.raises(ValueError):
+            build_milp(inputs, three_tier_node(num_gpus=2), batch_size=64)
+
+    def test_unknown_formulation(self, small_model, small_profile, tight_topology):
+        inputs = RecShardInputs.from_profile(small_model, small_profile, steps=4)
+        with pytest.raises(ValueError):
+            build_milp(inputs, tight_topology, batch_size=64, formulation="magic")
+
+
+class TestSolutionProperties:
+    def solve(self, model, profile, topology, **kwargs):
+        inputs = RecShardInputs.from_profile(model, profile, steps=10)
+        handles = build_milp(inputs, topology, batch_size=256, **kwargs)
+        result = handles.model.solve(backend="highs", time_limit=60)
+        assert result.status.has_solution
+        return inputs, handles, result
+
+    def test_each_table_assigned_once(self, small_model, small_profile, tight_topology):
+        inputs, handles, result = self.solve(small_model, small_profile, tight_topology)
+        for j in range(len(inputs)):
+            total = sum(
+                result.value(handles.assign[m][j])
+                for m in range(tight_topology.num_devices)
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_hbm_capacity_respected(self, small_model, small_profile, tight_topology):
+        inputs, handles, result = self.solve(small_model, small_profile, tight_topology)
+        cap_mib = tight_topology.hbm.capacity_bytes / 2**20
+        for m in range(tight_topology.num_devices):
+            used = sum(
+                result.value(handles.mem[j])
+                for j in range(len(inputs))
+                if result.value(handles.assign[m][j]) > 0.5
+            )
+            assert used <= cap_mib * (1 + 1e-6)
+
+    def test_roomy_topology_puts_everything_in_hbm(
+        self, small_model, small_profile, roomy_topology
+    ):
+        inputs, handles, result = self.solve(small_model, small_profile, roomy_topology)
+        for j, table in enumerate(inputs.tables):
+            assert result.value(handles.pct[j]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_step_and_convex_agree(self, small_model, small_profile, tight_topology):
+        # The convex formulation allows continuous split points, so it is
+        # a refinement of the on-grid step formulation: never worse, and
+        # converging to it as the grid refines.
+        def solve(formulation, steps):
+            inputs = RecShardInputs.from_profile(small_model, small_profile, steps=steps)
+            handles = build_milp(
+                inputs, tight_topology, batch_size=256, formulation=formulation
+            )
+            return handles.model.solve(backend="highs", time_limit=60)
+
+        res_convex = solve("convex", 40)
+        res_step = solve("step", 40)
+        assert res_convex.status.has_solution and res_step.status.has_solution
+        assert res_convex.objective <= res_step.objective + 1e-9
+        assert res_convex.objective == pytest.approx(res_step.objective, rel=0.08)
+
+    def test_symmetry_breaking_preserves_objective(
+        self, small_model, small_profile, tight_topology
+    ):
+        _, _, res_sym = self.solve(
+            small_model, small_profile, tight_topology, symmetry_breaking=True
+        )
+        _, _, res_raw = self.solve(
+            small_model, small_profile, tight_topology, symmetry_breaking=False
+        )
+        assert res_sym.objective == pytest.approx(res_raw.objective, rel=0.02)
+
+    def test_makespan_bounds_device_costs(
+        self, small_model, small_profile, tight_topology
+    ):
+        inputs, handles, result = self.solve(small_model, small_profile, tight_topology)
+        # The objective carries a vanishing secondary term; compare
+        # against the makespan variable itself.
+        makespan = result.value(handles.max_cost)
+        for cost_expr in handles.device_costs:
+            assert cost_expr.value(result.values) <= makespan * (1 + 1e-6)
+        assert makespan == pytest.approx(result.objective, rel=1e-3)
+
+    def test_ablation_flags_change_cost_surface(
+        self, small_model, small_profile, tight_topology
+    ):
+        # Disabling coverage/pooling changes the optimum (Table 6 knobs).
+        _, _, res_full = self.solve(small_model, small_profile, tight_topology)
+        _, _, res_cdf = self.solve(
+            small_model,
+            small_profile,
+            tight_topology,
+            use_coverage=False,
+            use_pooling=False,
+        )
+        assert res_full.objective != pytest.approx(res_cdf.objective, rel=1e-3)
+
+    def test_reclaim_dead_relaxes_host_capacity(self, small_model, small_profile):
+        # A host tier sized below total-but-above-live bytes is feasible
+        # only when dead rows are reclaimed.
+        from repro.memory.topology import SystemTopology
+
+        live = sum(s.cdf.live_rows * t.row_bytes
+                   for s, t in zip(small_profile, small_model.tables))
+        total = small_model.total_bytes
+        assert live < total  # fixture has dead rows
+        topo = SystemTopology.two_tier(
+            num_devices=1,
+            hbm_capacity=0,
+            hbm_bandwidth=200e9,
+            uvm_capacity=int((live + total) / 2),
+            uvm_bandwidth=10e9,
+        )
+        inputs = RecShardInputs.from_profile(small_model, small_profile, steps=6)
+        strict = build_milp(inputs, topo, batch_size=64, reclaim_dead=False)
+        relaxed = build_milp(inputs, topo, batch_size=64, reclaim_dead=True)
+        assert strict.model.solve(time_limit=30).status == SolveStatus.INFEASIBLE
+        assert relaxed.model.solve(time_limit=30).status.has_solution

@@ -1,0 +1,131 @@
+"""Tests for sharding plan structures and invariants."""
+
+import pytest
+
+from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.memory.topology import SystemTopology
+
+
+def make_plan(rows_list, devices=None, strategy="test"):
+    devices = devices or [0] * len(rows_list)
+    placements = [
+        TablePlacement(table_index=i, device=d, rows_per_tier=r)
+        for i, (r, d) in enumerate(zip(rows_list, devices))
+    ]
+    return ShardingPlan(strategy=strategy, placements=placements)
+
+
+class TestTablePlacement:
+    def test_fractions(self):
+        p = TablePlacement(0, 0, (25, 75))
+        assert p.total_rows == 100
+        assert p.hbm_rows == 25
+        assert p.uvm_fraction == pytest.approx(0.75)
+        assert p.tier_fraction(0) == pytest.approx(0.25)
+
+    def test_empty_table(self):
+        p = TablePlacement(0, 0, (0, 0))
+        assert p.uvm_fraction == 0.0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(PlanError):
+            TablePlacement(0, 0, (-1, 10))
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(PlanError):
+            TablePlacement(0, -2, (1, 1))
+
+
+class TestShardingPlan:
+    def test_table_cover_enforced(self):
+        placements = [TablePlacement(0, 0, (1, 0)), TablePlacement(0, 0, (1, 0))]
+        with pytest.raises(PlanError):
+            ShardingPlan(strategy="dup", placements=placements)
+
+    def test_placements_sorted_by_table(self):
+        plan = ShardingPlan(
+            strategy="s",
+            placements=[TablePlacement(1, 0, (1, 0)), TablePlacement(0, 0, (2, 0))],
+        )
+        assert [p.table_index for p in plan] == [0, 1]
+
+    def test_tables_on_device(self):
+        plan = make_plan([(1, 0)] * 4, devices=[0, 1, 0, 1])
+        assert [p.table_index for p in plan.tables_on_device(0)] == [0, 2]
+
+    def test_tier_rows_total(self):
+        plan = make_plan([(10, 5), (0, 7)])
+        assert plan.tier_rows_total(0) == 10
+        assert plan.tier_rows_total(1) == 12
+
+
+class TestValidation:
+    def test_valid_plan(self, small_model, roomy_topology):
+        rows = [(t.num_rows, 0) for t in small_model.tables]
+        plan = make_plan(rows, devices=[0, 1] * 3)
+        plan.validate(small_model, roomy_topology)  # no raise
+
+    def test_row_sum_mismatch(self, small_model, roomy_topology):
+        rows = [(t.num_rows + 1, 0) for t in small_model.tables]
+        plan = make_plan(rows, devices=[0] * 6)
+        with pytest.raises(PlanError, match="sums to"):
+            plan.validate(small_model, roomy_topology)
+
+    def test_device_out_of_range(self, small_model, roomy_topology):
+        rows = [(t.num_rows, 0) for t in small_model.tables]
+        plan = make_plan(rows, devices=[5] * 6)
+        with pytest.raises(PlanError, match="out of range"):
+            plan.validate(small_model, roomy_topology)
+
+    def test_hbm_capacity_violation(self, small_model, tight_topology):
+        # Everything in HBM cannot fit a tight topology.
+        rows = [(t.num_rows, 0) for t in small_model.tables]
+        plan = make_plan(rows, devices=[0, 1] * 3)
+        with pytest.raises(PlanError, match="exceeds capacity"):
+            plan.validate(small_model, tight_topology)
+
+    def test_tier_count_mismatch(self, small_model):
+        topo3 = SystemTopology.two_tier(2, 10**9, 100.0, 10**9, 10.0)
+        rows = [(t.num_rows, 0, 0) for t in small_model.tables]  # 3 tiers
+        plan = make_plan(rows)
+        with pytest.raises(PlanError, match="tiers"):
+            plan.validate(small_model, topo3)
+
+    def test_missing_placement(self, small_model, roomy_topology):
+        rows = [(t.num_rows, 0) for t in small_model.tables[:-1]]
+        plan = make_plan(rows)
+        with pytest.raises(PlanError, match="placements"):
+            plan.validate(small_model, roomy_topology)
+
+
+class TestDisparity:
+    def test_disparity_directions(self):
+        # Table 4 semantics: ours-HBM vs theirs-UVM and vice versa.
+        mine = make_plan([(80, 20), (10, 90)])
+        theirs = make_plan([(50, 50), (40, 60)])
+        diff = mine.placement_disparity(theirs)
+        # Table 0: we put 30 more rows in HBM; table 1: they put 30 more.
+        assert diff["uvm_to_hbm"] == pytest.approx(30 / 200)
+        assert diff["hbm_to_uvm"] == pytest.approx(30 / 200)
+
+    def test_identical_plans_zero_disparity(self):
+        a = make_plan([(80, 20), (10, 90)])
+        b = make_plan([(80, 20), (10, 90)])
+        diff = a.placement_disparity(b)
+        assert diff == {"uvm_to_hbm": 0.0, "hbm_to_uvm": 0.0}
+
+    def test_mismatched_plans_rejected(self):
+        a = make_plan([(1, 0)])
+        b = make_plan([(1, 0), (1, 0)])
+        with pytest.raises(PlanError):
+            a.placement_disparity(b)
+
+
+class TestSummary:
+    def test_summary_fields(self, small_model, roomy_topology):
+        rows = [(t.num_rows, 0) for t in small_model.tables]
+        plan = make_plan(rows, devices=[0, 1] * 3)
+        summary = plan.summary(small_model, roomy_topology)
+        assert summary["tables"] == 6
+        assert summary["uvm_row_fraction"] == 0.0
+        assert summary["tables_per_device"] == [3, 3]

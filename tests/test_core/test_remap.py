@@ -1,0 +1,150 @@
+"""Tests for the remapping layer (Section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import ShardingPlan, TablePlacement
+from repro.core.remap import RemappingLayer, RemappingTable
+from repro.data.batch import JaggedBatch, JaggedFeature
+from repro.stats import analytic_profile
+
+
+def ranking(hash_size, seed=0):
+    return np.random.default_rng(seed).permutation(hash_size).astype(np.int64)
+
+
+class TestRemappingTable:
+    def test_split_membership(self):
+        order = np.array([3, 1, 4, 0, 2])  # hotness ranking
+        table = RemappingTable(order, (2, 3))
+        tiers, offsets = table.apply(np.array([3, 1, 4, 0, 2]))
+        assert list(tiers) == [0, 0, 1, 1, 1]
+        assert list(offsets) == [0, 1, 0, 1, 2]
+
+    def test_signed_encoding(self):
+        # Paper: the sign of the remapped index denotes the partition.
+        order = np.array([2, 0, 1])
+        table = RemappingTable(order, (1, 2))
+        signed = table.apply_signed(np.array([2, 0, 1]))
+        assert list(signed) == [0, -1, -2]
+
+    def test_signed_roundtrip(self):
+        order = ranking(100, seed=1)
+        table = RemappingTable(order, (30, 70))
+        indices = np.random.default_rng(2).integers(0, 100, size=500)
+        decoded = table.decode_signed(table.apply_signed(indices))
+        assert np.array_equal(decoded, indices)
+
+    def test_tier_counts_conserve(self):
+        order = ranking(50, seed=3)
+        table = RemappingTable(order, (10, 40))
+        indices = np.random.default_rng(4).integers(0, 50, size=1000)
+        counts = table.tier_counts(indices)
+        assert counts.sum() == 1000
+
+    def test_empty_indices(self):
+        table = RemappingTable(ranking(10), (5, 5))
+        assert list(table.tier_counts(np.array([], dtype=np.int64))) == [0, 0]
+
+    def test_hot_rows_map_to_tier0(self):
+        order = ranking(64, seed=5)
+        table = RemappingTable(order, (16, 48))
+        hot = order[:16]
+        tiers, _ = table.apply(hot)
+        assert np.all(tiers == 0)
+
+    def test_original_row_inverse(self):
+        order = ranking(20, seed=6)
+        table = RemappingTable(order, (7, 13))
+        for row in range(20):
+            tier, offset = table.apply(np.array([row]))
+            assert table.original_row(int(tier[0]), int(offset[0])) == row
+
+    def test_three_tier_split(self):
+        order = ranking(30, seed=7)
+        table = RemappingTable(order, (5, 10, 15))
+        tiers, _ = table.apply(np.arange(30))
+        assert list(np.bincount(tiers, minlength=3)) == [5, 10, 15]
+        with pytest.raises(ValueError):
+            table.apply_signed(np.arange(5))  # signed needs exactly 2 tiers
+
+    def test_rows_must_sum_to_hash_size(self):
+        with pytest.raises(ValueError):
+            RemappingTable(ranking(10), (4, 4))
+
+    def test_storage_cost_is_4_bytes_per_row(self):
+        # Section 6.6: 4 bytes per remapped row.
+        table = RemappingTable(ranking(1000), (100, 900))
+        assert table.storage_bytes == 4000
+
+    @given(
+        hash_size=st.integers(min_value=1, max_value=300),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bijection_property(self, hash_size, data):
+        split = data.draw(st.integers(min_value=0, max_value=hash_size))
+        table = RemappingTable(ranking(hash_size, seed=hash_size), (split, hash_size - split))
+        # Every row maps to a unique (tier, offset) slot.
+        tiers, offsets = table.apply(np.arange(hash_size))
+        slots = set(zip(tiers.tolist(), offsets.tolist()))
+        assert len(slots) == hash_size
+        # Offsets are dense per tier.
+        for tier, rows in enumerate(table.rows_per_tier):
+            tier_offsets = offsets[tiers == tier]
+            assert sorted(tier_offsets.tolist()) == list(range(rows))
+
+
+class TestRemappingLayer:
+    def build_layer(self, small_model, small_profile):
+        placements = [
+            TablePlacement(j, 0, (t.num_rows // 2, t.num_rows - t.num_rows // 2))
+            for j, t in enumerate(small_model.tables)
+        ]
+        plan = ShardingPlan(strategy="s", placements=placements)
+        return RemappingLayer.from_plan(plan, small_profile)
+
+    def test_from_plan(self, small_model, small_profile):
+        layer = self.build_layer(small_model, small_profile)
+        assert len(layer) == small_model.num_tables
+
+    def test_transform_preserves_structure(self, small_model, small_profile):
+        layer = self.build_layer(small_model, small_profile)
+        features = [
+            JaggedFeature.from_lists([[0, 1], [2]]) for _ in small_model.tables
+        ]
+        batch = JaggedBatch(features)
+        remapped = layer.transform(batch)
+        assert remapped.batch_size == 2
+        for orig, new in zip(batch, remapped):
+            assert np.array_equal(orig.offsets, new.offsets)
+            assert new.values.size == orig.values.size
+
+    def test_transform_values_decode_back(self, small_model, small_profile):
+        layer = self.build_layer(small_model, small_profile)
+        features = [
+            JaggedFeature.from_lists([[0, 3, 5], [1]]) for _ in small_model.tables
+        ]
+        remapped = layer.transform(JaggedBatch(features))
+        for j, new in enumerate(remapped):
+            decoded = layer[j].decode_signed(new.values)
+            assert np.array_equal(decoded, features[j].values)
+
+    def test_mismatched_batch_rejected(self, small_model, small_profile):
+        layer = self.build_layer(small_model, small_profile)
+        with pytest.raises(ValueError):
+            layer.transform(JaggedBatch([JaggedFeature.from_lists([[0]])]))
+
+    def test_layer_storage_bytes(self, small_model, small_profile):
+        layer = self.build_layer(small_model, small_profile)
+        assert layer.storage_bytes == 4 * small_model.total_hash_size
+
+    def test_hot_split_tracks_profile_ranking(self, small_model, small_profile):
+        layer = self.build_layer(small_model, small_profile)
+        for j, stats in enumerate(small_profile):
+            k = small_model.tables[j].num_rows // 2
+            hot_rows = stats.cdf.top_rows(k)
+            tiers, _ = layer[j].apply(hot_rows)
+            assert np.all(tiers == 0)

@@ -1,0 +1,106 @@
+"""Tests for jagged batch structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batch import JaggedBatch, JaggedFeature
+
+
+def feature_from_lists(lists):
+    return JaggedFeature.from_lists(lists)
+
+
+class TestJaggedFeature:
+    def test_from_lists_roundtrip(self):
+        f = feature_from_lists([[1, 2], [], [3]])
+        assert f.batch_size == 3
+        assert f.total_lookups == 3
+        assert list(f.lengths) == [2, 0, 1]
+        assert list(f.sample(0)) == [1, 2]
+        assert list(f.sample(1)) == []
+        assert list(f.sample(2)) == [3]
+
+    def test_null_sample_is_zero_length(self):
+        # Figure 3: a NULL feature sample has no lookups.
+        f = feature_from_lists([[], [], []])
+        assert f.total_lookups == 0
+        assert f.batch_size == 3
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            JaggedFeature(np.array([1, 2]), np.array([0, 1]))  # end != len
+        with pytest.raises(ValueError):
+            JaggedFeature(np.array([1]), np.array([1, 1]))  # start != 0
+        with pytest.raises(ValueError):
+            JaggedFeature(np.array([1, 2]), np.array([0, 2, 1, 2]))  # decreasing
+
+    def test_take_subset(self):
+        f = feature_from_lists([[1, 2], [3], [], [4, 5, 6]])
+        sub = f.take(np.array([3, 0]))
+        assert sub.batch_size == 2
+        assert list(sub.sample(0)) == [4, 5, 6]
+        assert list(sub.sample(1)) == [1, 2]
+
+    def test_take_empty_selection(self):
+        f = feature_from_lists([[1], [2]])
+        sub = f.take(np.array([], dtype=np.int64))
+        assert sub.batch_size == 0
+        assert sub.total_lookups == 0
+
+    def test_take_from_all_null(self):
+        f = feature_from_lists([[], []])
+        sub = f.take(np.array([1]))
+        assert sub.batch_size == 1
+        assert sub.total_lookups == 0
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=99), max_size=5),
+            min_size=1,
+            max_size=12,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_take_preserves_samples(self, lists, data):
+        f = feature_from_lists(lists)
+        indices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(lists) - 1),
+                min_size=0,
+                max_size=len(lists),
+            )
+        )
+        sub = f.take(np.array(indices, dtype=np.int64))
+        for out_pos, src in enumerate(indices):
+            assert list(sub.sample(out_pos)) == lists[src]
+
+
+class TestJaggedBatch:
+    def test_batch_size_consistency_enforced(self):
+        f1 = feature_from_lists([[1], [2]])
+        f2 = feature_from_lists([[1]])
+        with pytest.raises(ValueError):
+            JaggedBatch([f1, f2])
+
+    def test_total_lookups(self):
+        f1 = feature_from_lists([[1, 2], []])
+        f2 = feature_from_lists([[5], [6]])
+        batch = JaggedBatch([f1, f2])
+        assert batch.total_lookups == 4
+        assert batch.num_features == 2
+        assert batch.batch_size == 2
+
+    def test_take_applies_to_all_features(self):
+        f1 = feature_from_lists([[1], [2], [3]])
+        f2 = feature_from_lists([[9, 9], [], [7]])
+        sub = JaggedBatch([f1, f2]).take(np.array([2]))
+        assert list(sub[0].sample(0)) == [3]
+        assert list(sub[1].sample(0)) == [7]
+
+    def test_empty_batch(self):
+        batch = JaggedBatch([])
+        assert batch.batch_size == 0
+        assert batch.total_lookups == 0

@@ -1,0 +1,101 @@
+"""Tests for temporal drift (Figure 9) and growth trends (Figure 1)."""
+
+import pytest
+
+from repro.data import trends
+from repro.data.drift import DriftModel
+from repro.data.feature import FeatureKind
+from repro.data.model import rm1
+
+
+class TestDriftModel:
+    def test_baseline_month_zero(self):
+        drift = DriftModel()
+        assert drift.percent_change(FeatureKind.USER, 0) == pytest.approx(0.0, abs=1.0)
+
+    def test_user_features_climb(self):
+        # Figure 9: user features trend toward ~+10%.
+        drift = DriftModel()
+        series = drift.series(FeatureKind.USER, months=20)
+        assert series[-1] > 7.0
+        assert max(series) < 15.0
+
+    def test_content_features_dip_then_recover(self):
+        drift = DriftModel()
+        series = drift.series(FeatureKind.CONTENT, months=20)
+        assert min(series[:6]) < 0.0  # early dip below baseline
+        assert series[-1] > 2.0  # late recovery
+
+    def test_series_length(self):
+        assert len(DriftModel().series(FeatureKind.USER, months=7)) == 7
+
+    def test_negative_month_rejected(self):
+        with pytest.raises(ValueError):
+            DriftModel().percent_change(FeatureKind.USER, -1)
+
+    def test_drift_feature_scales_pooling(self):
+        drift = DriftModel(user_plateau=10.0, wobble=0.0)
+        model = rm1(num_features=10)
+        feature = model.tables[0].feature
+        drifted = drift.drift_feature(feature, month=20)
+        expected = feature.avg_pooling * (
+            1 + drift.percent_change(feature.kind, 20) / 100
+        )
+        assert drifted.avg_pooling == pytest.approx(expected)
+
+    def test_drift_model_spec(self):
+        drift = DriftModel()
+        model = rm1(num_features=10)
+        drifted = drift.drift_model(model, month=12)
+        assert drifted.name == "RM1@month12"
+        assert drifted.num_tables == model.num_tables
+        # Hash sizes untouched; only pooling moves.
+        assert drifted.total_hash_size == model.total_hash_size
+        changed = sum(
+            d.feature.avg_pooling != o.feature.avg_pooling
+            for d, o in zip(drifted.tables, model.tables)
+        )
+        assert changed == model.num_tables
+
+    def test_pooling_floor(self):
+        drift = DriftModel(content_dip=-99.9, content_plateau=0.0, wobble=0.0)
+        model = rm1(num_features=10)
+        drifted = drift.drift_model(model, month=3)
+        assert all(t.feature.avg_pooling >= 1.0 for t in drifted.tables)
+
+
+class TestTrends:
+    def test_capacity_growth_endpoints(self):
+        data = trends.capacity_growth()
+        assert data["years"] == [2017, 2018, 2019, 2020, 2021]
+        assert data["model_capacity"][0] == pytest.approx(1.0)
+        assert data["model_capacity"][-1] == pytest.approx(16.0)
+        # Paper: GPU HBM grew less than 6x over the same window.
+        assert data["gpu_hbm_capacity"][-1] < 6.0
+
+    def test_capacity_series_monotone(self):
+        data = trends.capacity_growth()
+        for key in ("model_capacity", "emb_rows", "gpu_hbm_capacity"):
+            series = data[key]
+            assert all(a <= b for a, b in zip(series, series[1:]))
+
+    def test_bandwidth_growth_endpoints(self):
+        data = trends.bandwidth_growth()
+        assert data["model_bandwidth"][-1] == pytest.approx(28.35)
+        assert data["interconnect_bw_gbs"]["NVLINK3.0"] == 600.0
+
+    def test_summary_multiples(self):
+        summary = trends.summary()
+        assert summary["model_capacity_growth"] == 16.0
+        assert summary["model_bandwidth_growth"] == pytest.approx(28.35)
+        assert summary["hbm_bandwidth_growth"] == pytest.approx(2.26)
+        assert summary["interconnect_bandwidth_growth"] == 2.0
+        # The paper's central tension: demand growth outpaces hardware.
+        assert summary["model_capacity_growth"] > summary["gpu_hbm_capacity_growth"]
+        assert summary["model_bandwidth_growth"] > summary["hbm_bandwidth_growth"]
+
+    def test_gpu_generations_table(self):
+        names = [g.name for g in trends.GPU_GENERATIONS]
+        assert "A100 (40GB)" in names
+        bandwidths = [g.hbm_bw_gbs for g in trends.GPU_GENERATIONS]
+        assert bandwidths == sorted(bandwidths)

@@ -1,0 +1,106 @@
+"""Tests for sparse feature specs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.feature import FeatureKind, SparseFeatureSpec
+
+
+def make_feature(**overrides):
+    base = dict(
+        name="f",
+        cardinality=1000,
+        hash_size=600,
+        alpha=1.1,
+        avg_pooling=10.0,
+        coverage=0.5,
+    )
+    base.update(overrides)
+    return SparseFeatureSpec(**base)
+
+
+class TestValidation:
+    def test_valid_feature(self):
+        f = make_feature()
+        assert f.kind is FeatureKind.CONTENT
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cardinality", 0),
+            ("hash_size", 0),
+            ("coverage", 1.5),
+            ("coverage", -0.1),
+            ("avg_pooling", 0.5),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            make_feature(**{field: value})
+
+
+class TestHashing:
+    def test_hash_values_in_range(self):
+        f = make_feature()
+        hashed = f.hash_values(np.arange(1000))
+        assert hashed.min() >= 0
+        assert hashed.max() < f.hash_size
+
+    def test_hash_deterministic(self):
+        f = make_feature()
+        a = f.hash_values(np.arange(100))
+        b = f.hash_values(np.arange(100))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_feature(hash_seed=1).hash_values(np.arange(100))
+        b = make_feature(hash_seed=2).hash_values(np.arange(100))
+        assert not np.array_equal(a, b)
+
+
+class TestPostHashPmf:
+    def test_pmf_normalized(self):
+        f = make_feature()
+        pmf = f.post_hash_pmf()
+        assert pmf.shape == (600,)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_dead_rows_exist_when_hash_exceeds_cardinality(self):
+        # Birthday paradox: H > N still leaves slots empty.
+        f = make_feature(cardinality=100, hash_size=150)
+        pmf = f.post_hash_pmf()
+        assert np.count_nonzero(pmf == 0) > 0
+
+    def test_collisions_merge_mass(self):
+        # H < N forces collisions: fewer live rows than raw values.
+        f = make_feature(cardinality=1000, hash_size=100)
+        pmf = f.post_hash_pmf()
+        assert np.count_nonzero(pmf) <= 100
+
+    @given(
+        cardinality=st.integers(min_value=1, max_value=3000),
+        hash_size=st.integers(min_value=1, max_value=3000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pmf_mass_conserved(self, cardinality, hash_size):
+        f = make_feature(cardinality=cardinality, hash_size=hash_size)
+        assert f.post_hash_pmf().sum() == pytest.approx(1.0)
+
+
+class TestDerived:
+    def test_expected_lookups(self):
+        f = make_feature(avg_pooling=20.0, coverage=0.25)
+        assert f.expected_lookups_per_sample() == pytest.approx(5.0)
+
+    def test_scaled_hash_size(self):
+        f = make_feature(hash_size=600)
+        assert f.scaled_hash_size(2.0).hash_size == 1200
+        assert f.scaled_hash_size(1e-9).hash_size == 1  # floor at 1
+
+    def test_with_pooling(self):
+        f = make_feature(avg_pooling=10.0)
+        g = f.with_pooling(12.5)
+        assert g.avg_pooling == 12.5
+        assert f.avg_pooling == 10.0  # original untouched (frozen)

@@ -1,0 +1,106 @@
+"""Tests for model specs and the RM1/RM2/RM3 workloads (Table 2)."""
+
+import pytest
+
+from repro.data.feature import SparseFeatureSpec
+from repro.data.model import (
+    PAPER_TOTAL_HASH_SIZE,
+    EmbeddingTableSpec,
+    ModelSpec,
+    generate_feature_population,
+    rm1,
+    rm2,
+    rm3,
+)
+
+
+class TestEmbeddingTableSpec:
+    def test_geometry(self):
+        feature = SparseFeatureSpec(
+            name="f", cardinality=100, hash_size=64, alpha=1.0, avg_pooling=3
+        )
+        table = EmbeddingTableSpec(feature=feature, dim=8, dtype_bytes=4)
+        assert table.num_rows == 64
+        assert table.row_bytes == 32
+        assert table.total_bytes == 64 * 32
+
+    def test_invalid_dim(self):
+        feature = SparseFeatureSpec(
+            name="f", cardinality=10, hash_size=10, alpha=1.0, avg_pooling=1
+        )
+        with pytest.raises(ValueError):
+            EmbeddingTableSpec(feature=feature, dim=0)
+
+
+class TestFeaturePopulation:
+    def test_population_size(self):
+        feats = generate_feature_population(num_features=50, seed=1)
+        assert len(feats) == 50
+
+    def test_deterministic_by_seed(self):
+        a = generate_feature_population(num_features=20, seed=5)
+        b = generate_feature_population(num_features=20, seed=5)
+        assert [f.hash_size for f in a] == [f.hash_size for f in b]
+
+    def test_coverage_spread_matches_figure6b(self):
+        feats = generate_feature_population(num_features=400, seed=2)
+        coverages = [f.coverage for f in feats]
+        assert min(coverages) < 0.05  # sub-1% coverage exists
+        assert sum(c == 1.0 for c in coverages) > 10  # full-coverage mass
+
+    def test_pooling_spread_matches_figure6a(self):
+        feats = generate_feature_population(num_features=400, seed=2)
+        poolings = [f.avg_pooling for f in feats]
+        assert max(poolings) > 100  # long tail toward ~200
+        assert min(poolings) >= 1
+
+    def test_unique_hash_seeds(self):
+        feats = generate_feature_population(num_features=30, seed=3)
+        assert len({f.hash_seed for f in feats}) == 30
+
+
+class TestRMSpecs:
+    @pytest.mark.parametrize(
+        "builder,name", [(rm1, "RM1"), (rm2, "RM2"), (rm3, "RM3")]
+    )
+    def test_total_hash_size_matches_table2(self, builder, name):
+        model = builder(row_scale=1e-3, num_features=97)
+        expected = round(PAPER_TOTAL_HASH_SIZE[name] * 1e-3)
+        assert model.total_hash_size == expected
+        assert model.name == name
+
+    def test_rm2_rm3_share_rm1_features(self):
+        m1, m2, m3 = rm1(num_features=40), rm2(num_features=40), rm3(num_features=40)
+        for t1, t2, t3 in zip(m1.tables, m2.tables, m3.tables):
+            assert t1.feature.cardinality == t2.feature.cardinality
+            assert t1.feature.alpha == t3.feature.alpha
+            assert t1.feature.coverage == t2.feature.coverage
+            # hash sizes approximately double then quadruple
+            assert t2.num_rows == pytest.approx(2 * t1.num_rows, rel=0.2, abs=4)
+            assert t3.num_rows == pytest.approx(4 * t1.num_rows, rel=0.2, abs=8)
+
+    def test_table2_row(self):
+        model = rm1(num_features=30)
+        row = model.table2_row()
+        assert row["model"] == "RM1"
+        assert row["num_sparse_features"] == 30
+        assert row["emb_dim"] == 64
+
+    def test_size_ratio_matches_paper(self):
+        # Paper: 318 GB -> 635 GB -> 1270 GB (x2 then x4 of RM1).
+        g1, g2, g3 = rm1().total_gib, rm2().total_gib, rm3().total_gib
+        assert g2 / g1 == pytest.approx(2.0, rel=0.01)
+        assert g3 / g1 == pytest.approx(4.0, rel=0.01)
+
+    def test_scaled_hash_sizes_helper(self):
+        model = rm1(num_features=10)
+        bigger = model.scaled_hash_sizes(2.0, "RM1x2")
+        assert bigger.total_hash_size == pytest.approx(
+            2 * model.total_hash_size, rel=0.01
+        )
+        assert bigger.name == "RM1x2"
+
+    def test_row_scale_floor(self):
+        # Tiny scales must still produce at least one row per table.
+        model = rm1(row_scale=1e-9, num_features=10)
+        assert all(t.num_rows >= 1 for t in model.tables)

@@ -1,0 +1,103 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.feature import SparseFeatureSpec
+from repro.data.model import EmbeddingTableSpec, ModelSpec
+from repro.data.synthetic import TraceGenerator
+
+
+def small_model(num_features=3, coverage=0.6, pooling=4.0):
+    tables = tuple(
+        EmbeddingTableSpec(
+            feature=SparseFeatureSpec(
+                name=f"f{i}",
+                cardinality=500,
+                hash_size=400,
+                alpha=1.0,
+                avg_pooling=pooling,
+                coverage=coverage,
+                hash_seed=i,
+            ),
+            dim=8,
+        )
+        for i in range(num_features)
+    )
+    return ModelSpec(name="tiny", tables=tables)
+
+
+class TestTraceGenerator:
+    def test_batch_shape(self):
+        gen = TraceGenerator(small_model(), batch_size=64, seed=0)
+        batch = gen.next_batch()
+        assert batch.batch_size == 64
+        assert batch.num_features == 3
+
+    def test_values_within_hash_space(self):
+        gen = TraceGenerator(small_model(), batch_size=128, seed=1)
+        batch = gen.next_batch()
+        for feature in batch:
+            if feature.values.size:
+                assert feature.values.min() >= 0
+                assert feature.values.max() < 400
+
+    def test_reproducible_by_seed(self):
+        g1 = TraceGenerator(small_model(), batch_size=32, seed=9)
+        g2 = TraceGenerator(small_model(), batch_size=32, seed=9)
+        b1, b2 = g1.next_batch(), g2.next_batch()
+        for f1, f2 in zip(b1, b2):
+            assert np.array_equal(f1.values, f2.values)
+            assert np.array_equal(f1.offsets, f2.offsets)
+
+    def test_reset_rewinds_stream(self):
+        gen = TraceGenerator(small_model(), batch_size=32, seed=4)
+        first = gen.next_batch()
+        gen.next_batch()
+        gen.reset()
+        again = gen.next_batch()
+        assert np.array_equal(first[0].values, again[0].values)
+
+    def test_coverage_respected(self):
+        model = small_model(coverage=0.3)
+        gen = TraceGenerator(model, batch_size=4000, seed=5)
+        batch = gen.next_batch()
+        present = np.mean(batch[0].lengths > 0)
+        assert present == pytest.approx(0.3, abs=0.03)
+
+    def test_zero_coverage_produces_all_nulls(self):
+        model = small_model(coverage=0.0)
+        gen = TraceGenerator(model, batch_size=100, seed=6)
+        batch = gen.next_batch()
+        assert batch.total_lookups == 0
+
+    def test_pooling_mean(self):
+        model = small_model(coverage=1.0, pooling=6.0)
+        gen = TraceGenerator(model, batch_size=5000, seed=7)
+        batch = gen.next_batch()
+        lengths = batch[0].lengths
+        assert lengths.mean() == pytest.approx(6.0, rel=0.1)
+
+    def test_hot_rows_dominant(self):
+        # Zipf skew must survive generation: top rows get most accesses.
+        model = small_model(coverage=1.0, pooling=10.0)
+        gen = TraceGenerator(model, batch_size=4000, seed=8)
+        batch = gen.next_batch()
+        counts = np.bincount(batch[0].values, minlength=400)
+        top_40 = np.sort(counts)[::-1][:40].sum()
+        assert top_40 / counts.sum() > 0.4
+
+    def test_batches_iterator_count(self):
+        gen = TraceGenerator(small_model(), batch_size=16, seed=0)
+        assert sum(1 for _ in gen.batches(5)) == 5
+
+    def test_expected_lookups_estimate(self):
+        model = small_model(coverage=0.5, pooling=4.0)
+        gen = TraceGenerator(model, batch_size=2000, seed=11)
+        expected = gen.expected_lookups_per_batch()
+        measured = np.mean([gen.next_batch().total_lookups for _ in range(5)])
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(small_model(), batch_size=0)

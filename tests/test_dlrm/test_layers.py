@@ -1,0 +1,189 @@
+"""Tests for the numpy neural-network layers, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap import RemappingTable
+from repro.data.batch import JaggedFeature
+from repro.dlrm.layers import (
+    EmbeddingBag,
+    Linear,
+    MLP,
+    TieredEmbeddingBag,
+    dot_interaction,
+    dot_interaction_backward,
+)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        grad_x = layer.backward(out - target)
+        assert np.allclose(layer.grad_weight, numerical_grad(loss, layer.weight), atol=1e-5)
+        assert np.allclose(layer.grad_bias, numerical_grad(loss, layer.bias), atol=1e-5)
+        assert np.allclose(grad_x, numerical_grad(loss, x), atol=1e-5)
+
+    def test_sgd_step_reduces_loss(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(3, 1, rng)
+        x = rng.normal(size=(16, 3))
+        target = x @ np.array([[1.0], [2.0], [-1.0]])
+        for _ in range(100):
+            out = layer.forward(x)
+            layer.backward(out - target)
+            layer.sgd_step(0.01)
+        final = 0.5 * np.sum((layer.forward(x) - target) ** 2)
+        assert final < 0.1
+
+
+class TestMLP:
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4], np.random.default_rng(0))
+
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(3)
+        mlp = MLP([3, 5, 2], rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((mlp.forward(x) - target) ** 2)
+
+        out = mlp.forward(x)
+        grad_x = mlp.backward(out - target)
+        for layer in mlp.layers:
+            num = numerical_grad(loss, layer.weight)
+            assert np.allclose(layer.grad_weight, num, atol=1e-4)
+        assert np.allclose(grad_x, numerical_grad(loss, x), atol=1e-4)
+
+
+class TestEmbeddingBag:
+    def test_sum_pooling(self):
+        bag = EmbeddingBag(4, 2, np.random.default_rng(4))
+        bag.weight = np.arange(8, dtype=float).reshape(4, 2)
+        feature = JaggedFeature.from_lists([[0, 1], [3], []])
+        out = bag.forward(feature)
+        assert np.allclose(out[0], bag.weight[0] + bag.weight[1])
+        assert np.allclose(out[1], bag.weight[3])
+        assert np.allclose(out[2], 0.0)  # NULL sample -> zero vector
+
+    def test_sparse_update_touches_only_lookups(self):
+        bag = EmbeddingBag(5, 2, np.random.default_rng(5))
+        before = bag.weight.copy()
+        feature = JaggedFeature.from_lists([[1, 3]])
+        bag.forward(feature)
+        bag.backward(np.ones((1, 2)), lr=0.1)
+        changed = np.any(bag.weight != before, axis=1)
+        assert list(np.flatnonzero(changed)) == [1, 3]
+
+    def test_repeated_index_accumulates(self):
+        bag = EmbeddingBag(3, 1, np.random.default_rng(6))
+        bag.weight[:] = 0.0
+        feature = JaggedFeature.from_lists([[2, 2]])
+        out = bag.forward(feature)
+        assert out[0, 0] == 0.0
+        bag.backward(np.array([[1.0]]), lr=1.0)
+        assert bag.weight[2, 0] == pytest.approx(-2.0)  # grad applied twice
+
+
+class TestTieredEmbeddingBag:
+    def build(self, rows=20, dim=3, split=7, seed=7):
+        rng = np.random.default_rng(seed)
+        weight = rng.normal(size=(rows, dim))
+        order = rng.permutation(rows)
+        remap = RemappingTable(order, (split, rows - split))
+        return weight, TieredEmbeddingBag(weight, remap)
+
+    def test_forward_identical_to_flat(self):
+        weight, tiered = self.build()
+        flat = EmbeddingBag(20, 3, np.random.default_rng(0))
+        flat.weight = weight.copy()
+        feature = JaggedFeature.from_lists([[0, 5, 19], [7], []])
+        assert np.allclose(tiered.forward(feature), flat.forward(feature))
+
+    def test_access_counting(self):
+        _, tiered = self.build()
+        feature = JaggedFeature.from_lists([[0, 1, 2, 3]])
+        tiered.forward(feature)
+        assert tiered.access_counts.sum() == 4
+
+    def test_backward_equivalent_to_flat(self):
+        weight, tiered = self.build()
+        flat = EmbeddingBag(20, 3, np.random.default_rng(0))
+        flat.weight = weight.copy()
+        feature = JaggedFeature.from_lists([[0, 5], [19, 7]])
+        grad = np.random.default_rng(8).normal(size=(2, 3))
+        tiered.forward(feature)
+        tiered.backward(grad, lr=0.05)
+        flat.forward(feature)
+        flat.backward(grad, lr=0.05)
+        assert np.allclose(tiered.logical_weight(), flat.weight)
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(9)
+        remap = RemappingTable(rng.permutation(10), (5, 5))
+        with pytest.raises(ValueError):
+            TieredEmbeddingBag(rng.normal(size=(11, 2)), remap)
+
+
+class TestDotInteraction:
+    def test_output_width(self):
+        rng = np.random.default_rng(10)
+        bottom = rng.normal(size=(4, 6))
+        pooled = [rng.normal(size=(4, 6)) for _ in range(3)]
+        out = dot_interaction(bottom, pooled)
+        # 6 dense dims + C(4,2)=6 pairwise dots.
+        assert out.shape == (4, 12)
+
+    def test_pairwise_dot_values(self):
+        bottom = np.array([[1.0, 0.0]])
+        pooled = [np.array([[0.0, 2.0]]), np.array([[3.0, 0.0]])]
+        out = dot_interaction(bottom, pooled)
+        # pairs (p0,bottom), (p1,bottom), (p1,p0) in lower-triangle order.
+        assert out.shape == (1, 5)
+        assert set(np.round(out[0, 2:], 6)) == {0.0, 3.0}
+
+    def test_backward_matches_numerical(self):
+        rng = np.random.default_rng(11)
+        bottom = rng.normal(size=(2, 3))
+        pooled = [rng.normal(size=(2, 3)) for _ in range(2)]
+        grad_out = rng.normal(size=(2, 3 + 3))
+
+        def loss():
+            return np.sum(dot_interaction(bottom, pooled) * grad_out)
+
+        grad_bottom, grad_pooled = dot_interaction_backward(grad_out, bottom, pooled)
+        assert np.allclose(grad_bottom, numerical_grad(loss, bottom), atol=1e-5)
+        for k in range(2):
+            assert np.allclose(
+                grad_pooled[k], numerical_grad(loss, pooled[k]), atol=1e-5
+            )

@@ -1,0 +1,145 @@
+"""Tests for the end-to-end numpy DLRM (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap import RemappingTable
+from repro.data.batch import JaggedBatch, JaggedFeature
+from repro.dlrm import DLRM, DLRMConfig, TieredEmbeddingBag, bce_loss, train_epoch
+from repro.dlrm.train import synthetic_ctr_labels
+
+
+def make_batch(cfg, batch_size, rng):
+    dense = rng.normal(size=(batch_size, cfg.dense_features))
+    feats = []
+    for rows in cfg.table_rows:
+        lengths = rng.integers(0, 4, size=batch_size)
+        offsets = np.zeros(batch_size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values = rng.integers(0, rows, size=int(offsets[-1]))
+        feats.append(JaggedFeature(values, offsets))
+    sparse = JaggedBatch(feats)
+    labels = synthetic_ctr_labels(dense, sparse, rng)
+    return dense, sparse, labels
+
+
+@pytest.fixture
+def config():
+    return DLRMConfig(
+        dense_features=4,
+        table_rows=[40, 60],
+        embedding_dim=8,
+        bottom_layers=[16],
+        top_layers=[16],
+        seed=3,
+    )
+
+
+class TestDLRMForward:
+    def test_probabilities_in_range(self, config):
+        model = DLRM(config)
+        rng = np.random.default_rng(0)
+        dense, sparse, _ = make_batch(config, 32, rng)
+        probs = model.forward(dense, sparse)
+        assert probs.shape == (32,)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_feature_count_validated(self, config):
+        model = DLRM(config)
+        rng = np.random.default_rng(1)
+        dense, _, _ = make_batch(config, 8, rng)
+        wrong = JaggedBatch([JaggedFeature.from_lists([[0]] * 8)])
+        with pytest.raises(ValueError):
+            model.forward(dense, wrong)
+
+    def test_interaction_dim(self, config):
+        # 1 bottom vector + 2 pooled vectors -> C(3,2)=3 pairs + dim.
+        assert config.interaction_dim() == 8 + 3
+
+    def test_needs_tables(self):
+        with pytest.raises(ValueError):
+            DLRM(DLRMConfig(dense_features=2, table_rows=[]))
+
+
+class TestDLRMTraining:
+    def test_loss_decreases(self, config):
+        model = DLRM(config)
+        rng = np.random.default_rng(2)
+        batches = [make_batch(config, 64, rng) for _ in range(25)]
+        losses = train_epoch(model, batches, lr=0.2)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_backward_requires_forward(self, config):
+        model = DLRM(config)
+        with pytest.raises(RuntimeError):
+            model.backward(np.zeros(4), lr=0.1)
+
+    def test_bce_loss_properties(self):
+        assert bce_loss(np.array([0.5]), np.array([1.0])) == pytest.approx(
+            -np.log(0.5)
+        )
+        perfect = bce_loss(np.array([1.0 - 1e-12]), np.array([1.0]))
+        assert perfect < 1e-6
+
+
+class TestTieredDLRM:
+    def tiered_copy(self, model, rng, split_fraction=0.3):
+        import copy
+
+        tables = []
+        for bag in model.tables:
+            rows = bag.num_rows
+            order = rng.permutation(rows)
+            split = int(rows * split_fraction)
+            remap = RemappingTable(order, (split, rows - split))
+            tables.append(TieredEmbeddingBag(bag.weight.copy(), remap))
+        clone = DLRM(model.config)
+        clone.bottom = copy.deepcopy(model.bottom)
+        clone.top = copy.deepcopy(model.top)
+        clone.replace_tables(tables)
+        return clone
+
+    def test_forward_bit_identical(self, config):
+        rng = np.random.default_rng(4)
+        model = DLRM(config)
+        tiered = self.tiered_copy(model, rng)
+        dense, sparse, _ = make_batch(config, 16, rng)
+        np.testing.assert_array_equal(
+            model.forward(dense, sparse), tiered.forward(dense, sparse)
+        )
+
+    def test_tier_access_counts_accumulate(self, config):
+        rng = np.random.default_rng(5)
+        model = DLRM(config)
+        tiered = self.tiered_copy(model, rng)
+        dense, sparse, _ = make_batch(config, 16, rng)
+        tiered.forward(dense, sparse)
+        counts = tiered.tier_access_counts()
+        assert counts is not None
+        assert counts.sum() == sparse.total_lookups
+
+    def test_flat_model_reports_no_tier_counts(self, config):
+        model = DLRM(config)
+        assert model.tier_access_counts() is None
+
+    def test_training_equivalent_under_remapping(self, config):
+        # One SGD step on flat vs tiered storage produces identical
+        # logical weights — remapping is performance-transparent.
+        rng = np.random.default_rng(6)
+        flat = DLRM(config)
+        tiered = self.tiered_copy(flat, rng)
+        dense, sparse, labels = make_batch(config, 16, rng)
+        flat_probs = flat.forward(dense, sparse)
+        flat.backward(labels, lr=0.1)
+        tiered_probs = tiered.forward(dense, sparse)
+        tiered.backward(labels, lr=0.1)
+        np.testing.assert_array_equal(flat_probs, tiered_probs)
+        for flat_bag, tiered_bag in zip(flat.tables, tiered.tables):
+            np.testing.assert_allclose(
+                flat_bag.weight, tiered_bag.logical_weight(), atol=1e-12
+            )
+
+    def test_replace_tables_length_checked(self, config):
+        model = DLRM(config)
+        with pytest.raises(ValueError):
+            model.replace_tables([model.tables[0]])

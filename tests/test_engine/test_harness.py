@@ -1,0 +1,134 @@
+"""Tests for the experiment harness (profile -> shard -> execute)."""
+
+import pytest
+
+from repro.baselines import make_baseline
+from repro.core import RecShardFastSharder
+from repro.engine import compare_strategies, run_experiment
+from repro.engine.harness import build_profile, speedup_table
+from repro.memory.topology import SystemTopology
+from repro.stats import analytic_profile
+from tests.test_core.conftest import build_model
+
+BATCH = 128
+
+
+@pytest.fixture
+def model():
+    return build_model(num_tables=6, seed=21)
+
+
+@pytest.fixture
+def topology(model):
+    total = model.total_bytes
+    return SystemTopology.two_tier(
+        num_devices=2,
+        hbm_capacity=int(total * 0.4 / 2),
+        hbm_bandwidth=200e9,
+        uvm_capacity=total,
+        uvm_bandwidth=10e9,
+    )
+
+
+class TestBuildProfile:
+    def test_analytic_path(self, model):
+        profile = build_profile(model, batch_size=BATCH, analytic=True)
+        assert len(profile) == model.num_tables
+
+    def test_trace_path(self, model):
+        profile = build_profile(
+            model, batch_size=BATCH, profile_batches=2, sample_rate=0.5, seed=1
+        )
+        assert profile.samples_profiled > 0
+        assert profile.sample_rate == 0.5
+
+
+class TestRunExperiment:
+    def test_result_structure(self, model, topology):
+        result = run_experiment(
+            model,
+            RecShardFastSharder(batch_size=BATCH),
+            topology,
+            batch_size=BATCH,
+            iterations=2,
+        )
+        assert result.model_name == model.name
+        assert result.metrics.num_iterations == 2
+        assert result.shard_seconds >= 0
+        assert result.table3_row().count("/") == 3
+
+    def test_shared_batches_reused(self, model, topology):
+        profile = analytic_profile(model)
+        from repro.data.synthetic import TraceGenerator
+
+        batches = list(
+            TraceGenerator(model, batch_size=BATCH, seed=3).batches(2)
+        )
+        r1 = run_experiment(
+            model,
+            RecShardFastSharder(batch_size=BATCH),
+            topology,
+            batch_size=BATCH,
+            profile=profile,
+            shared_batches=batches,
+        )
+        r2 = run_experiment(
+            model,
+            RecShardFastSharder(batch_size=BATCH),
+            topology,
+            batch_size=BATCH,
+            profile=profile,
+            shared_batches=batches,
+        )
+        assert r1.metrics.times_ms.tolist() == r2.metrics.times_ms.tolist()
+
+
+class TestCompareStrategies:
+    def test_all_strategies_measured_on_same_trace(self, model, topology):
+        results = compare_strategies(
+            model,
+            [
+                make_baseline("Size-Based"),
+                RecShardFastSharder(batch_size=BATCH, name="RecShard"),
+            ],
+            topology,
+            batch_size=BATCH,
+            iterations=2,
+        )
+        assert set(results) == {"Size-Based", "RecShard"}
+        sb = results["Size-Based"].metrics
+        rs = results["RecShard"].metrics
+        total_sb = sum(a.sum() for a in sb.tier_accesses.values())
+        total_rs = sum(a.sum() for a in rs.tier_accesses.values())
+        assert total_sb == total_rs  # identical traffic
+
+    def test_recshard_wins_under_pressure(self, model, topology):
+        results = compare_strategies(
+            model,
+            [
+                make_baseline("Size-Based"),
+                RecShardFastSharder(batch_size=BATCH, name="RecShard"),
+            ],
+            topology,
+            batch_size=BATCH,
+            iterations=3,
+        )
+        speedups = speedup_table(results)
+        assert speedups["RecShard"] >= speedups["Size-Based"]
+        assert results["RecShard"].metrics.tier_access_fraction(
+            "uvm"
+        ) <= results["Size-Based"].metrics.tier_access_fraction("uvm")
+
+    def test_speedup_table_normalizes_to_slowest(self, model, topology):
+        results = compare_strategies(
+            model,
+            [
+                make_baseline("Size-Based"),
+                make_baseline("Lookup-Based"),
+            ],
+            topology,
+            batch_size=BATCH,
+            iterations=2,
+        )
+        speedups = speedup_table(results)
+        assert min(speedups.values()) == pytest.approx(1.0)

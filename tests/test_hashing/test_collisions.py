@@ -1,0 +1,109 @@
+"""Tests for birthday-paradox analytics (Figures 7 and 8)."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import ZipfCategorical
+from repro.hashing import (
+    SplitMix64Hasher,
+    birthday_sweep,
+    collision_fraction,
+    expected_occupancy,
+    hash_compression_profile,
+    measure_occupancy,
+)
+
+
+class TestAnalytics:
+    def test_birthday_paradox_at_equal_size(self):
+        # H == N leaves ~1/e of slots unused (Section 3.4).
+        usage = expected_occupancy(10_000, 10_000)
+        assert usage == pytest.approx(1 - np.exp(-1), abs=0.01)
+
+    def test_occupancy_monotone_in_values(self):
+        occupancies = [expected_occupancy(n, 1000) for n in (10, 100, 1000, 10_000)]
+        assert occupancies == sorted(occupancies)
+
+    def test_collision_fraction_at_equal_size(self):
+        # ~1/e of the values collide at H == N (paper's statement).
+        frac = collision_fraction(10_000, 10_000)
+        assert frac == pytest.approx(np.exp(-1), abs=0.02)
+
+    def test_zero_values(self):
+        assert expected_occupancy(0, 100) == 0.0
+        assert collision_fraction(0, 100) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            expected_occupancy(-1, 100)
+        with pytest.raises(ValueError):
+            expected_occupancy(10, 0)
+
+
+class TestEmpiricalAgreement:
+    def test_measured_matches_expected(self):
+        n, h = 20_000, 30_000
+        measured = measure_occupancy(n, h, SplitMix64Hasher(seed=3))
+        expected = expected_occupancy(n, h) * h
+        assert measured == pytest.approx(expected, rel=0.02)
+
+    def test_sweep_empirical_vs_analytic(self):
+        points_analytic = birthday_sweep(5000, [0.5, 1.0, 2.0, 5.0])
+        points_measured = birthday_sweep(
+            5000, [0.5, 1.0, 2.0, 5.0], hasher=SplitMix64Hasher(seed=1)
+        )
+        for pa, pm in zip(points_analytic, points_measured):
+            assert pm.usage == pytest.approx(pa.usage, abs=0.03)
+            assert pm.collisions == pytest.approx(pa.collisions, abs=0.03)
+
+
+class TestBirthdaySweep:
+    def test_figure8_shape(self):
+        # Usage falls and sparsity rises as the hash multiple grows.
+        points = birthday_sweep(10_000, [0.5, 1, 2, 4, 8])
+        usages = [p.usage for p in points]
+        sparsities = [p.sparsity for p in points]
+        assert usages == sorted(usages, reverse=True)
+        assert sparsities == sorted(sparsities)
+        for p in points:
+            assert p.sparsity == pytest.approx(1 - p.usage)
+
+    def test_collisions_fall_with_multiple(self):
+        points = birthday_sweep(10_000, [0.5, 1, 2, 4, 8])
+        collisions = [p.collisions for p in points]
+        assert collisions == sorted(collisions, reverse=True)
+
+
+class TestHashCompression:
+    def test_figure7_profile(self):
+        # A skewed feature hashed into a larger-than-cardinality table
+        # still leaves the table under-utilized (sparsity + collisions).
+        zipf = ZipfCategorical(2000, alpha=1.1)
+        raw = zipf.sample(100_000, np.random.default_rng(0))
+        profile = hash_compression_profile(
+            raw, hash_size=3000, hasher=SplitMix64Hasher(seed=2)
+        )
+        assert profile.unique_values_seen <= 2000
+        assert profile.occupied_rows <= profile.unique_values_seen
+        assert 0.0 < profile.sparsity_pct < 1.0
+        assert profile.collision_pct >= 0.0
+        assert profile.unused_pct == pytest.approx(
+            profile.sparsity_pct + profile.collision_pct, abs=1e-9
+        )
+
+    def test_counts_sorted_descending(self):
+        raw = ZipfCategorical(500, 1.0).sample(20_000, np.random.default_rng(1))
+        profile = hash_compression_profile(raw, 600, SplitMix64Hasher(seed=4))
+        assert np.all(np.diff(profile.pre_hash_counts) <= 0)
+        assert np.all(np.diff(profile.post_hash_counts) <= 0)
+
+    def test_mass_conserved_through_hashing(self):
+        raw = ZipfCategorical(500, 1.0).sample(20_000, np.random.default_rng(2))
+        profile = hash_compression_profile(raw, 400, SplitMix64Hasher(seed=5))
+        assert profile.pre_hash_counts.sum() == profile.post_hash_counts.sum() == 20_000
+
+    def test_post_hash_compresses_distribution(self):
+        # Post-hash occupies no more rows than distinct raw values.
+        raw = ZipfCategorical(1000, 0.8).sample(50_000, np.random.default_rng(3))
+        profile = hash_compression_profile(raw, 1500, SplitMix64Hasher(seed=6))
+        assert profile.post_hash_counts.size <= profile.pre_hash_counts.size

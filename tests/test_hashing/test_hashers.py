@@ -1,0 +1,72 @@
+"""Tests for the hash function substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import IdentityHasher, MultiplyShiftHasher, SplitMix64Hasher
+
+HASHERS = [SplitMix64Hasher, MultiplyShiftHasher]
+
+
+@pytest.mark.parametrize("hasher_cls", HASHERS)
+class TestHasherContract:
+    def test_range(self, hasher_cls):
+        hasher = hasher_cls(seed=3)
+        out = hasher.hash_into(np.arange(10_000), 97)
+        assert out.min() >= 0
+        assert out.max() < 97
+
+    def test_deterministic(self, hasher_cls):
+        h1, h2 = hasher_cls(seed=5), hasher_cls(seed=5)
+        vals = np.arange(1000)
+        assert np.array_equal(h1.hash_into(vals, 64), h2.hash_into(vals, 64))
+
+    def test_seed_sensitivity(self, hasher_cls):
+        vals = np.arange(1000)
+        a = hasher_cls(seed=1).hash_into(vals, 256)
+        b = hasher_cls(seed=2).hash_into(vals, 256)
+        assert not np.array_equal(a, b)
+
+    def test_roughly_uniform(self, hasher_cls):
+        # Chi-square sanity: no bucket wildly over/under-loaded.
+        hasher = hasher_cls(seed=9)
+        out = hasher.hash_into(np.arange(100_000), 100)
+        counts = np.bincount(out, minlength=100)
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_size_one(self, hasher_cls):
+        hasher = hasher_cls(seed=0)
+        out = hasher.hash_into(np.arange(50), 1)
+        assert np.all(out == 0)
+
+    def test_invalid_size(self, hasher_cls):
+        with pytest.raises(ValueError):
+            hasher_cls(seed=0).hash_into(np.arange(5), 0)
+
+    @given(size=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_any_size_in_range(self, hasher_cls, size):
+        hasher = hasher_cls(seed=11)
+        out = hasher.hash_into(np.arange(256), size)
+        assert out.min() >= 0
+        assert out.max() < size
+
+
+class TestIdentityHasher:
+    def test_modulo_semantics(self):
+        hasher = IdentityHasher()
+        out = hasher.hash_into(np.array([0, 5, 10, 15]), 10)
+        assert list(out) == [0, 5, 0, 5]
+
+
+class TestAvalanche:
+    def test_splitmix_bit_diffusion(self):
+        # Flipping one input bit should flip ~half the output bits.
+        hasher = SplitMix64Hasher(seed=0)
+        a = hasher.hash64(np.array([1234567]))[0]
+        b = hasher.hash64(np.array([1234567 ^ 1]))[0]
+        flipped = bin(int(a) ^ int(b)).count("1")
+        assert 16 <= flipped <= 48

@@ -1,0 +1,163 @@
+"""Integration tests: the full RecShard pipeline end to end (Figure 10).
+
+These run the three phases together — trace profiling, MILP partitioning
+and placement, remapping — and execute the result, asserting the paper's
+qualitative claims at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    RecShardFastSharder,
+    RecShardSharder,
+    ShardedExecutor,
+    TraceGenerator,
+    compare_strategies,
+    make_baseline,
+    profile_trace,
+    speedup_table,
+)
+from repro.core.evaluate import expected_device_costs_ms
+from repro.core.remap import RemappingLayer
+from repro.memory.topology import SystemTopology
+from repro.stats import analytic_profile
+from tests.test_core.conftest import build_model
+
+BATCH = 256
+
+
+@pytest.fixture(scope="module")
+def world():
+    model = build_model(num_tables=10, rows=800, seed=42)
+    total = model.total_bytes
+    topology = SystemTopology.two_tier(
+        num_devices=4,
+        hbm_capacity=int(total * 0.5 / 4),
+        hbm_bandwidth=200e9,
+        uvm_capacity=total,
+        uvm_bandwidth=10e9,
+    )
+    return model, topology
+
+
+class TestFullPipeline:
+    def test_profile_shard_remap_execute(self, world):
+        model, topology = world
+        # Phase 1: profile a sampled trace (Section 4.1).
+        gen = TraceGenerator(model, batch_size=2048, seed=1)
+        profile = profile_trace(model, gen, num_batches=3, sample_rate=0.5, seed=2)
+        # Phase 2: MILP partitioning and placement (Section 4.2).
+        sharder = RecShardSharder(batch_size=BATCH, steps=15, time_limit=60)
+        plan = sharder.shard(model, profile, topology)
+        plan.validate(model, topology)
+        # Phase 3: remapping (Section 4.3) happens inside the executor.
+        layer = RemappingLayer.from_plan(plan, profile)
+        assert layer.storage_bytes == 4 * model.total_hash_size
+        # Execute out-of-sample and confirm UVM accesses are rare.
+        executor = ShardedExecutor(model, plan, profile, topology)
+        eval_gen = TraceGenerator(model, batch_size=BATCH, seed=99)
+        metrics = executor.run(eval_gen.batches(4))
+        assert metrics.tier_access_fraction("uvm") < 0.15
+
+    def test_recshard_beats_baselines_under_pressure(self, world):
+        model, topology = world
+        profile = analytic_profile(model)
+        results = compare_strategies(
+            model,
+            [
+                make_baseline("Size-Based"),
+                make_baseline("Lookup-Based"),
+                make_baseline("Size-Based-Lookup"),
+                RecShardFastSharder(batch_size=BATCH, name="RecShard"),
+            ],
+            topology,
+            batch_size=BATCH,
+            iterations=3,
+            profile=profile,
+        )
+        speedups = speedup_table(results)
+        best_baseline = max(
+            v for k, v in speedups.items() if k != "RecShard"
+        )
+        assert speedups["RecShard"] >= best_baseline
+        # RecShard is better load-balanced (Table 3's std column).
+        rs_std = results["RecShard"].metrics.iteration_stats().std
+        sb_std = results["Size-Based"].metrics.iteration_stats().std
+        assert rs_std <= sb_std + 1e-9
+
+    def test_uvm_access_reduction_claim(self, world):
+        # Abstract of the paper: "reduced access to the slower memory".
+        model, topology = world
+        profile = analytic_profile(model)
+        results = compare_strategies(
+            model,
+            [
+                make_baseline("Size-Based"),
+                RecShardFastSharder(batch_size=BATCH, name="RecShard"),
+            ],
+            topology,
+            batch_size=BATCH,
+            iterations=3,
+            profile=profile,
+        )
+        sb_uvm = results["Size-Based"].metrics.tier_access_fraction("uvm")
+        rs_uvm = results["RecShard"].metrics.tier_access_fraction("uvm")
+        assert rs_uvm < sb_uvm
+
+    def test_expected_vs_measured_costs(self, world):
+        # The MILP's cost model (Constraints 11-12) predicts the
+        # simulator's measurements.
+        model, topology = world
+        profile = analytic_profile(model)
+        plan = RecShardFastSharder(batch_size=BATCH).shard(model, profile, topology)
+        executor = ShardedExecutor(model, plan, profile, topology)
+        gen = TraceGenerator(model, batch_size=BATCH, seed=5)
+        metrics = executor.run(gen.batches(10))
+        expected = expected_device_costs_ms(
+            plan, model, profile, topology, BATCH
+        )
+        measured = metrics.per_device_avg_times()
+        ratio = measured.sum() / expected.sum()
+        assert ratio == pytest.approx(1.0, abs=0.25)
+
+    def test_profiled_and_analytic_plans_agree(self, world):
+        # Sampled statistics are good enough to shard with (Section 4.1).
+        model, topology = world
+        analytic = analytic_profile(model)
+        gen = TraceGenerator(model, batch_size=4096, seed=7)
+        sampled = profile_trace(model, gen, num_batches=2, sample_rate=0.25, seed=8)
+        plan_a = RecShardFastSharder(batch_size=BATCH).shard(model, analytic, topology)
+        plan_s = RecShardFastSharder(batch_size=BATCH).shard(model, sampled, topology)
+        # Same trace, both plans measured: times within 25%.
+        eval_batches = list(
+            TraceGenerator(model, batch_size=BATCH, seed=11).batches(3)
+        )
+        time_a = (
+            ShardedExecutor(model, plan_a, analytic, topology)
+            .run(eval_batches)
+            .bound_time_ms()
+        )
+        time_s = (
+            ShardedExecutor(model, plan_s, sampled, topology)
+            .run(eval_batches)
+            .bound_time_ms()
+        )
+        assert time_s == pytest.approx(time_a, rel=0.25)
+
+
+class TestScalingBehaviour:
+    def test_recshard_insensitive_to_hash_scaling(self, world):
+        """Section 6.3: doubling hash sizes barely slows RecShard."""
+        model, topology = world
+        doubled = model.scaled_hash_sizes(2.0, "2x")
+        times = {}
+        for spec in (model, doubled):
+            profile = analytic_profile(spec)
+            plan = RecShardFastSharder(batch_size=BATCH).shard(
+                spec, profile, topology
+            )
+            executor = ShardedExecutor(spec, plan, profile, topology)
+            gen = TraceGenerator(spec, batch_size=BATCH, seed=13)
+            times[spec.name] = executor.run(gen.batches(3)).bound_time_ms()
+        assert times["2x"] <= times[model.name] * 1.6

@@ -1,0 +1,80 @@
+"""Tests for the tiered memory model."""
+
+import pytest
+
+from repro.memory import GIB, MemoryTier, SystemTopology, paper_node, three_tier_node
+
+
+class TestMemoryTier:
+    def test_transfer_time(self):
+        tier = MemoryTier("hbm", 1000, bandwidth=500.0)
+        assert tier.seconds_for_bytes(1000) == pytest.approx(2.0)
+
+    def test_capacity_gib(self):
+        tier = MemoryTier("hbm", 2 * GIB, bandwidth=1.0)
+        assert tier.capacity_gib == pytest.approx(2.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemoryTier("x", 10, bandwidth=0.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryTier("x", -1, bandwidth=1.0)
+
+
+class TestSystemTopology:
+    def test_two_tier_constructor(self):
+        topo = SystemTopology.two_tier(4, 100, 10.0, 1000, 1.0)
+        assert topo.num_devices == 4
+        assert topo.num_tiers == 2
+        assert topo.hbm.capacity_bytes == 100
+        assert topo.uvm.bandwidth == 1.0
+        assert topo.tier_names == ("hbm", "uvm")
+
+    def test_tier_lookup_by_name(self):
+        topo = SystemTopology.two_tier(2, 100, 10.0, 1000, 1.0)
+        assert topo.tier("uvm").capacity_bytes == 1000
+        with pytest.raises(KeyError):
+            topo.tier("ssd")
+
+    def test_tier_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            SystemTopology.two_tier(2, 100, 1.0, 1000, 10.0)  # uvm faster
+
+    def test_total_capacity(self):
+        topo = SystemTopology.two_tier(8, 100, 10.0, 1000, 1.0)
+        assert topo.total_capacity_bytes(0) == 800
+        assert topo.total_capacity_bytes(1) == 8000
+
+    def test_single_tier_has_no_uvm(self):
+        topo = SystemTopology(num_devices=1, tiers=(MemoryTier("hbm", 10, 1.0),))
+        with pytest.raises(ValueError):
+            _ = topo.uvm
+
+    def test_at_least_one_device(self):
+        with pytest.raises(ValueError):
+            SystemTopology(num_devices=0, tiers=(MemoryTier("hbm", 10, 1.0),))
+
+
+class TestPresets:
+    def test_paper_node_dimensions(self):
+        topo = paper_node(num_gpus=16, scale=1.0)
+        assert topo.num_devices == 16
+        assert topo.hbm.capacity_bytes == 24 * GIB
+        assert topo.uvm.capacity_bytes == 128 * GIB
+        # Effective HBM:UVM gather cost ratio is ~20x (see presets doc).
+        assert topo.hbm.bandwidth / topo.uvm.bandwidth == pytest.approx(20.0)
+
+    def test_paper_node_scaling(self):
+        full = paper_node(num_gpus=4, scale=1.0)
+        scaled = paper_node(num_gpus=4, scale=1e-3)
+        ratio = full.hbm.capacity_bytes / scaled.hbm.capacity_bytes
+        assert ratio == pytest.approx(1000, rel=0.01)
+
+    def test_three_tier_node(self):
+        topo = three_tier_node(num_gpus=2)
+        assert topo.num_tiers == 3
+        assert topo.tier_names == ("hbm", "uvm", "ssd")
+        bandwidths = [t.bandwidth for t in topo.tiers]
+        assert bandwidths == sorted(bandwidths, reverse=True)

@@ -1,0 +1,144 @@
+"""Unit tests for the MILP modeling layer."""
+
+import pytest
+
+from repro.milp import Model
+from repro.milp.model import LinExpr, lin_sum
+
+
+class TestVariables:
+    def test_continuous_var_defaults(self):
+        m = Model()
+        x = m.continuous_var(name="x")
+        assert x.lb == 0.0
+        assert x.ub == float("inf")
+        assert not x.integer
+
+    def test_binary_var_bounds(self):
+        m = Model()
+        b = m.binary_var(name="b")
+        assert (b.lb, b.ub, b.integer) == (0.0, 1.0, True)
+
+    def test_invalid_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.continuous_var(lb=2.0, ub=1.0)
+
+    def test_indices_are_sequential(self):
+        m = Model()
+        names = [m.continuous_var(name=f"v{i}").index for i in range(5)]
+        assert names == list(range(5))
+
+    def test_num_binary_counts_only_binaries(self):
+        m = Model()
+        m.binary_var()
+        m.integer_var(lb=0, ub=5)
+        m.continuous_var()
+        assert m.num_binary == 1
+
+
+class TestExpressions:
+    def test_addition_merges_coefficients(self):
+        m = Model()
+        x, y = m.continuous_var(name="x"), m.continuous_var(name="y")
+        expr = x + y + x
+        assert expr.coeffs[x.index] == 2.0
+        assert expr.coeffs[y.index] == 1.0
+
+    def test_scalar_multiplication(self):
+        m = Model()
+        x = m.continuous_var(name="x")
+        expr = 3 * x - 1
+        assert expr.coeffs[x.index] == 3.0
+        assert expr.constant == -1.0
+
+    def test_subtraction_and_negation(self):
+        m = Model()
+        x, y = m.continuous_var(), m.continuous_var()
+        expr = x - 2 * y
+        assert expr.coeffs[x.index] == 1.0
+        assert expr.coeffs[y.index] == -2.0
+        neg = -expr
+        assert neg.coeffs[x.index] == -1.0
+
+    def test_rsub(self):
+        m = Model()
+        x = m.continuous_var()
+        expr = 5 - x
+        assert expr.constant == 5.0
+        assert expr.coeffs[x.index] == -1.0
+
+    def test_lin_sum_matches_naive_sum(self):
+        m = Model()
+        xs = [m.continuous_var() for _ in range(10)]
+        fast = lin_sum(x * (i + 1) for i, x in enumerate(xs))
+        for i, x in enumerate(xs):
+            assert fast.coeffs[x.index] == i + 1
+
+    def test_expression_value(self):
+        m = Model()
+        x, y = m.continuous_var(), m.continuous_var()
+        expr = 2 * x + 3 * y + 1
+        assert expr.value([2.0, 1.0]) == pytest.approx(8.0)
+
+    def test_non_scalar_multiplication_rejected(self):
+        m = Model()
+        x, y = m.continuous_var(), m.continuous_var()
+        with pytest.raises(TypeError):
+            (x + y) * y  # bilinear terms are not allowed
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(TypeError):
+            LinExpr._coerce("nope")
+
+
+class TestConstraints:
+    def test_constraint_senses(self):
+        m = Model()
+        x = m.continuous_var()
+        assert (x <= 1).sense == "<="
+        assert (x >= 1).sense == ">="
+        assert (x == 1).sense == "=="
+
+    def test_violation_measured(self):
+        m = Model()
+        x = m.continuous_var()
+        con = x <= 1
+        assert con.violation([2.0]) == pytest.approx(1.0)
+        assert con.violation([0.5]) == 0.0
+
+    def test_add_requires_constraint(self):
+        m = Model()
+        x = m.continuous_var()
+        with pytest.raises(TypeError):
+            m.add(x + 1)  # an expression, not a constraint
+
+    def test_check_feasible_honours_integrality(self):
+        m = Model()
+        b = m.binary_var()
+        m.add(b + 0.0 <= 1)
+        assert m.check_feasible([1.0])
+        assert not m.check_feasible([0.5])
+
+
+class TestCompile:
+    def test_compile_shapes(self):
+        m = Model()
+        x = m.continuous_var(ub=5)
+        b = m.binary_var()
+        m.add(x + 2 * b <= 4)
+        m.add(x - b >= 0)
+        m.minimize(x + b)
+        compiled = m.compile()
+        assert compiled.num_vars == 2
+        assert len(compiled.rows) == 2
+        assert compiled.integrality == [0, 1]
+        assert compiled.objective == [1.0, 1.0]
+
+    def test_rhs_folding(self):
+        m = Model()
+        x = m.continuous_var()
+        m.add(x + 3 <= 10)  # => x <= 7
+        compiled = m.compile()
+        coeffs, lb, ub = compiled.rows[0]
+        assert ub == pytest.approx(7.0)

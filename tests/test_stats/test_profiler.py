@@ -1,0 +1,141 @@
+"""Tests for the trace profiler (Section 4.1), including Figure 3."""
+
+import numpy as np
+import pytest
+
+from repro.data.batch import JaggedBatch, JaggedFeature
+from repro.data.feature import SparseFeatureSpec
+from repro.data.model import EmbeddingTableSpec, ModelSpec
+from repro.data.synthetic import TraceGenerator
+from repro.stats import TraceProfiler, analytic_profile, profile_trace
+
+
+def tiny_model(hash_sizes=(100, 500), coverage=1.0):
+    tables = tuple(
+        EmbeddingTableSpec(
+            feature=SparseFeatureSpec(
+                name=f"f{i}",
+                cardinality=h * 2,
+                hash_size=h,
+                alpha=1.0,
+                avg_pooling=3.0,
+                coverage=coverage,
+                hash_seed=i,
+            ),
+            dim=4,
+        )
+        for i, h in enumerate(hash_sizes)
+    )
+    return ModelSpec(name="tiny", tables=tables)
+
+
+class TestFigure3WorkedExample:
+    def test_figure3_worked_example(self):
+        """The paper's Figure 3: features A (hash 100) and B (hash 500).
+
+        Three samples; A has pooling factors 4, 3, 4 -> avg 3.66; B is
+        present once with pooling 3 -> avg 3, coverage 1/3 vs 1.0.
+        """
+        feature_a = JaggedFeature.from_lists(
+            [[7345, 3241, 234, 8091], [523, 12, 6234], [3452, 452, 2345, 1342]]
+        )
+        feature_b = JaggedFeature.from_lists([[241, 104123, 63642], [], []])
+        # Hash raw ids into table spaces as the paper's example does.
+        a_hashed = JaggedFeature(feature_a.values % 100, feature_a.offsets)
+        b_hashed = JaggedFeature(feature_b.values % 500, feature_b.offsets)
+        model = tiny_model(hash_sizes=(100, 500))
+        profiler = TraceProfiler(model, sample_rate=1.0, seed=0)
+        profiler.consume(JaggedBatch([a_hashed, b_hashed]))
+        profile = profiler.finish()
+
+        assert profile[0].avg_pooling == pytest.approx(11 / 3, abs=1e-9)  # 3.66
+        assert profile[1].avg_pooling == pytest.approx(3.0)
+        assert profile[0].coverage == pytest.approx(1.0)
+        assert profile[1].coverage == pytest.approx(1 / 3)  # .33
+
+
+class TestTraceProfiler:
+    def test_counts_accumulate(self):
+        model = tiny_model()
+        profiler = TraceProfiler(model, sample_rate=1.0, seed=0)
+        gen = TraceGenerator(model, batch_size=64, seed=1)
+        total = sum(profiler.consume(gen.next_batch()) for _ in range(3))
+        profile = profiler.finish()
+        assert total == 192
+        assert profile.samples_profiled == 192
+        assert profile[0].total_accesses > 0
+
+    def test_sampling_rate_reduces_samples(self):
+        model = tiny_model()
+        gen = TraceGenerator(model, batch_size=1000, seed=2)
+        batch = gen.next_batch()
+        profiler = TraceProfiler(model, sample_rate=0.1, seed=3)
+        accepted = profiler.consume(batch)
+        assert 40 < accepted < 200  # ~100 expected
+
+    def test_sampled_stats_match_full_stats(self):
+        # The paper's claim: ~1% sampling estimates the stats well.  At
+        # our scale we use 10% over a large batch for tight tolerance.
+        model = tiny_model(coverage=0.7)
+        gen = TraceGenerator(model, batch_size=20_000, seed=4)
+        batch = gen.next_batch()
+        full = TraceProfiler(model, sample_rate=1.0, seed=0)
+        full.consume(batch)
+        sampled = TraceProfiler(model, sample_rate=0.1, seed=5)
+        sampled.consume(batch)
+        p_full, p_sub = full.finish(), sampled.finish()
+        assert p_sub[0].avg_pooling == pytest.approx(p_full[0].avg_pooling, rel=0.05)
+        assert p_sub[0].coverage == pytest.approx(p_full[0].coverage, rel=0.05)
+        # Head of the CDF agrees: rows covering 80% of accesses are close.
+        r_full = p_full[0].cdf.rows_for_coverage(0.8)
+        r_sub = p_sub[0].cdf.rows_for_coverage(0.8)
+        assert abs(r_full - r_sub) <= max(5, 0.3 * r_full)
+
+    def test_mismatched_batch_rejected(self):
+        model = tiny_model()
+        profiler = TraceProfiler(model, sample_rate=1.0, seed=0)
+        with pytest.raises(ValueError):
+            profiler.consume(JaggedBatch([JaggedFeature.from_lists([[1]])]))
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            TraceProfiler(tiny_model(), sample_rate=0.0)
+        with pytest.raises(ValueError):
+            TraceProfiler(tiny_model(), sample_rate=1.5)
+
+    def test_profile_trace_helper(self):
+        model = tiny_model()
+        gen = TraceGenerator(model, batch_size=128, seed=6)
+        profile = profile_trace(model, gen, num_batches=2, sample_rate=1.0)
+        assert profile.samples_profiled == 256
+        assert len(profile) == 2
+
+
+class TestAnalyticProfile:
+    def test_matches_spec_statistics(self):
+        model = tiny_model(coverage=0.4)
+        profile = analytic_profile(model, virtual_samples=1_000_000)
+        assert profile[0].coverage == pytest.approx(0.4, abs=1e-6)
+        assert profile[0].avg_pooling == pytest.approx(3.0, rel=1e-6)
+
+    def test_counts_follow_post_hash_pmf(self):
+        model = tiny_model()
+        profile = analytic_profile(model)
+        pmf = model.tables[0].feature.post_hash_pmf()
+        counts = profile[0].counts
+        assert counts.sum() > 0
+        np.testing.assert_allclose(counts / counts.sum(), pmf, atol=1e-12)
+
+    def test_analytic_close_to_empirical(self):
+        model = tiny_model(coverage=0.8)
+        analytic = analytic_profile(model)
+        gen = TraceGenerator(model, batch_size=30_000, seed=7)
+        empirical = profile_trace(model, gen, num_batches=1, sample_rate=1.0)
+        assert empirical[0].avg_pooling == pytest.approx(
+            analytic[0].avg_pooling, rel=0.05
+        )
+        assert empirical[0].coverage == pytest.approx(analytic[0].coverage, rel=0.05)
+        # Hot-row sets largely agree.
+        hot_a = set(analytic[0].cdf.top_rows(20))
+        hot_e = set(empirical[0].cdf.top_rows(20))
+        assert len(hot_a & hot_e) >= 12

@@ -1,0 +1,55 @@
+"""Tests for the characterization summary helpers."""
+
+import math
+
+import pytest
+
+from repro.stats import analytic_profile, characterization_summary, quantiles
+from repro.stats.summary import format_summary
+from tests.test_core.conftest import build_model
+
+
+class TestQuantiles:
+    def test_basic(self):
+        qs = quantiles([1, 2, 3, 4, 5], qs=(0.0, 0.5, 1.0))
+        assert qs[0.0] == 1
+        assert qs[0.5] == 3
+        assert qs[1.0] == 5
+
+    def test_empty_input(self):
+        qs = quantiles([], qs=(0.5,))
+        assert math.isnan(qs[0.5])
+
+    def test_generator_input(self):
+        qs = quantiles((x * 2 for x in range(10)), qs=(1.0,))
+        assert qs[1.0] == 18
+
+
+class TestCharacterizationSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        model = build_model(num_tables=8, seed=17)
+        return characterization_summary(analytic_profile(model))
+
+    def test_fields_present(self, summary):
+        assert summary["num_tables"] == 8
+        for key in (
+            "avg_pooling",
+            "coverage",
+            "top10pct_rows_access_share",
+            "dead_row_fraction",
+        ):
+            assert 0.5 in summary[key]
+
+    def test_value_ranges(self, summary):
+        assert 0.0 <= summary["coverage"][0.5] <= 1.0
+        assert 0.0 <= summary["dead_row_fraction"][0.5] <= 1.0
+        assert summary["avg_pooling"][0.5] >= 1.0
+        # Skew: top 10% of rows covers far more than 10% of accesses.
+        assert summary["top10pct_rows_access_share"][0.5] > 0.15
+
+    def test_format_summary_renders(self, summary):
+        text = format_summary(summary)
+        assert "tables: 8" in text
+        assert "avg_pooling" in text
+        assert "p50=" in text
