@@ -5,9 +5,20 @@ Training throughput is bound by the slowest GPU (Max), and the StdDev
 captures load balance.  Shape targets from the paper: RecShard's Max is
 several times lower than every baseline on the UVM-pressured models,
 and its StdDev is an order of magnitude lower throughout.
+
+This bench also times the replay engine itself: the rank-space
+vectorized path (shared frequency ranking + fused multi-plan threshold
+scans) against the per-feature scalar reference, asserting the >= 5x
+wall-clock speedup the vectorized engine exists to provide.
 """
 
-from conftest import format_table, report
+import time
+
+import numpy as np
+
+from conftest import BENCH_BATCH, BENCH_ITERS, format_table, report
+from repro.data.synthetic import TraceGenerator
+from repro.engine import RankRemapper, ShardedExecutor, replay_trace
 
 PAPER_ROWS = {
     "RM1": {
@@ -70,3 +81,78 @@ def test_table3_iteration_times(benchmark, headline):
                 continue
             baseline = result.metrics.iteration_stats()
             assert recshard.std <= baseline.std * slack + 1e-9
+
+
+# Below this many lookups per batch, Python call overhead (not memory
+# traffic) dominates both engines and the 5x ratio is not meaningful;
+# smoke configurations only assert that vectorized is not slower.
+FULL_SPEEDUP_MIN_LOOKUPS = 2_000_000
+
+
+def test_trace_replay_speedup(models, profiles, topology, headline):
+    """Vectorized trace replay is >= 5x faster than the scalar engine.
+
+    Replays the RM2 evaluation trace against all four headline plans:
+    scalar = one per-feature remap pass per strategy; vectorized = the
+    fused :func:`replay_trace` pass (rank each feature once, scan every
+    plan while cache-hot).  Best-of-two rounds on each side to shed
+    scheduler noise.
+    """
+    model = models[1]
+    profile = profiles[model.name]
+    plans = [r.plan for r in headline[model.name].values()]
+    generator = TraceGenerator(model, batch_size=BENCH_BATCH, seed=2024)
+    batches = list(generator.batches(BENCH_ITERS))
+    lookups = sum(b.total_lookups for b in batches)
+
+    scalar_execs = [
+        ShardedExecutor(model, p, profile, topology, vectorized=False)
+        for p in plans
+    ]
+    ranker = RankRemapper(profile)
+    vector_execs = [
+        ShardedExecutor(model, p, profile, topology, ranker=ranker)
+        for p in plans
+    ]
+    # Warm both paths (lazy remap tables, numpy internals, page cache).
+    scalar_execs[0].run_batch(batches[0])
+    replay_trace(vector_execs, batches[:1], ranker=ranker)
+
+    scalar_s, vector_s = [], []
+    reference = None
+    for _ in range(2):
+        start = time.perf_counter()
+        scalar_metrics = [ex.run(batches) for ex in scalar_execs]
+        scalar_s.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        vector_metrics = replay_trace(vector_execs, batches, ranker=ranker)
+        vector_s.append(time.perf_counter() - start)
+        reference = (scalar_metrics, vector_metrics)
+    scalar_best, vector_best = min(scalar_s), min(vector_s)
+    speedup = scalar_best / vector_best
+
+    text = format_table(
+        ["engine", "replay wall-clock (ms)", "lookups/s"],
+        [
+            ("scalar", f"{scalar_best * 1e3:.1f}",
+             f"{len(plans) * lookups / scalar_best:.3g}"),
+            ("vectorized", f"{vector_best * 1e3:.1f}",
+             f"{len(plans) * lookups / vector_best:.3g}"),
+        ],
+    )
+    text += (
+        f"\n\n{model.name}, {len(plans)} strategies x {len(batches)} "
+        f"batches of {BENCH_BATCH} ({lookups} lookups/trace): "
+        f"vectorized speedup {speedup:.2f}x"
+    )
+    report("tab03_replay_speedup", text)
+
+    # Identical metrics from both engines on the identical trace.
+    for ms, mv in zip(*reference):
+        np.testing.assert_allclose(ms.times_ms, mv.times_ms, rtol=1e-9)
+        for tier in ms.tier_accesses:
+            assert np.array_equal(ms.tier_accesses[tier], mv.tier_accesses[tier])
+    if lookups / len(batches) >= FULL_SPEEDUP_MIN_LOOKUPS:
+        assert speedup >= 5.0
+    else:
+        assert speedup >= 1.0

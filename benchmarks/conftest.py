@@ -36,6 +36,7 @@ from repro import (
     rm2,
     rm3,
 )
+from repro.memory import paper_scales
 
 REPORT_DIR = Path(__file__).parent / "reports"
 
@@ -70,17 +71,23 @@ def report(name: str, text: str) -> None:
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+# Capacity regimes must track the shrink knobs: scaling features (and
+# GPUs) without scaling tier capacities would change which models fit
+# in HBM.  Shared with the CLI's _build_world.
+TOPO_SCALE, ROW_SCALE = paper_scales(BENCH_FEATURES, BENCH_GPUS)
+
+
 def build_models():
     return [
-        rm1(num_features=BENCH_FEATURES),
-        rm2(num_features=BENCH_FEATURES),
-        rm3(num_features=BENCH_FEATURES),
+        rm1(num_features=BENCH_FEATURES, row_scale=ROW_SCALE),
+        rm2(num_features=BENCH_FEATURES, row_scale=ROW_SCALE),
+        rm3(num_features=BENCH_FEATURES, row_scale=ROW_SCALE),
     ]
 
 
 @pytest.fixture(scope="session")
 def topology():
-    return paper_node(num_gpus=BENCH_GPUS, scale=1e-3)
+    return paper_node(num_gpus=BENCH_GPUS, scale=TOPO_SCALE)
 
 
 @pytest.fixture(scope="session")

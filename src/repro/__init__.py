@@ -45,12 +45,22 @@ from repro.data import (
 )
 from repro.engine import (
     CacheModel,
+    RankRemapper,
     ShardedExecutor,
     compare_strategies,
+    replay_trace,
     run_experiment,
 )
 from repro.engine.harness import build_profile, speedup_table
 from repro.memory import SystemTopology, paper_node, three_tier_node
+from repro.serving import (
+    LookupRequest,
+    LookupServer,
+    MicroBatchQueue,
+    ServingConfig,
+    ServingMetrics,
+    synthetic_request_stream,
+)
 from repro.stats import (
     FrequencyCDF,
     ModelProfile,
@@ -68,14 +78,20 @@ __all__ = [
     "FrequencyCDF",
     "GreedySharder",
     "JaggedBatch",
+    "LookupRequest",
+    "LookupServer",
+    "MicroBatchQueue",
     "ModelProfile",
     "ModelSpec",
     "MultiTierSharder",
     "PlanError",
+    "RankRemapper",
     "RecShardFastSharder",
     "RecShardSharder",
     "RemappingLayer",
     "RemappingTable",
+    "ServingConfig",
+    "ServingMetrics",
     "ShardedExecutor",
     "ShardingPlan",
     "SparseFeatureSpec",
@@ -89,10 +105,12 @@ __all__ = [
     "make_baseline",
     "paper_node",
     "profile_trace",
+    "replay_trace",
     "rm1",
     "rm2",
     "rm3",
     "run_experiment",
     "speedup_table",
+    "synthetic_request_stream",
     "three_tier_node",
 ]

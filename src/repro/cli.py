@@ -1,23 +1,29 @@
-"""Command-line interface: profile, shard, and compare from a shell.
+"""Command-line interface: profile, shard, replay, and serve from a shell.
 
 Examples::
 
     python -m repro characterize --model rm1
     python -m repro shard --model rm2 --gpus 16 --formulation convex
     python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
+    python -m repro replay --model rm2 --vectorized --iters 3
+    python -m repro serve --model rm2 --qps 20000 --requests 4000
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.baselines import make_baseline
 from repro.core import RecShardFastSharder, RecShardSharder
+from repro.data.drift import DriftModel
 from repro.data.model import rm1, rm2, rm3
-from repro.engine import compare_strategies
+from repro.data.synthetic import TraceGenerator
+from repro.engine import ShardedExecutor, compare_strategies
 from repro.engine.harness import speedup_table
-from repro.memory import paper_node
+from repro.memory import paper_node, paper_scales
+from repro.serving import LookupServer, ServingConfig, synthetic_request_stream
 from repro.stats import analytic_profile
 from repro.stats.summary import characterization_summary, format_summary
 
@@ -46,8 +52,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _build_world(args):
     """Model + topology with capacity regimes matched to the paper."""
-    topo_scale = 1e-3 * args.features / 397
-    row_scale = topo_scale * args.gpus / 16
+    topo_scale, row_scale = paper_scales(args.features, args.gpus)
     model = _MODELS[args.model](
         num_features=args.features, row_scale=row_scale, seed=args.seed
     )
@@ -127,6 +132,85 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    """Replay a seeded trace against one plan and time the engine itself."""
+    if args.iters < 1:
+        print("error: --iters must be >= 1", file=sys.stderr)
+        return 2
+    model, topology = _build_world(args)
+    profile = analytic_profile(model)
+    plan = _make_recshard(args).shard(model, profile, topology)
+    executor = ShardedExecutor(
+        model, plan, profile, topology, vectorized=args.vectorized
+    )
+    generator = TraceGenerator(model, batch_size=args.batch, seed=2024)
+    batches = list(generator.batches(args.iters))
+    executor.run_batch(batches[0])  # warm caches and lazy structures
+    start = time.perf_counter()
+    metrics = executor.run(batches)
+    elapsed = time.perf_counter() - start
+    lookups = sum(b.total_lookups for b in batches)
+    mode = "vectorized" if args.vectorized else "scalar"
+    stats = metrics.iteration_stats()
+    print(f"replayed {args.iters} x {args.batch} samples of {model.name} "
+          f"on {args.gpus} GPUs ({mode} engine):")
+    print(f"  simulated per-GPU ms min/max/mean/std: {stats.as_row()}")
+    print(f"  UVM access share: {metrics.tier_access_fraction('uvm'):.2%}")
+    print(f"  replay wall-clock: {elapsed * 1e3:.1f} ms "
+          f"({lookups / max(elapsed, 1e-9):.3g} lookups/s)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run a seeded synthetic serving workload and report QPS/latency."""
+    if args.qps <= 0:
+        print("error: --qps must be > 0", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_requests < 1:
+        print("error: --batch-requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_delay_ms < 0:
+        print("error: --max-delay-ms must be >= 0", file=sys.stderr)
+        return 2
+    model, topology = _build_world(args)
+    profile = analytic_profile(model)
+    config = ServingConfig(
+        max_batch_size=args.batch_requests,
+        max_delay_ms=args.max_delay_ms,
+        drift_threshold_pct=args.drift_threshold,
+        drift_min_samples=args.drift_min_samples,
+    )
+    server = LookupServer(
+        model, profile, topology, sharder=_make_recshard(args), config=config
+    )
+    drift = None
+    if args.drift_months > 0:
+        drift = DriftModel(feature_noise=4.0, alpha_noise=4.0)
+    stream = synthetic_request_stream(
+        model,
+        num_requests=args.requests,
+        qps=args.qps,
+        seed=args.seed,
+        drift=drift,
+        months_per_request=(
+            args.drift_months / args.requests if args.requests else 0.0
+        ),
+    )
+    start = time.perf_counter()
+    metrics = server.serve(stream)
+    elapsed = time.perf_counter() - start
+    print(f"served {model.name} on {args.gpus} GPUs "
+          f"(offered load {args.qps:.0f} QPS, "
+          f"microbatch <= {args.batch_requests} reqs / "
+          f"{args.max_delay_ms:g} ms):")
+    print(metrics.format_report())
+    print(f"simulation wall-clock: {elapsed:.2f} s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RecShard reproduction command line"
@@ -142,6 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
     for name, func, helptext in (
         ("shard", _cmd_shard, "produce and summarize a RecShard plan"),
         ("compare", _cmd_compare, "run RecShard against the baselines"),
+        ("replay", _cmd_replay, "replay a trace and time the engine"),
+        ("serve", _cmd_serve, "run an online serving workload"),
     ):
         p = sub.add_parser(name, help=helptext)
         _add_common(p)
@@ -153,9 +239,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="MILP budget in seconds; 0 = fast solver only")
         p.add_argument("--reclaim-dead", action="store_true",
                        help="do not charge never-accessed rows to UVM")
-        if name == "compare":
+        if name in ("compare", "replay"):
             p.add_argument("--iters", type=int, default=3,
                            help="measured iterations (default: 3)")
+        if name == "replay":
+            mode = p.add_mutually_exclusive_group()
+            mode.add_argument(
+                "--vectorized", dest="vectorized", action="store_true",
+                default=True,
+                help="rank-space vectorized engine (default)",
+            )
+            mode.add_argument(
+                "--scalar", dest="vectorized", action="store_false",
+                help="per-feature reference engine",
+            )
+        if name == "serve":
+            p.add_argument("--qps", type=float, default=20000,
+                           help="offered load, requests/s (default: 20000)")
+            p.add_argument("--requests", type=int, default=4000,
+                           help="stream length (default: 4000)")
+            p.add_argument("--batch-requests", type=int, default=256,
+                           help="microbatch size cap (default: 256)")
+            p.add_argument("--max-delay-ms", type=float, default=2.0,
+                           help="microbatching delay budget (default: 2 ms)")
+            p.add_argument("--drift-months", type=float, default=0.0,
+                           help="months of statistics drift to fast-forward "
+                                "across the stream (0 = stationary)")
+            p.add_argument("--drift-threshold", type=float, default=5.0,
+                           help="pooling drift %% that triggers a replan")
+            p.add_argument("--drift-min-samples", type=int, default=1024,
+                           help="samples before a replan may trigger")
         p.set_defaults(func=func)
     return parser
 

@@ -8,8 +8,9 @@ per-iteration EMB times and access counts of Tables 3 and 5.
 """
 
 from repro.engine.cache import CacheModel, cached_rows_per_table
-from repro.engine.executor import ShardedExecutor
+from repro.engine.executor import ShardedExecutor, replay_trace
 from repro.engine.metrics import IterationStats, RunMetrics
+from repro.engine.ranked import RankedBatch, RankedFeature, RankRemapper
 from repro.engine.harness import (
     ExperimentResult,
     compare_strategies,
@@ -20,9 +21,13 @@ __all__ = [
     "CacheModel",
     "ExperimentResult",
     "IterationStats",
+    "RankRemapper",
+    "RankedBatch",
+    "RankedFeature",
     "RunMetrics",
     "ShardedExecutor",
     "cached_rows_per_table",
     "compare_strategies",
+    "replay_trace",
     "run_experiment",
 ]

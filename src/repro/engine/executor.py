@@ -7,6 +7,20 @@ traffic divided by tier bandwidth — the paper's additive cost model (the
 summation property discussed under "Key Properties of RecShard's MILP":
 mixed HBM/UVM reads within a kernel serialize on current GPUs).
 
+Two execution paths produce identical metrics:
+
+* **vectorized** (default): batches are first translated to frequency
+  ranks by a :class:`~repro.engine.ranked.RankRemapper` (the Section 4.3
+  remapping transform, run once per trace and shared by every strategy);
+  per-tier accounting then reduces to counting ranks below each plan's
+  cumulative tier boundaries — a handful of SIMD threshold scans per
+  table, with no per-lookup tier gather.  The device cache model
+  likewise operates directly on the sorted-by-construction frequency
+  ranking: a hit is simply ``rank < cached_rows``.
+* **scalar** (``vectorized=False``): the original per-feature reference
+  path that resolves every lookup through the remapping table.  Kept as
+  the ground truth the parity tests check the fast path against.
+
 An optional cache model (:mod:`repro.engine.cache`) serves each device's
 expectedly-hottest HBM rows at cache bandwidth, reproducing the
 locality-driven mean-time gains the paper measures on real GPUs.
@@ -22,6 +36,7 @@ from repro.data.batch import JaggedBatch
 from repro.data.model import ModelSpec
 from repro.engine.cache import CacheModel, cached_rows_per_table
 from repro.engine.metrics import RunMetrics
+from repro.engine.ranked import RankedBatch, RankRemapper
 from repro.memory.topology import SystemTopology
 
 
@@ -39,6 +54,11 @@ class ShardedExecutor:
             deliberately infeasible what-if runs).
         cache: optional per-device cache model; each device's expectedly
             hottest HBM rows are served at cache bandwidth.
+        vectorized: use the rank-space fast path (default).  The scalar
+            path is the bit-equivalent reference implementation.
+        ranker: a pre-built :class:`RankRemapper` for this profile, to
+            share rank arrays across the executors of several
+            strategies.  Built lazily from ``profile`` when omitted.
     """
 
     def __init__(
@@ -49,6 +69,8 @@ class ShardedExecutor:
         topology: SystemTopology,
         validate: bool = True,
         cache: CacheModel | None = None,
+        vectorized: bool = True,
+        ranker: RankRemapper | None = None,
     ):
         if validate:
             plan.validate(model, topology)
@@ -56,18 +78,29 @@ class ShardedExecutor:
         self.plan = plan
         self.profile = profile
         self.topology = topology
-        self.remap_tables = [
-            RemappingTable(profile[p.table_index].cdf.row_order, p.rows_per_tier)
-            for p in plan
-        ]
+        self.vectorized = vectorized
+        self._ranker = ranker
+        self._remap_tables: list[RemappingTable] | None = None
         self.device_of = np.array([p.device for p in plan], dtype=np.int64)
         self.row_bytes = np.array(
             [t.row_bytes for t in model.tables], dtype=np.float64
         )
+        # Cumulative tier boundaries in rank space, shape (tables, tiers):
+        # the rows of table j on tier t are ranks [bounds[j, t-1], bounds[j, t]).
+        self._tier_bounds = np.array(
+            [np.cumsum(p.rows_per_tier) for p in plan], dtype=np.int64
+        )
+        # Plain-int copy for the scan loop (numpy scalar extraction is
+        # surprisingly expensive at ~400 tables x several scans per batch).
+        self._bounds_list = [[int(b) for b in row] for row in self._tier_bounds]
         self._inv_bw = np.array(
             [1.0 / tier.bandwidth for tier in topology.tiers], dtype=np.float64
         )
         self.cache = cache
+        # Reusable comparison mask for the rank threshold scans: avoids a
+        # fresh (page-faulting) bool temporary per table per batch.  Makes
+        # run_ranked non-reentrant, like the executor's other scratch state.
+        self._mask_scratch = np.empty(0, dtype=bool)
         self._cache_threshold = np.zeros(model.num_tables, dtype=np.int64)
         if cache is not None:
             for device in range(topology.num_devices):
@@ -75,11 +108,49 @@ class ShardedExecutor:
                     cache, plan, profile, model, device
                 ).items():
                     self._cache_threshold[table_index] = rows
+        # Effective per-table cache cutoffs in rank space: the cache only
+        # holds HBM-resident rows, so the hit threshold is clamped to the
+        # table's HBM boundary.
+        self._cache_cutoff = [
+            min(int(t), row[0])
+            for t, row in zip(self._cache_threshold, self._bounds_list)
+        ]
 
+    # ------------------------------------------------------------------
+    # Lazily-built helpers
+    # ------------------------------------------------------------------
+    @property
+    def remap_tables(self) -> list[RemappingTable]:
+        """Per-table (tier, offset) remapping — the scalar path's lookup
+        structure, also the production artifact of Section 4.3.  Built on
+        first use; the vectorized path never needs it."""
+        if self._remap_tables is None:
+            self._remap_tables = [
+                RemappingTable(
+                    self.profile[p.table_index].cdf.row_order, p.rows_per_tier
+                )
+                for p in self.plan
+            ]
+        return self._remap_tables
+
+    @property
+    def ranker(self) -> RankRemapper:
+        """The hashed-index → frequency-rank translator for this profile."""
+        if self._ranker is None:
+            self._ranker = RankRemapper(self.profile)
+        return self._ranker
+
+    def prepare(self, batches) -> list[RankedBatch]:
+        """Translate a trace to rank space once, for repeated replay."""
+        return self.ranker.rank_trace(batches)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
     def run_batch(
-        self, batch: JaggedBatch
+        self, batch: JaggedBatch | RankedBatch
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Execute one batch.
+        """Execute one batch (jagged or pre-ranked).
 
         Returns:
             times_ms: per-device EMB time for this iteration (ms).
@@ -87,6 +158,115 @@ class ShardedExecutor:
                 are counted within their home (HBM) tier.
             cache_hits: per-device accesses served from cache.
         """
+        if isinstance(batch, RankedBatch):
+            if not self.vectorized:
+                raise ValueError(
+                    "scalar executor cannot consume pre-ranked batches; "
+                    "pass jagged batches or use vectorized=True"
+                )
+            return self.run_ranked(batch)
+        if self.vectorized:
+            return self.run_ranked(self.ranker.rank_batch(batch))
+        return self._run_batch_scalar(batch)
+
+    def run_ranked(
+        self, ranked: RankedBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized accounting over a rank-space batch.
+
+        For each table, per-tier counts come from threshold scans over
+        the rank array against the plan's cumulative tier boundaries
+        (prefix counting: tier ``t`` serves the ranks between boundary
+        ``t-1`` and boundary ``t``); the per-(tier, device) access and
+        traffic matrices are then pooled with ``bincount`` over the
+        plan's table → device assignment.
+        """
+        num_tables = len(self.plan)
+        if ranked.num_features != num_tables:
+            raise ValueError(
+                f"batch has {ranked.num_features} features, plan has "
+                f"{num_tables} tables"
+            )
+        counts = np.zeros((num_tables, self.topology.num_tiers), dtype=np.int64)
+        hits = np.zeros(num_tables, dtype=np.int64)
+        max_lookups = max((f.ranks.size for f in ranked), default=0)
+        if self._mask_scratch.size < max_lookups:
+            self._mask_scratch = np.empty(max_lookups, dtype=bool)
+        for j, feature in enumerate(ranked):
+            ranks = feature.ranks
+            if ranks.size:
+                hits[j] = self._scan_feature(
+                    j, ranks, self._mask_scratch[: ranks.size], counts[j]
+                )
+        return self._reduce_counts(counts, hits)
+
+    def _scan_feature(
+        self,
+        table_index: int,
+        ranks: np.ndarray,
+        mask: np.ndarray,
+        counts_row: np.ndarray,
+    ) -> int:
+        """Tier counts (written into ``counts_row``) and cache hits for
+        one feature's rank array.
+
+        ``mask`` is a caller-provided bool buffer of ``ranks.size`` that
+        the threshold scans reuse.  Prefix counts at each cumulative tier
+        boundary; differences give the per-tier counts without ever
+        materializing tier ids.
+        """
+        bounds = self._bounds_list[table_index]
+        prev = 0
+        for t in range(len(bounds) - 1):
+            np.less(ranks, bounds[t], out=mask)
+            below = int(np.count_nonzero(mask))
+            counts_row[t] = below - prev
+            prev = below
+        counts_row[len(bounds) - 1] = ranks.size - prev
+        if self.cache is not None:
+            cutoff = self._cache_cutoff[table_index]
+            if cutoff > 0:
+                np.less(ranks, cutoff, out=mask)
+                return int(np.count_nonzero(mask))
+        return 0
+
+    def _reduce_counts(
+        self, counts: np.ndarray, hits: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pool per-(table, tier) counts into per-(tier, device) metrics.
+
+        The pooling is a ``bincount`` over the plan's table → device
+        assignment, once for accesses and once for byte traffic; device
+        times follow from the additive bandwidth model.
+        """
+        num_devices = self.topology.num_devices
+        num_tiers = self.topology.num_tiers
+        accesses = np.zeros((num_tiers, num_devices), dtype=np.int64)
+        traffic = np.zeros((num_tiers, num_devices), dtype=np.float64)
+        for t in range(num_tiers):
+            np.add.at(accesses[t], self.device_of, counts[:, t])
+            traffic[t] = np.bincount(
+                self.device_of,
+                weights=counts[:, t] * self.row_bytes,
+                minlength=num_devices,
+            )
+        times = (traffic * self._inv_bw[:, None]).sum(axis=0)
+        cache_hits = np.zeros(num_devices, dtype=np.int64)
+        if self.cache is not None:
+            hit_bytes = np.bincount(
+                self.device_of, weights=hits * self.row_bytes,
+                minlength=num_devices,
+            )
+            np.add.at(cache_hits, self.device_of, hits)
+            # Hit bytes move from the HBM lane to the cache lane.
+            times -= hit_bytes * self._inv_bw[0]
+            times += hit_bytes / self.cache.bandwidth
+        return times * 1e3, accesses, cache_hits
+
+    def _run_batch_scalar(
+        self, batch: JaggedBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference path: resolve every lookup through the remap tables."""
         num_devices = self.topology.num_devices
         num_tiers = self.topology.num_tiers
         accesses = np.zeros((num_tiers, num_devices), dtype=np.int64)
@@ -116,26 +296,16 @@ class ShardedExecutor:
         return times * 1e3, accesses, cache_hits
 
     def run(self, batches) -> RunMetrics:
-        """Execute a sequence of batches and collect metrics."""
-        times = []
-        access_list = []
-        hit_list = []
-        for batch in batches:
-            times_ms, accesses, cache_hits = self.run_batch(batch)
-            times.append(times_ms)
-            access_list.append(accesses)
-            hit_list.append(cache_hits)
-        times_arr = np.array(times)
-        stacked = np.array(access_list)  # (iters, tiers, devices)
-        tier_accesses = {
-            tier.name: stacked[:, t, :]
-            for t, tier in enumerate(self.topology.tiers)
-        }
-        return RunMetrics(
-            strategy=self.plan.strategy,
-            times_ms=times_arr,
-            tier_accesses=tier_accesses,
-            cache_hits=np.array(hit_list) if self.cache is not None else None,
+        """Execute a sequence of batches and collect metrics.
+
+        ``batches`` may mix :class:`~repro.data.batch.JaggedBatch` and
+        pre-ranked :class:`~repro.engine.ranked.RankedBatch` items;
+        pre-ranking via :meth:`prepare` amortizes the remap across
+        strategies sharing a profile.
+        """
+        rows = [self.run_batch(batch) for batch in batches]
+        return _collect_metrics(
+            self.plan.strategy, self.topology, rows, self.cache is not None
         )
 
     def expected_device_costs_ms(self, batch_size: int) -> np.ndarray:
@@ -166,3 +336,103 @@ class ShardedExecutor:
                     expected * frac * self.row_bytes[j] * self._inv_bw[tier_index]
                 )
         return costs * 1e3
+
+
+def _collect_metrics(
+    strategy: str,
+    topology: SystemTopology,
+    rows: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    with_cache: bool,
+) -> RunMetrics:
+    """Stack per-iteration (times, accesses, hits) rows into RunMetrics."""
+    times_arr = np.array([r[0] for r in rows])
+    stacked = np.array([r[1] for r in rows])  # (iters, tiers, devices)
+    tier_accesses = {
+        tier.name: stacked[:, t, :] for t, tier in enumerate(topology.tiers)
+    }
+    return RunMetrics(
+        strategy=strategy,
+        times_ms=times_arr,
+        tier_accesses=tier_accesses,
+        cache_hits=np.array([r[2] for r in rows]) if with_cache else None,
+    )
+
+
+def replay_trace(
+    executors: list[ShardedExecutor],
+    batches,
+    ranker: RankRemapper | None = None,
+) -> list[RunMetrics]:
+    """Replay one trace against several plans in a single fused pass.
+
+    The hot loop of every multi-strategy comparison (Tables 3-5,
+    Figures 11-13) replays identical batches against several sharding
+    plans of the *same* model, profile, and topology.  This helper ranks
+    each feature's lookups once (into a reusable scratch buffer — no
+    per-batch allocation) and immediately runs every executor's
+    threshold scans while the rank array is still cache-resident, so the
+    trace's memory traffic is paid once rather than once per strategy.
+
+    Args:
+        executors: one executor per plan; all must share the model,
+            profile, and topology (plans and cache models may differ).
+        batches: the common trace — jagged batches, or pre-ranked
+            batches from the shared profile's :class:`RankRemapper`.
+        ranker: shared rank remapper; defaults to the first executor's.
+
+    Returns:
+        One :class:`RunMetrics` per executor, identical to what
+        ``executor.run(batches)`` would produce for each alone.
+    """
+    if not executors:
+        return []
+    first = executors[0]
+    num_tables = len(first.plan)
+    num_tiers = first.topology.num_tiers
+    for ex in executors:
+        if len(ex.plan) != num_tables or ex.topology.num_tiers != num_tiers:
+            raise ValueError(
+                "replay_trace requires executors sharing one model/topology"
+            )
+    if ranker is None:
+        ranker = first.ranker
+    num_plans = len(executors)
+    rows: list[list] = [[] for _ in executors]
+    mask = np.empty(0, dtype=bool)
+    scratches: dict = {}
+    for batch in batches:
+        pre_ranked = isinstance(batch, RankedBatch)
+        if batch.num_features != num_tables:
+            raise ValueError(
+                f"batch has {batch.num_features} features, plans have "
+                f"{num_tables} tables"
+            )
+        counts = np.zeros((num_plans, num_tables, num_tiers), dtype=np.int64)
+        hits = np.zeros((num_plans, num_tables), dtype=np.int64)
+        for j, feature in enumerate(batch):
+            if pre_ranked:
+                ranks = feature.ranks
+            else:
+                values = feature.values
+                dtype = ranker.rank_dtype(j)
+                scratch = scratches.get(dtype)
+                if scratch is None or scratch.size < values.size:
+                    scratch = np.empty(max(values.size, 1), dtype=dtype)
+                    scratches[dtype] = scratch
+                ranks = scratch[: values.size]
+                ranker.rank_into(j, values, ranks)
+            n = ranks.size
+            if n == 0:
+                continue
+            if mask.size < n:
+                mask = np.empty(n, dtype=bool)
+            for s, ex in enumerate(executors):
+                hits[s, j] = ex._scan_feature(j, ranks, mask[:n], counts[s, j])
+        for s, ex in enumerate(executors):
+            rows[s].append(ex._reduce_counts(counts[s], hits[s]))
+    return [
+        _collect_metrics(
+            ex.plan.strategy, ex.topology, rows[s], ex.cache is not None
+        )
+        for s, ex in enumerate(executors)
+    ]

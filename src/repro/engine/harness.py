@@ -12,8 +12,9 @@ from dataclasses import dataclass, field
 
 from repro.data.model import ModelSpec
 from repro.data.synthetic import TraceGenerator
-from repro.engine.executor import ShardedExecutor
+from repro.engine.executor import ShardedExecutor, replay_trace
 from repro.engine.metrics import RunMetrics
+from repro.engine.ranked import RankRemapper
 from repro.memory.topology import SystemTopology
 from repro.stats.profiler import ModelProfile, analytic_profile, profile_trace
 
@@ -30,6 +31,7 @@ class ExperimentResult:
     metadata: dict = field(default_factory=dict)
 
     def table3_row(self) -> str:
+        """Min/Max/Mean/Std per-GPU ms, formatted like a Table 3 cell."""
         return self.metrics.iteration_stats().as_row()
 
 
@@ -60,6 +62,8 @@ def run_experiment(
     profile: ModelProfile | None = None,
     trace_seed: int = 2024,
     shared_batches: list | None = None,
+    vectorized: bool = True,
+    ranker: RankRemapper | None = None,
 ) -> ExperimentResult:
     """Run the full pipeline for one strategy.
 
@@ -73,7 +77,12 @@ def run_experiment(
         trace_seed: seed of the evaluation trace (differs from the
             profiling seed, so plans are tested out of sample).
         shared_batches: pre-generated batches to reuse across strategies
-            (guarantees every strategy sees identical traffic).
+            (guarantees every strategy sees identical traffic); may be
+            jagged batches or a pre-ranked trace from the profile's
+            :class:`~repro.engine.ranked.RankRemapper`.
+        vectorized: executor mode (see :class:`ShardedExecutor`).
+        ranker: shared rank remapper for ``profile`` (built lazily by
+            the executor when omitted).
     """
     if profile is None:
         profile = analytic_profile(model)
@@ -84,7 +93,9 @@ def run_experiment(
     if shared_batches is None:
         generator = TraceGenerator(model, batch_size=batch_size, seed=trace_seed)
         shared_batches = list(generator.batches(iterations))
-    executor = ShardedExecutor(model, plan, profile, topology)
+    executor = ShardedExecutor(
+        model, plan, profile, topology, vectorized=vectorized, ranker=ranker
+    )
     metrics = executor.run(shared_batches)
     return ExperimentResult(
         strategy=sharder.name,
@@ -104,25 +115,62 @@ def compare_strategies(
     iterations: int = 5,
     profile: ModelProfile | None = None,
     trace_seed: int = 2024,
+    vectorized: bool = True,
 ) -> dict[str, ExperimentResult]:
-    """Run several strategies over identical batches (Tables 3-5)."""
+    """Run several strategies over identical batches (Tables 3-5).
+
+    In vectorized mode all strategies replay the common trace in one
+    fused :func:`~repro.engine.executor.replay_trace` pass: each batch's
+    lookups are translated to frequency ranks once (the Section 4.3
+    remapping transform) and every plan's threshold scans run while the
+    rank array is cache-resident, so per-strategy cost is pure counting.
+    """
     if profile is None:
         profile = analytic_profile(model)
     generator = TraceGenerator(model, batch_size=batch_size, seed=trace_seed)
     shared_batches = list(generator.batches(iterations))
-    results = {}
+    if not vectorized:
+        results = {}
+        for sharder in sharders:
+            results[sharder.name] = run_experiment(
+                model,
+                sharder,
+                topology,
+                batch_size=batch_size,
+                iterations=iterations,
+                profile=profile,
+                trace_seed=trace_seed,
+                shared_batches=shared_batches,
+                vectorized=False,
+            )
+        return results
+
+    ranker = RankRemapper(profile)
+    executors = []
+    shard_times = []
     for sharder in sharders:
-        results[sharder.name] = run_experiment(
-            model,
-            sharder,
-            topology,
-            batch_size=batch_size,
-            iterations=iterations,
-            profile=profile,
-            trace_seed=trace_seed,
-            shared_batches=shared_batches,
+        start = time.perf_counter()
+        plan = sharder.shard(model, profile, topology)
+        shard_times.append(time.perf_counter() - start)
+        executors.append(
+            ShardedExecutor(
+                model, plan, profile, topology, ranker=ranker
+            )
         )
-    return results
+    all_metrics = replay_trace(executors, shared_batches, ranker=ranker)
+    return {
+        sharder.name: ExperimentResult(
+            strategy=sharder.name,
+            model_name=model.name,
+            plan=executor.plan,
+            metrics=metrics,
+            shard_seconds=shard_seconds,
+            metadata=dict(executor.plan.metadata),
+        )
+        for sharder, executor, metrics, shard_seconds in zip(
+            sharders, executors, all_metrics, shard_times
+        )
+    }
 
 
 def speedup_table(results: dict[str, ExperimentResult]) -> dict[str, float]:

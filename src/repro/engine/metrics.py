@@ -22,6 +22,7 @@ class IterationStats:
     std: float
 
     def as_row(self) -> str:
+        """Format as the paper's ``min/max/mean/std`` table cell."""
         return f"{self.min:.2f}/{self.max:.2f}/{self.mean:.2f}/{self.std:.2f}"
 
 
@@ -91,6 +92,7 @@ class RunMetrics:
         return float(self.cache_hits.sum() / total)
 
     def table5_row(self) -> dict[str, float]:
+        """Per-tier average accesses per GPU-iteration (a Table 5 row)."""
         return {
             tier: self.avg_accesses_per_gpu_iteration(tier)
             for tier in self.tier_accesses

@@ -8,12 +8,13 @@ effective bandwidth per device.
 
 from repro.memory.tier import MemoryTier
 from repro.memory.topology import SystemTopology
-from repro.memory.presets import paper_node, three_tier_node, GIB
+from repro.memory.presets import paper_node, paper_scales, three_tier_node, GIB
 
 __all__ = [
     "GIB",
     "MemoryTier",
     "SystemTopology",
     "paper_node",
+    "paper_scales",
     "three_tier_node",
 ]

@@ -31,6 +31,22 @@ UVM_GATHER_BANDWIDTH = 12.8e9
 SSD_GATHER_BANDWIDTH = 1.6e9
 
 
+def paper_scales(num_features: int, num_gpus: int) -> tuple[float, float]:
+    """Capacity scales preserving the paper's sharding-pressure regimes.
+
+    Returns ``(topology_scale, row_scale)`` for a shrunken world of
+    ``num_features`` sparse features on ``num_gpus`` GPUs: tier
+    capacities shrink with the feature count, and per-table rows
+    additionally shrink with the GPU count, so RM1 still fits in HBM
+    while RM2/RM3 still spill — regardless of how far the workload is
+    scaled down.  Used by the CLI and the benchmark fixtures so both
+    build the same world for the same knobs.
+    """
+    topology_scale = 1e-3 * num_features / 397
+    row_scale = topology_scale * num_gpus / 16
+    return topology_scale, row_scale
+
+
 def paper_node(
     num_gpus: int = 16,
     scale: float = DEFAULT_ROW_SCALE,

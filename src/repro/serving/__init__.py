@@ -1,0 +1,63 @@
+"""Online serving layer over the sharded execution engine.
+
+Training replay (:mod:`repro.engine`) answers "how fast does a plan run
+a fixed trace"; this package answers the inference-side question: how
+many *requests per second* can a sharded embedding deployment sustain,
+and at what tail latency.  It mirrors the structure of production
+recommendation inference stacks (e.g. TorchRec's inference path): a
+microbatching admission queue in front of a model-parallel lookup
+engine, with per-device metrics and statistics-drift monitoring that
+can trigger a re-shard while serving.
+
+Components:
+
+* :class:`~repro.serving.queue.MicroBatchQueue` — admission queue that
+  coalesces single-sample lookup requests into jagged batches, bounded
+  by batch size and queueing delay.
+* :class:`~repro.serving.server.LookupServer` — discrete-event server
+  driving the vectorized :class:`~repro.engine.executor.ShardedExecutor`
+  on a simulated clock; supports drift-triggered replanning.
+* :class:`~repro.serving.metrics.ServingMetrics` — per-request latency
+  records with QPS, p50/p99, and per-device utilization views.
+* :class:`~repro.serving.server.DriftMonitor` — online per-feature
+  pooling statistics compared against the profile the current plan was
+  built from (Section 3.5's drift, detected rather than assumed).
+
+Quickstart::
+
+    from repro import rm2, paper_node, analytic_profile
+    from repro.core import RecShardFastSharder
+    from repro.serving import LookupServer, ServingConfig, synthetic_request_stream
+
+    model = rm2(num_features=97, row_scale=1e-3 * 97 / 397)
+    topology = paper_node(num_gpus=8, scale=1e-3 * 97 / 397)
+    profile = analytic_profile(model)
+    server = LookupServer(
+        model, profile, topology,
+        sharder=RecShardFastSharder(batch_size=256),
+        config=ServingConfig(max_batch_size=256, max_delay_ms=2.0),
+    )
+    requests = synthetic_request_stream(model, num_requests=2000, qps=20000, seed=7)
+    metrics = server.serve(requests)
+    print(metrics.format_report())
+"""
+
+from repro.serving.metrics import ServingMetrics
+from repro.serving.queue import LookupRequest, MicroBatchQueue, coalesce_requests
+from repro.serving.server import (
+    DriftMonitor,
+    LookupServer,
+    ServingConfig,
+    synthetic_request_stream,
+)
+
+__all__ = [
+    "DriftMonitor",
+    "LookupRequest",
+    "LookupServer",
+    "MicroBatchQueue",
+    "ServingConfig",
+    "ServingMetrics",
+    "coalesce_requests",
+    "synthetic_request_stream",
+]

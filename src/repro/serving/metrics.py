@@ -1,0 +1,186 @@
+"""Serving-side metrics: request latency, throughput, device load.
+
+The training engine reports per-iteration times (:mod:`repro.engine.metrics`);
+serving cares about a different set of figures — per-request latency
+distribution (p50/p99), sustained queries per second, and how evenly the
+simulated devices are loaded.  :class:`ServingMetrics` accumulates raw
+per-request and per-batch records during a run and derives those views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ServingMetrics:
+    """Accumulated measurements of one serving run.
+
+    All timestamps are simulated milliseconds on the server's clock.
+    Populated incrementally via :meth:`record_batch` /
+    :meth:`record_replan`; the derived views (QPS, percentiles,
+    utilization) can be read at any point.
+    """
+
+    num_devices: int
+    arrival_ms: list[float] = field(default_factory=list)
+    start_ms: list[float] = field(default_factory=list)
+    finish_ms: list[float] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+    batch_lookups: list[int] = field(default_factory=list)
+    replan_ms: list[float] = field(default_factory=list)
+    device_busy_ms: np.ndarray = None
+
+    def __post_init__(self):
+        if self.device_busy_ms is None:
+            self.device_busy_ms = np.zeros(self.num_devices, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        arrivals_ms: list[float],
+        start_ms: float,
+        finish_ms: float,
+        device_times_ms: np.ndarray,
+        total_lookups: int,
+    ) -> None:
+        """Record one executed microbatch.
+
+        Args:
+            arrivals_ms: arrival timestamp of each request in the batch.
+            start_ms: when the batch started executing.
+            finish_ms: when the batch completed (all requests finish
+                together — the engine is model-parallel across tables,
+                so the slowest device bounds the batch).
+            device_times_ms: per-device execution time of this batch.
+            total_lookups: embedding rows touched by the batch.
+        """
+        self.arrival_ms.extend(arrivals_ms)
+        self.start_ms.extend([start_ms] * len(arrivals_ms))
+        self.finish_ms.extend([finish_ms] * len(arrivals_ms))
+        self.batch_sizes.append(len(arrivals_ms))
+        self.batch_lookups.append(int(total_lookups))
+        self.device_busy_ms += np.asarray(device_times_ms, dtype=np.float64)
+
+    def record_replan(self, now_ms: float) -> None:
+        """Record a drift-triggered re-shard at ``now_ms``."""
+        self.replan_ms.append(float(now_ms))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.arrival_ms)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_sizes)
+
+    @property
+    def horizon_ms(self) -> float:
+        """Span from first arrival to last completion."""
+        if not self.arrival_ms:
+            return 0.0
+        return float(max(self.finish_ms) - min(self.arrival_ms))
+
+    def latencies_ms(self) -> np.ndarray:
+        """Per-request end-to-end latency (queue wait + execution)."""
+        return np.asarray(self.finish_ms) - np.asarray(self.arrival_ms)
+
+    def queue_waits_ms(self) -> np.ndarray:
+        """Per-request time spent waiting for batchmates and the engine
+        (the batching-delay component of latency)."""
+        return np.asarray(self.start_ms) - np.asarray(self.arrival_ms)
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        """A latency percentile in ms (e.g. 50 for p50, 99 for p99)."""
+        if not self.arrival_ms:
+            return 0.0
+        return float(np.percentile(self.latencies_ms(), percentile))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_percentile_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_percentile_ms(99)
+
+    @property
+    def qps(self) -> float:
+        """Sustained completions per second over the run horizon."""
+        horizon = self.horizon_ms
+        if horizon <= 0:
+            return 0.0
+        return float(self.num_requests / horizon * 1e3)
+
+    @property
+    def lookups_per_second(self) -> float:
+        """Embedding rows served per second — the engine-level rate."""
+        horizon = self.horizon_ms
+        if horizon <= 0:
+            return 0.0
+        return float(sum(self.batch_lookups) / horizon * 1e3)
+
+    @property
+    def avg_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def device_utilization(self) -> np.ndarray:
+        """Per-device busy fraction of the run horizon."""
+        horizon = self.horizon_ms
+        if horizon <= 0:
+            return np.zeros(self.num_devices)
+        return self.device_busy_ms / horizon
+
+    @property
+    def num_replans(self) -> int:
+        return len(self.replan_ms)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """All headline numbers as one dict (stable keys, for tests/CLI)."""
+        utilization = self.device_utilization()
+        return {
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "avg_batch_size": self.avg_batch_size,
+            "qps": self.qps,
+            "lookups_per_second": self.lookups_per_second,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_wait_ms": (
+                float(self.queue_waits_ms().mean()) if self.arrival_ms else 0.0
+            ),
+            "max_device_utilization": float(utilization.max(initial=0.0)),
+            "mean_device_utilization": float(utilization.mean()) if utilization.size else 0.0,
+            "replans": self.num_replans,
+        }
+
+    def format_report(self) -> str:
+        """Human-readable multi-line report of :meth:`summary`."""
+        s = self.summary()
+        lines = [
+            f"requests served:   {s['requests']} in {self.horizon_ms:.1f} ms "
+            f"({s['batches']} batches, avg size {s['avg_batch_size']:.1f})",
+            f"throughput:        {s['qps']:.0f} QPS "
+            f"({s['lookups_per_second']:.2e} lookups/s)",
+            f"latency:           p50 {s['p50_ms']:.3f} ms, "
+            f"p99 {s['p99_ms']:.3f} ms "
+            f"(mean queue wait {s['mean_wait_ms']:.3f} ms)",
+            f"device load:       mean {s['mean_device_utilization']:.1%}, "
+            f"max {s['max_device_utilization']:.1%}",
+        ]
+        if self.num_replans:
+            at = ", ".join(f"{t:.0f}" for t in self.replan_ms)
+            lines.append(f"drift replans:     {self.num_replans} (at ms: {at})")
+        return "\n".join(lines)

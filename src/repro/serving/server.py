@@ -1,0 +1,367 @@
+"""Online lookup server: microbatched admission over the sharded engine.
+
+A :class:`LookupServer` is a discrete-event simulation of an inference
+deployment of one sharded embedding model: requests arrive on a
+simulated clock, a :class:`~repro.serving.queue.MicroBatchQueue`
+coalesces them, and each released microbatch executes on the vectorized
+:class:`~repro.engine.executor.ShardedExecutor`, whose per-device times
+come from the same tiered-bandwidth cost model the MILP optimizes.  The
+engine is model-parallel across tables (as in training), so a batch
+completes when its slowest device does, and a plan with balanced,
+HBM-resident hot rows serves strictly higher QPS at lower tail latency
+— the serving-side restatement of the paper's Table 3 result.
+
+Serving also closes the loop the paper opens in Section 3.5: feature
+statistics drift, so a plan optimal at deployment decays.  The server
+tracks observed per-feature statistics online (a streaming
+:class:`~repro.stats.profiler.TraceProfiler`), compares them against
+the profile the active plan was built from (:class:`DriftMonitor`), and
+when drift exceeds a threshold re-shards from the *observed* profile
+and hot-swaps the executor — the drift-triggered replan the paper
+argues periodic re-sharding should provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.data.batch import JaggedBatch
+from repro.data.drift import DriftModel
+from repro.data.model import ModelSpec
+from repro.data.synthetic import TraceGenerator
+from repro.engine.cache import CacheModel
+from repro.engine.executor import ShardedExecutor
+from repro.engine.ranked import RankRemapper
+from repro.memory.topology import SystemTopology
+from repro.serving.metrics import ServingMetrics
+from repro.serving.queue import LookupRequest, MicroBatchQueue, coalesce_requests
+from repro.stats.profiler import TraceProfiler
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables of one serving deployment.
+
+    Attributes:
+        max_batch_size: microbatch release threshold in requests.
+        max_delay_ms: longest a request may wait for batchmates.
+        overhead_ms_per_batch: fixed per-batch cost (kernel launches,
+            dense compute, host round-trip) that batching amortizes.
+        drift_threshold_pct: mean per-feature pooling-factor drift (in
+            percent, vs the plan's profile) that triggers a replan.
+        drift_check_every_batches: how often the monitor is consulted.
+        drift_min_samples: observations required before the monitor may
+            trigger (guards against small-sample noise).
+        profile_sample_rate: fraction of served samples folded into the
+            online profile used for replanning (Section 4.1 finds <=1%
+            suffices in production; the default profiles everything).
+    """
+
+    max_batch_size: int = 256
+    max_delay_ms: float = 2.0
+    overhead_ms_per_batch: float = 0.05
+    drift_threshold_pct: float = 5.0
+    drift_check_every_batches: int = 16
+    drift_min_samples: int = 1024
+    profile_sample_rate: float = 1.0
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.overhead_ms_per_batch < 0:
+            raise ValueError("overhead_ms_per_batch must be >= 0")
+        if self.drift_check_every_batches < 1:
+            raise ValueError("drift_check_every_batches must be >= 1")
+
+
+class DriftMonitor:
+    """Online drift detector for per-feature pooling statistics.
+
+    Accumulates, per feature, how many samples had the feature present
+    and how many lookups they produced; the ratio is the observed
+    average pooling factor, compared against the baseline profile the
+    current plan was sharded from.  Mean absolute percent change across
+    observable features is the drift signal (the quantity Figure 9
+    tracks over production months).
+
+    Args:
+        profile: baseline :class:`~repro.stats.profiler.ModelProfile`.
+        threshold_pct: drift level (percent) that makes
+            :meth:`should_replan` true.
+        min_samples: samples to observe before triggering.
+    """
+
+    #: present-sample floor below which a feature's estimate is noise.
+    MIN_PRESENT = 16
+
+    def __init__(self, profile, threshold_pct: float = 5.0, min_samples: int = 1024):
+        self.threshold_pct = float(threshold_pct)
+        self.min_samples = int(min_samples)
+        self.reset(profile)
+
+    def reset(self, profile) -> None:
+        """Re-baseline against ``profile`` and clear observations."""
+        self._baseline = np.array(
+            [stats.avg_pooling for stats in profile], dtype=np.float64
+        )
+        num_tables = len(self._baseline)
+        self._present = np.zeros(num_tables, dtype=np.int64)
+        self._lookups = np.zeros(num_tables, dtype=np.int64)
+        self._samples = 0
+
+    @property
+    def samples_observed(self) -> int:
+        return self._samples
+
+    def observe(self, batch: JaggedBatch) -> None:
+        """Fold one served batch into the observed statistics."""
+        if batch.num_features != self._present.size:
+            raise ValueError(
+                f"batch has {batch.num_features} features, monitor tracks "
+                f"{self._present.size}"
+            )
+        self._samples += batch.batch_size
+        for j, feature in enumerate(batch):
+            self._present[j] += int(np.count_nonzero(feature.lengths))
+            self._lookups[j] += feature.total_lookups
+
+    def drift_pct(self) -> float:
+        """Mean |percent change| of pooling vs baseline, observable features."""
+        eligible = (self._present >= self.MIN_PRESENT) & (self._baseline > 0)
+        if not eligible.any():
+            return 0.0
+        observed = self._lookups[eligible] / self._present[eligible]
+        baseline = self._baseline[eligible]
+        return float(np.mean(np.abs(observed - baseline) / baseline) * 100.0)
+
+    def should_replan(self) -> bool:
+        """Whether enough drift has accumulated to justify re-sharding."""
+        return (
+            self._samples >= self.min_samples
+            and self.drift_pct() >= self.threshold_pct
+        )
+
+
+class LookupServer:
+    """Serves embedding lookup requests against a sharded plan.
+
+    The server owns a simulated clock (milliseconds).  Requests are
+    admitted through a microbatching queue; each released batch runs on
+    the vectorized executor, busy-waiting behind the previous batch if
+    the engine is occupied (a single model-parallel replica).  Per-
+    request latency is queueing wait plus execution time of its batch.
+
+    Re-sharding: when built with a ``sharder`` (rather than a fixed
+    ``plan``), the server profiles served traffic online and, when the
+    :class:`DriftMonitor` trips, re-shards from the observed profile and
+    swaps the executor in place.  The swap is treated as free on the
+    serving clock — production re-shards build the new placement
+    off the critical path and flip atomically (Section 6.6's remapping
+    tables make that a pointer swap).
+
+    Args:
+        model: the served model's spec.
+        profile: profile the initial plan is built from.
+        topology: simulated device/tier hierarchy.
+        plan: a fixed sharding plan (mutually exclusive with sharder).
+        sharder: strategy object with ``shard(model, profile, topology)``
+            — enables drift-triggered replanning.
+        config: serving tunables.
+        cache: optional device cache model passed to the executor.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        profile,
+        topology: SystemTopology,
+        plan=None,
+        sharder=None,
+        config: ServingConfig | None = None,
+        cache: CacheModel | None = None,
+    ):
+        if (plan is None) == (sharder is None):
+            raise ValueError("provide exactly one of plan= or sharder=")
+        self.model = model
+        self.topology = topology
+        self.config = config or ServingConfig()
+        self.cache = cache
+        self.sharder = sharder
+        self.queue = MicroBatchQueue(
+            max_batch_size=self.config.max_batch_size,
+            max_delay_ms=self.config.max_delay_ms,
+        )
+        self.metrics = ServingMetrics(num_devices=topology.num_devices)
+        self._busy_until_ms = 0.0
+        self._batches_since_check = 0
+        self._num_installs = 0
+        self._install(plan if plan is not None else sharder.shard(model, profile, topology), profile)
+
+    def _install(self, plan, profile) -> None:
+        """Activate ``plan`` (initial install or drift replan swap)."""
+        self.plan = plan
+        self.profile = profile
+        ranker = RankRemapper(profile)
+        self.executor = ShardedExecutor(
+            self.model, plan, profile, self.topology,
+            cache=self.cache, ranker=ranker,
+        )
+        # Drift tracking only exists where a replan is possible: a
+        # fixed-plan server skips the per-batch profiling entirely.
+        self.monitor = None
+        self._profiler = None
+        if self.sharder is not None:
+            self.monitor = DriftMonitor(
+                profile,
+                threshold_pct=self.config.drift_threshold_pct,
+                min_samples=self.config.drift_min_samples,
+            )
+            # Distinct sampling seed per install so consecutive observed
+            # profiles draw independent Bernoulli sequences.
+            self._profiler = TraceProfiler(
+                self.model,
+                sample_rate=self.config.profile_sample_rate,
+                seed=self._num_installs,
+            )
+        self._num_installs += 1
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        requests: Iterable[LookupRequest],
+        on_replan: Callable[[float], None] | None = None,
+    ) -> ServingMetrics:
+        """Run the full event loop over a request stream.
+
+        Args:
+            requests: requests in non-decreasing ``arrival_ms`` order
+                (e.g. from :func:`synthetic_request_stream`).
+            on_replan: optional callback invoked with the simulated time
+                of every drift-triggered replan.
+
+        Returns:
+            The accumulated :class:`~repro.serving.metrics.ServingMetrics`.
+        """
+        for request in requests:
+            now = request.arrival_ms
+            # Flush any batch whose delay budget expires before this arrival.
+            while len(self.queue) and self.queue.deadline_ms() <= now:
+                self._process(self.queue.deadline_ms(), on_replan)
+            self.queue.submit(request)
+            if self.queue.ready(now):
+                self._process(now, on_replan)
+        # Stream over, clock keeps running: leftover requests wait out
+        # their delay budget in case of batchmates, then release.
+        while len(self.queue):
+            self._process(self.queue.deadline_ms(), on_replan)
+        return self.metrics
+
+    def _process(
+        self, trigger_ms: float, on_replan: Callable[[float], None] | None = None
+    ) -> None:
+        """Release one microbatch and account its execution."""
+        requests = self.queue.pop_batch()
+        batch = coalesce_requests(requests)
+        start = max(trigger_ms, self._busy_until_ms)
+        device_times, _, _ = self.executor.run_batch(batch)
+        service = float(device_times.max()) + self.config.overhead_ms_per_batch
+        finish = start + service
+        self._busy_until_ms = finish
+        self.metrics.record_batch(
+            [r.arrival_ms for r in requests],
+            start_ms=start,
+            finish_ms=finish,
+            device_times_ms=device_times,
+            total_lookups=batch.total_lookups,
+        )
+        if self.sharder is None:
+            return
+        # Two deliberate accumulators: the monitor watches *all* served
+        # traffic (cheap per-feature tallies, accurate drift signal);
+        # the profiler Bernoulli-subsamples at profile_sample_rate to
+        # bound the cost of the full per-row counts a replan needs.
+        self.monitor.observe(batch)
+        self._profiler.consume(batch)
+        self._batches_since_check += 1
+        if self._batches_since_check >= self.config.drift_check_every_batches:
+            self._batches_since_check = 0
+            if self.monitor.should_replan():
+                self._replan(finish, on_replan)
+
+    def _replan(
+        self, now_ms: float, on_replan: Callable[[float], None] | None = None
+    ) -> None:
+        """Re-shard from the observed profile and hot-swap the executor."""
+        observed = self._profiler.finish()
+        plan = self.sharder.shard(self.model, observed, self.topology)
+        self._install(plan, observed)
+        self.metrics.record_replan(now_ms)
+        if on_replan is not None:
+            on_replan(now_ms)
+
+
+def synthetic_request_stream(
+    model: ModelSpec,
+    num_requests: int,
+    qps: float,
+    seed: int = 0,
+    start_ms: float = 0.0,
+    drift: DriftModel | None = None,
+    months_per_request: float = 0.0,
+    chunk_size: int = 512,
+) -> Iterator[LookupRequest]:
+    """Generate a seeded open-loop request stream for one model.
+
+    Samples are drawn from the model's feature statistics in chunks (a
+    :class:`~repro.data.synthetic.TraceGenerator` batch sliced per
+    sample) and assigned Poisson arrivals at the offered ``qps``.  With
+    a ``drift`` model, each successive chunk is drawn from feature
+    statistics drifted to ``months_per_request * requests_so_far`` —
+    fast-forwarding the months-long drift of Figure 9 into one serving
+    run so drift-triggered replanning can be exercised end to end.
+
+    Args:
+        model: workload spec.
+        num_requests: stream length.
+        qps: offered load (mean arrival rate, requests/second).
+        seed: RNG seed; streams replay identically per seed.
+        start_ms: timestamp of the stream's start.
+        drift: optional :class:`~repro.data.drift.DriftModel`.
+        months_per_request: simulated months elapsed per request.
+        chunk_size: samples drawn per generator batch (efficiency knob).
+
+    Yields:
+        :class:`~repro.serving.queue.LookupRequest` in arrival order.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if qps <= 0:
+        raise ValueError("qps must be > 0")
+    rng = np.random.default_rng(seed)
+    now = float(start_ms)
+    emitted = 0
+    while emitted < num_requests:
+        count = min(chunk_size, num_requests - emitted)
+        chunk_model = model
+        if drift is not None and months_per_request > 0:
+            month = months_per_request * emitted
+            if month > 0:
+                chunk_model = drift.drift_model(model, month)
+        generator = TraceGenerator(
+            chunk_model, batch_size=count, seed=int(rng.integers(2**31))
+        )
+        batch = generator.next_batch()
+        gaps = rng.exponential(1e3 / qps, size=count)
+        for i in range(count):
+            now += gaps[i]
+            yield LookupRequest(
+                request_id=emitted + i,
+                features=tuple(f.sample(i) for f in batch),
+                arrival_ms=now,
+            )
+        emitted += count

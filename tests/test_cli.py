@@ -60,3 +60,40 @@ class TestCommands:
         ] + self.COMMON
         assert main(argv) == 0
         assert "rows on UVM" in capsys.readouterr().out
+
+    def test_replay_vectorized_default(self, capsys):
+        argv = [
+            "replay", "--model", "rm2", "--milp-time", "0", "--iters", "2",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "vectorized engine" in out
+        assert "replay wall-clock" in out
+
+    def test_replay_scalar_flag(self, capsys):
+        argv = [
+            "replay", "--scalar", "--model", "rm2", "--milp-time", "0",
+            "--iters", "2",
+        ] + self.COMMON
+        assert main(argv) == 0
+        assert "scalar engine" in capsys.readouterr().out
+
+    def test_serve(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "20000", "--requests", "400", "--batch-requests", "64",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "QPS" in out
+        assert "p50" in out and "p99" in out
+
+    def test_serve_with_drift(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "20000", "--requests", "600", "--batch-requests", "64",
+            "--drift-months", "20", "--drift-threshold", "2",
+            "--drift-min-samples", "128",
+        ] + self.COMMON
+        assert main(argv) == 0
+        assert "QPS" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Tests for the microbatching admission queue."""
+
+import numpy as np
+import pytest
+
+from repro.serving import LookupRequest, MicroBatchQueue, coalesce_requests
+
+
+def make_request(request_id, arrival_ms=0.0, lengths=(2, 0, 3)):
+    features = tuple(
+        np.arange(request_id, request_id + n, dtype=np.int64) for n in lengths
+    )
+    return LookupRequest(
+        request_id=request_id, features=features, arrival_ms=arrival_ms
+    )
+
+
+class TestMicroBatchQueue:
+    def test_releases_at_size_threshold(self):
+        queue = MicroBatchQueue(max_batch_size=3, max_delay_ms=100.0)
+        for i in range(2):
+            queue.submit(make_request(i, arrival_ms=float(i)))
+            assert not queue.ready(now_ms=float(i))
+        queue.submit(make_request(2, arrival_ms=2.0))
+        assert queue.ready(now_ms=2.0)
+        batch = queue.pop_batch()
+        assert [r.request_id for r in batch] == [0, 1, 2]
+        assert len(queue) == 0
+
+    def test_releases_at_deadline(self):
+        queue = MicroBatchQueue(max_batch_size=100, max_delay_ms=5.0)
+        queue.submit(make_request(0, arrival_ms=10.0))
+        assert queue.deadline_ms() == pytest.approx(15.0)
+        assert not queue.ready(now_ms=14.9)
+        assert queue.ready(now_ms=15.0)
+
+    def test_pop_caps_at_max_batch_size(self):
+        queue = MicroBatchQueue(max_batch_size=2, max_delay_ms=1.0)
+        for i in range(5):
+            queue.submit(make_request(i, arrival_ms=0.0))
+        first = queue.pop_batch()
+        assert [r.request_id for r in first] == [0, 1]
+        assert len(queue) == 3
+
+    def test_fifo_order_preserved(self):
+        queue = MicroBatchQueue(max_batch_size=4, max_delay_ms=1.0)
+        for i in range(4):
+            queue.submit(make_request(i, arrival_ms=float(i) / 10))
+        batch = queue.pop_batch()
+        assert [r.request_id for r in batch] == [0, 1, 2, 3]
+
+    def test_out_of_order_arrivals_rejected(self):
+        queue = MicroBatchQueue(max_batch_size=4, max_delay_ms=1.0)
+        queue.submit(make_request(0, arrival_ms=5.0))
+        with pytest.raises(ValueError):
+            queue.submit(make_request(1, arrival_ms=4.0))
+
+    def test_empty_queue_guards(self):
+        queue = MicroBatchQueue(max_batch_size=2, max_delay_ms=1.0)
+        assert not queue.ready(now_ms=1e9)
+        assert queue.deadline_ms() == float("inf")
+        with pytest.raises(ValueError):
+            queue.pop_batch()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatchQueue(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatchQueue(max_delay_ms=-1.0)
+
+
+class TestCoalesce:
+    def test_coalesce_builds_jagged_batch(self):
+        requests = [
+            make_request(0, lengths=(2, 0, 1)),
+            make_request(10, lengths=(0, 3, 1)),
+        ]
+        batch = coalesce_requests(requests)
+        assert batch.batch_size == 2
+        assert batch.num_features == 3
+        # Feature 0: request 0 contributed 2 lookups, request 1 none.
+        assert batch[0].lengths.tolist() == [2, 0]
+        assert batch[1].lengths.tolist() == [0, 3]
+        # Sample slicing recovers each request's original indices.
+        np.testing.assert_array_equal(
+            batch[0].sample(0), requests[0].features[0]
+        )
+        np.testing.assert_array_equal(
+            batch[1].sample(1), requests[1].features[1]
+        )
+
+    def test_coalesce_total_lookups(self):
+        requests = [make_request(i, lengths=(1, 2, 3)) for i in range(4)]
+        batch = coalesce_requests(requests)
+        assert batch.total_lookups == sum(r.total_lookups for r in requests)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_requests([])
+
+    def test_feature_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_requests(
+                [make_request(0, lengths=(1, 1)), make_request(1, lengths=(1,))]
+            )
