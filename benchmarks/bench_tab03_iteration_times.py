@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from conftest import BENCH_BATCH, BENCH_ITERS, format_table, report
+from conftest import BENCH_BATCH, BENCH_ITERS, format_table, report, report_json
 from repro.data.synthetic import TraceGenerator
 from repro.engine import RankRemapper, ShardedExecutor, replay_trace
 
@@ -69,6 +69,22 @@ def _table3(headline) -> str:
 def test_table3_iteration_times(benchmark, headline):
     text = benchmark.pedantic(lambda: _table3(headline), rounds=1, iterations=1)
     report("tab03_iteration_times", text)
+    report_json(
+        "tab03",
+        {
+            "iteration_stats_ms": {
+                model_name: {
+                    strategy: {
+                        "min": stats.min, "max": stats.max,
+                        "mean": stats.mean, "std": stats.std,
+                    }
+                    for strategy, result in results.items()
+                    for stats in [result.metrics.iteration_stats()]
+                }
+                for model_name, results in headline.items()
+            },
+        },
+    )
     # Shape assertions: under UVM pressure (RM2/RM3) RecShard is strictly
     # better balanced than every baseline; on RM1 (all-HBM) allow a small
     # slack — with few tables per GPU, balance is granularity-bound and

@@ -20,7 +20,9 @@ capture.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -69,6 +71,33 @@ def report(name: str, text: str) -> None:
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def report_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable bench result as ``BENCH_<name>.json``.
+
+    Written next to the text reports so the perf trajectory (speedups,
+    QPS, wall-clocks) can be tracked across PRs by tooling instead of
+    by parsing tables.  The workload shape knobs are stamped in so a
+    number is never compared across different shrink configurations by
+    accident.
+    """
+    REPORT_DIR.mkdir(exist_ok=True)
+    document = {
+        "bench": name,
+        "workload": {
+            "features": BENCH_FEATURES,
+            "batch": BENCH_BATCH,
+            "iters": BENCH_ITERS,
+            "gpus": BENCH_GPUS,
+            "milp_time": BENCH_MILP_TIME,
+        },
+        "python": platform.python_version(),
+        **payload,
+    }
+    path = REPORT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 # Capacity regimes must track the shrink knobs: scaling features (and

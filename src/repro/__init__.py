@@ -57,8 +57,10 @@ from repro.serving import (
     LookupRequest,
     LookupServer,
     MicroBatchQueue,
+    RequestArena,
     ServingConfig,
     ServingMetrics,
+    synthetic_request_arenas,
     synthetic_request_stream,
 )
 from repro.stats import (
@@ -89,6 +91,7 @@ __all__ = [
     "RecShardFastSharder",
     "RecShardSharder",
     "RemappingLayer",
+    "RequestArena",
     "RemappingTable",
     "ServingConfig",
     "ServingMetrics",
@@ -111,6 +114,7 @@ __all__ = [
     "rm3",
     "run_experiment",
     "speedup_table",
+    "synthetic_request_arenas",
     "synthetic_request_stream",
     "three_tier_node",
 ]

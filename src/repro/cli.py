@@ -7,6 +7,7 @@ Examples::
     python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
     python -m repro replay --model rm2 --vectorized --iters 3
     python -m repro serve --model rm2 --qps 20000 --requests 4000
+    python -m repro serve --model rm2 --reference --requests 4000
 """
 
 from __future__ import annotations
@@ -23,7 +24,12 @@ from repro.data.synthetic import TraceGenerator
 from repro.engine import ShardedExecutor, compare_strategies
 from repro.engine.harness import speedup_table
 from repro.memory import paper_node, paper_scales
-from repro.serving import LookupServer, ServingConfig, synthetic_request_stream
+from repro.serving import (
+    LookupServer,
+    ServingConfig,
+    synthetic_request_arenas,
+    synthetic_request_stream,
+)
 from repro.stats import analytic_profile
 from repro.stats.summary import characterization_summary, format_summary
 
@@ -189,8 +195,7 @@ def _cmd_serve(args) -> int:
     drift = None
     if args.drift_months > 0:
         drift = DriftModel(feature_noise=4.0, alpha_noise=4.0)
-    stream = synthetic_request_stream(
-        model,
+    stream_kwargs = dict(
         num_requests=args.requests,
         qps=args.qps,
         seed=args.seed,
@@ -200,12 +205,20 @@ def _cmd_serve(args) -> int:
         ),
     )
     start = time.perf_counter()
-    metrics = server.serve(stream)
+    if args.fast_serving:
+        metrics = server.serve_arenas(
+            synthetic_request_arenas(model, **stream_kwargs)
+        )
+    else:
+        metrics = server.serve(
+            synthetic_request_stream(model, **stream_kwargs)
+        )
     elapsed = time.perf_counter() - start
+    path = "columnar fast path" if args.fast_serving else "reference object path"
     print(f"served {model.name} on {args.gpus} GPUs "
           f"(offered load {args.qps:.0f} QPS, "
           f"microbatch <= {args.batch_requests} reqs / "
-          f"{args.max_delay_ms:g} ms):")
+          f"{args.max_delay_ms:g} ms, {path}):")
     print(metrics.format_report())
     print(f"simulation wall-clock: {elapsed:.2f} s")
     return 0
@@ -254,6 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
                 help="per-feature reference engine",
             )
         if name == "serve":
+            path = p.add_mutually_exclusive_group()
+            path.add_argument(
+                "--fast", dest="fast_serving", action="store_true",
+                default=True,
+                help="columnar arena fast path (default)",
+            )
+            path.add_argument(
+                "--reference", dest="fast_serving", action="store_false",
+                help="per-request object path (parity reference)",
+            )
             p.add_argument("--qps", type=float, default=20000,
                            help="offered load, requests/s (default: 20000)")
             p.add_argument("--requests", type=int, default=4000,

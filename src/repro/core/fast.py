@@ -146,12 +146,26 @@ class RecShardFastSharder:
         self.name = name
 
     # ------------------------------------------------------------------
-    def shard(self, model, profile, topology: SystemTopology) -> ShardingPlan:
+    def shard(
+        self, model, profile, topology: SystemTopology,
+        warm_start: ShardingPlan | None = None,
+    ) -> ShardingPlan:
+        """Shard ``model`` from ``profile``.
+
+        With ``warm_start`` (the outgoing plan of a drift replan), the
+        build is incremental: each table's split is fast-forwarded to
+        the previous plan's cut point before waterfilling the budget
+        delta, and the device assignment prefers each table's previous
+        home — so a replan mostly *repairs* the old plan instead of
+        rebuilding it, which is what keeps replanning cheap enough to
+        run off the serving critical path.
+        """
         inputs = RecShardInputs.from_profile(model, profile, steps=self.steps)
-        return self.shard_from_inputs(model, inputs, topology)
+        return self.shard_from_inputs(model, inputs, topology, warm_start=warm_start)
 
     def shard_from_inputs(
-        self, model, inputs: RecShardInputs, topology: SystemTopology
+        self, model, inputs: RecShardInputs, topology: SystemTopology,
+        warm_start: ShardingPlan | None = None,
     ) -> ShardingPlan:
         if topology.num_tiers != 2:
             raise ValueError("RecShardFastSharder targets two-tier topologies")
@@ -166,8 +180,14 @@ class RecShardFastSharder:
         ]
 
         hbm_budget = topology.hbm.capacity_bytes * topology.num_devices
+        preferred = None
+        if warm_start is not None and len(warm_start) == len(states):
+            hbm_budget = self._warm_start_splits(states, warm_start, hbm_budget)
+            preferred = [warm_start[j].device for j in range(len(states))]
         self._waterfill(states, hbm_budget)
-        device_of, loads, hbm_free, host_free = self._assign(states, topology)
+        device_of, loads, hbm_free, host_free = self._assign(
+            states, topology, preferred=preferred
+        )
         self._refill(states, device_of, hbm_free)
         loads = self._recompute_loads(states, device_of, topology.num_devices)
         self._local_search(states, device_of, loads, hbm_free, host_free)
@@ -191,6 +211,8 @@ class RecShardFastSharder:
             "estimated_device_costs_ms": loads,
             "solver": "fast",
         }
+        if preferred is not None:
+            metadata["warm_started"] = True
         if self.reclaim_dead:
             metadata["reclaim_dead"] = True
             metadata["dead_rows"] = [
@@ -201,6 +223,35 @@ class RecShardFastSharder:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _warm_start_splits(
+        states: list[_TableState], previous: ShardingPlan, budget: int
+    ) -> int:
+        """Fast-forward each split to the previous plan's cut point.
+
+        Advances every table along its (new-profile) ICDF grid while
+        the next step stays within the previous plan's HBM row count
+        and the aggregate budget — replacing the bulk of the waterfill
+        heap's step-by-step work with a straight walk per table.
+        Returns the budget left for the regular waterfill to spend on
+        drift-induced re-cuts.
+        """
+        remaining = budget
+        for state in states:
+            target = previous[state.index].hbm_rows
+            while True:
+                delta = state.next_step_delta()
+                if delta is None:
+                    break
+                next_rows = math.ceil(
+                    state.inputs.icdf.rows[state.step + 1] - 1e-9
+                )
+                if next_rows > target or delta[1] > remaining:
+                    break
+                state.advance()
+                remaining -= delta[1]
+        return remaining
+
     def _waterfill(self, states: list[_TableState], budget: int) -> None:
         """Spend the aggregate HBM budget on the densest ICDF steps."""
         remaining = budget
@@ -228,12 +279,15 @@ class RecShardFastSharder:
             remaining -= d_bytes
             push(state)
 
-    def _assign(self, states, topology):
+    def _assign(self, states, topology, preferred=None):
         """LPT placement under per-device HBM and host capacity.
 
         A device can host a table iff the table's minimum HBM footprint
         required by the device's remaining host space fits the device's
-        remaining HBM.  The split is shrunk or padded to fit.
+        remaining HBM.  The split is shrunk or padded to fit.  With
+        ``preferred`` (per-table device hints from a warm-start plan), a
+        table stays on its hinted device whenever the split fits there,
+        leaving the local search to repair only drift-induced imbalance.
         """
         num_devices = topology.num_devices
         loads = [0.0] * num_devices
@@ -243,14 +297,22 @@ class RecShardFastSharder:
 
         for state in sorted(states, key=lambda s: -s.cost()):
             chosen = None
-            # First preference: least-loaded device fitting the current split.
-            for device in sorted(range(num_devices), key=lambda m: loads[m]):
+            if preferred is not None:
+                hint = preferred[state.index]
                 if (
-                    hbm_free[device] >= state.hbm_bytes
-                    and host_free[device] >= state.host_bytes()
+                    hbm_free[hint] >= state.hbm_bytes
+                    and host_free[hint] >= state.host_bytes()
                 ):
-                    chosen = device
-                    break
+                    chosen = hint
+            if chosen is None:
+                # Least-loaded device fitting the current split.
+                for device in sorted(range(num_devices), key=lambda m: loads[m]):
+                    if (
+                        hbm_free[device] >= state.hbm_bytes
+                        and host_free[device] >= state.host_bytes()
+                    ):
+                        chosen = device
+                        break
             if chosen is None:
                 # Adapt the split.  Feasible devices are those where the
                 # host-driven minimum HBM rows fit the free HBM.

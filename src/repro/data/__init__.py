@@ -23,7 +23,7 @@ from repro.data.model import (
     rm2,
     rm3,
 )
-from repro.data.synthetic import TraceGenerator
+from repro.data.synthetic import SamplerBank, TraceGenerator
 from repro.data.drift import DriftModel
 from repro.data import trends
 
@@ -34,6 +34,7 @@ __all__ = [
     "JaggedBatch",
     "LogNormalPooling",
     "ModelSpec",
+    "SamplerBank",
     "SparseFeatureSpec",
     "TraceGenerator",
     "UniformCategorical",

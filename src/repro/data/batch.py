@@ -67,6 +67,21 @@ class JaggedFeature:
         return JaggedFeature(new_values, new_offsets)
 
     @classmethod
+    def from_validated(cls, values: np.ndarray, offsets: np.ndarray) -> "JaggedFeature":
+        """Construct without re-running the offset invariant checks.
+
+        For hot-path producers whose arrays are slices of storage that
+        already passed validation (e.g. arena microbatch views), where
+        re-checking per batch would dominate the coalescing cost.  The
+        caller is responsible for the invariants ``__post_init__``
+        enforces.
+        """
+        feature = cls.__new__(cls)
+        feature.values = values
+        feature.offsets = offsets
+        return feature
+
+    @classmethod
     def from_lists(cls, per_sample: list[list[int]]) -> "JaggedFeature":
         """Build from a list of per-sample index lists (tests, examples)."""
         lengths = np.array([len(s) for s in per_sample], dtype=np.int64)

@@ -76,15 +76,23 @@ class SparseFeatureSpec:
         """Map raw categorical values into ``[0, hash_size)``."""
         return self.hasher().hash_into(raw_values, self.hash_size)
 
-    def post_hash_pmf(self) -> np.ndarray:
+    def post_hash_pmf(self, hashed: np.ndarray | None = None) -> np.ndarray:
         """Access probability of each embedding row, post-hash.
 
         Pushes the Zipf pmf over raw values through the feature's hash
         function.  Rows that no raw value maps to get probability zero —
         these are the dead rows of Section 3.4.
+
+        Args:
+            hashed: precomputed ``hash_values(arange(cardinality))``,
+                for callers (drifting stream samplers) that reuse the
+                hashed value space across pmf rebuilds.  This method is
+                the single accumulation implementation, so cached and
+                uncached pmfs stay bit-identical.
         """
         raw_pmf = self.value_distribution().pmf
-        hashed = self.hash_values(np.arange(self.cardinality, dtype=np.int64))
+        if hashed is None:
+            hashed = self.hash_values(np.arange(self.cardinality, dtype=np.int64))
         pmf = np.zeros(self.hash_size, dtype=np.float64)
         np.add.at(pmf, hashed, raw_pmf)
         return pmf

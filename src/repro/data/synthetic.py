@@ -23,16 +23,62 @@ from repro.data.model import ModelSpec
 
 
 class _FeatureSampler:
-    """Cached per-feature sampling state."""
+    """Cached per-feature sampling state.
 
-    __slots__ = ("coverage", "pooling", "post_hash_cdf")
+    The expensive pieces — hashing the raw value space and cumulating
+    the post-hash pmf — are cached behind keys of the spec fields they
+    depend on, so :meth:`update` can follow a drifting feature spec
+    (whose pooling mean changes every chunk) without rebuilding the
+    multi-million-entry CDF unless the value distribution or hashing
+    actually changed.  Retaining the hashed value space costs
+    ``8 * cardinality`` resident bytes per feature, so it is opt-in
+    (``cache_hashed``): :class:`SamplerBank` holders that refresh
+    across drifted models want it; a one-shot :class:`TraceGenerator`
+    does not.
+    """
 
-    def __init__(self, feature):
+    __slots__ = (
+        "coverage", "pooling", "post_hash_cdf",
+        "_pooling_key", "_cdf_key", "_hash_key", "_hashed", "_cache_hashed",
+    )
+
+    def __init__(self, feature, cache_hashed: bool = False):
+        self._pooling_key = None
+        self._cdf_key = None
+        self._hash_key = None
+        self._hashed = None
+        self._cache_hashed = cache_hashed
+        self.update(feature)
+
+    def update(self, feature) -> None:
+        """Re-target this sampler at ``feature``, reusing unchanged state."""
         self.coverage = feature.coverage
-        self.pooling = feature.pooling_distribution()
-        cdf = np.cumsum(feature.post_hash_pmf())
-        cdf[-1] = 1.0
-        self.post_hash_cdf = cdf
+        pooling_key = (feature.avg_pooling, feature.pooling_sigma)
+        if pooling_key != self._pooling_key:
+            self._pooling_key = pooling_key
+            self.pooling = feature.pooling_distribution()
+        cdf_key = (
+            feature.cardinality, feature.hash_size,
+            feature.hash_seed, feature.alpha,
+        )
+        if cdf_key != self._cdf_key:
+            self._cdf_key = cdf_key
+            if self._cache_hashed:
+                # The hashed image of the raw value space depends only
+                # on the hash configuration, not the Zipf exponent, so
+                # alpha-only drift reuses it across rebuilds.
+                hash_key = (feature.cardinality, feature.hash_size, feature.hash_seed)
+                if hash_key != self._hash_key:
+                    self._hash_key = hash_key
+                    self._hashed = feature.hash_values(
+                        np.arange(feature.cardinality, dtype=np.int64)
+                    )
+                pmf = feature.post_hash_pmf(hashed=self._hashed)
+            else:
+                pmf = feature.post_hash_pmf()
+            cdf = np.cumsum(pmf)
+            cdf[-1] = 1.0
+            self.post_hash_cdf = cdf
 
     def sample_feature(self, batch_size: int, rng: np.random.Generator) -> JaggedFeature:
         present = rng.random(batch_size) < self.coverage
@@ -52,6 +98,52 @@ class _FeatureSampler:
         return JaggedFeature(values, offsets)
 
 
+class SamplerBank:
+    """Reusable per-feature sampler state shared across model revisions.
+
+    Drifting request streams re-derive the model spec chunk after chunk
+    (:func:`repro.serving.server.synthetic_request_arenas`); rebuilding
+    every feature's post-hash CDF per chunk dominated generation cost.
+    A bank keeps one :class:`_FeatureSampler` per table and
+    :meth:`refresh` updates each in place, rebuilding only the state
+    whose underlying spec fields actually changed.
+    """
+
+    def __init__(self, model: ModelSpec | None = None):
+        self._samplers: list[_FeatureSampler] = []
+        self._features: list = []
+        if model is not None:
+            self.refresh(model)
+
+    @property
+    def samplers(self) -> list[_FeatureSampler]:
+        return self._samplers
+
+    def refresh(self, model: ModelSpec) -> list[_FeatureSampler]:
+        """Align the bank with ``model``, reusing samplers where possible."""
+        features = [t.feature for t in model.tables]
+        if len(features) != len(self._samplers):
+            del self._samplers[len(features):]
+            del self._features[len(features):]
+        for j, feature in enumerate(features):
+            if j < len(self._samplers):
+                if feature != self._features[j]:
+                    self._samplers[j].update(feature)
+                    self._features[j] = feature
+            else:
+                self._samplers.append(_FeatureSampler(feature, cache_hashed=True))
+                self._features.append(feature)
+        return self._samplers
+
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> JaggedBatch:
+        """Draw one jagged batch from the bank's current statistics."""
+        return JaggedBatch(
+            [s.sample_feature(batch_size, rng) for s in self._samplers]
+        )
+
+
 class TraceGenerator:
     """Generates synthetic training batches for a :class:`ModelSpec`.
 
@@ -67,6 +159,8 @@ class TraceGenerator:
         self.model = model
         self.batch_size = int(batch_size)
         self.seed = int(seed)
+        # No bank: a generator's model never drifts, so the hashed
+        # value space is not worth keeping resident per feature.
         self._samplers = [_FeatureSampler(t.feature) for t in model.tables]
         self._rng = np.random.default_rng(seed)
 

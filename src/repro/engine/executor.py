@@ -101,6 +101,13 @@ class ShardedExecutor:
         # fresh (page-faulting) bool temporary per table per batch.  Makes
         # run_ranked non-reentrant, like the executor's other scratch state.
         self._mask_scratch = np.empty(0, dtype=bool)
+        # Fused jagged-path scratch (the serving loop's per-batch hot
+        # path): a flat global-rank buffer reused across batches, and
+        # the per-(table, segment) edge grid it is counted against.
+        # Built lazily because both depend on the (possibly lazy) ranker.
+        self._flat_rank_scratch = np.empty(0, dtype=np.int64)
+        self._seg_edges: np.ndarray | None = None
+        self._hbm_edge: np.ndarray | None = None
         self._cache_threshold = np.zeros(model.num_tables, dtype=np.int64)
         if cache is not None:
             for device in range(topology.num_devices):
@@ -166,8 +173,118 @@ class ShardedExecutor:
                 )
             return self.run_ranked(batch)
         if self.vectorized:
-            return self.run_ranked(self.ranker.rank_batch(batch))
+            return self.run_jagged(batch)
         return self._run_batch_scalar(batch)
+
+    def _fused_edges(self) -> np.ndarray:
+        """Per-(table, segment) boundaries in the global rank space.
+
+        Each table contributes ``num_tiers + 1`` ascending edges:
+        ``base + cache_cutoff`` (segment 0 = cache hits, empty without a
+        cache), then ``base + cumsum(rows_per_tier)``.  Consecutive
+        tables chain because a table's last edge is the next table's
+        base, so the concatenation is globally sorted and one
+        ``searchsorted`` classifies every lookup of every table.
+        """
+        if self._seg_edges is None:
+            base = self.ranker.rank_base[:-1]
+            num_tiers = self.topology.num_tiers
+            edges = np.empty((len(self.plan), num_tiers + 1), dtype=np.int64)
+            edges[:, 0] = base + np.asarray(self._cache_cutoff, dtype=np.int64)
+            edges[:, 1:] = base[:, None] + self._tier_bounds
+            # Matching the flat buffer's dtype avoids searchsorted
+            # promoting (copying) the whole buffer to int64 per batch.
+            self._seg_edges = edges.reshape(-1).astype(self.ranker.fused_dtype)
+        return self._seg_edges
+
+    def run_jagged(
+        self, batch: JaggedBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused vectorized accounting over a jagged batch.
+
+        Metric-identical to ``run_ranked(ranker.rank_batch(batch))``,
+        restructured for the serving shape (hundreds of tables, small
+        microbatches) where per-feature numpy calls dominate: every
+        feature's lookups are gathered through the base-shifted
+        :meth:`~repro.engine.ranked.RankRemapper.fused_rank` map into
+        one flat reused buffer, and a single ``searchsorted`` +
+        ``bincount`` against :meth:`_fused_edges` yields all per-table
+        tier counts and cache hits at once — two global passes instead
+        of several scans per feature.
+        """
+        num_tables = len(self.plan)
+        if batch.num_features != num_tables:
+            raise ValueError(
+                f"batch has {batch.num_features} features, plan has "
+                f"{num_tables} tables"
+            )
+        num_tiers = self.topology.num_tiers
+        total = batch.total_lookups
+        if total == 0:
+            zeros = np.zeros((num_tables, num_tiers), dtype=np.int64)
+            return self._reduce_counts(zeros, np.zeros(num_tables, dtype=np.int64))
+        dtype = self.ranker.fused_dtype
+        if self._flat_rank_scratch.dtype != dtype or self._flat_rank_scratch.size < total:
+            self._flat_rank_scratch = np.empty(total, dtype=dtype)
+        flat = self._flat_rank_scratch[:total]
+        tables, starts, pos = [], [], 0
+        for j, feature in enumerate(batch):
+            values = feature.values
+            if values.size:
+                tables.append(j)
+                starts.append(pos)
+                np.take(
+                    self.ranker.fused_rank(j), values,
+                    out=flat[pos: pos + values.size],
+                )
+                pos += values.size
+        tables = np.asarray(tables, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        if num_tiers == 2 and self.cache is None:
+            return self._classify_two_tier(flat, tables, starts)
+        segments = np.searchsorted(self._fused_edges(), flat, side="right")
+        seg_counts = np.bincount(
+            segments, minlength=num_tables * (num_tiers + 1)
+        ).reshape(num_tables, num_tiers + 1)
+        counts = np.empty((num_tables, num_tiers), dtype=np.int64)
+        # Segment 0 (cache hits) lives inside the HBM tier block.
+        counts[:, 0] = seg_counts[:, 0] + seg_counts[:, 1]
+        counts[:, 1:] = seg_counts[:, 2:]
+        return self._reduce_counts(counts, seg_counts[:, 0])
+
+    def _classify_two_tier(
+        self, flat: np.ndarray, tables: np.ndarray, starts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cache-less two-tier classification of the flat rank buffer.
+
+        The dominant serving topology needs only one boundary per
+        table (the HBM cut), so the general segment search reduces to:
+        expand each lookup's boundary with ``repeat``, one comparison,
+        and one segmented reduction — three linear passes instead of a
+        binary search per lookup.
+
+        Args:
+            flat: base-shifted ranks, grouped by feature.
+            tables: table index of each (non-empty) feature group.
+            starts: group start offsets into ``flat``.
+        """
+        num_tables = len(self.plan)
+        if self._hbm_edge is None:
+            self._hbm_edge = (
+                self.ranker.rank_base[:-1] + self._tier_bounds[:, 0]
+            ).astype(self.ranker.fused_dtype)
+        total = flat.size
+        sizes = np.diff(np.append(starts, total))
+        bounds = np.repeat(self._hbm_edge[tables], sizes)
+        if self._mask_scratch.size < total:
+            self._mask_scratch = np.empty(total, dtype=bool)
+        mask = self._mask_scratch[:total]
+        np.less(flat, bounds, out=mask)
+        in_hbm = np.add.reduceat(mask.view(np.int8), starts, dtype=np.int64)
+        counts = np.zeros((num_tables, 2), dtype=np.int64)
+        counts[tables, 0] = in_hbm
+        counts[tables, 1] = sizes - in_hbm
+        return self._reduce_counts(counts, np.zeros(num_tables, dtype=np.int64))
 
     def run_ranked(
         self, ranked: RankedBatch

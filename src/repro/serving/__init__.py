@@ -11,14 +11,23 @@ can trigger a re-shard while serving.
 
 Components:
 
-* :class:`~repro.serving.queue.MicroBatchQueue` — admission queue that
-  coalesces single-sample lookup requests into jagged batches, bounded
-  by batch size and queueing delay.
+* :class:`~repro.serving.arena.RequestArena` — feature-major columnar
+  request chunks; microbatches are offset slices, and
+  :class:`~repro.serving.queue.LookupRequest` objects are zero-copy
+  views for the object API.
+* :class:`~repro.serving.queue.MicroBatchQueue` — reference admission
+  queue that coalesces single-sample lookup requests into jagged
+  batches, bounded by batch size and queueing delay.
 * :class:`~repro.serving.server.LookupServer` — discrete-event server
   driving the vectorized :class:`~repro.engine.executor.ShardedExecutor`
-  on a simulated clock; supports drift-triggered replanning.
-* :class:`~repro.serving.metrics.ServingMetrics` — per-request latency
-  records with QPS, p50/p99, and per-device utilization views.
+  on a simulated clock; supports drift-triggered replanning.  Its
+  :meth:`~repro.serving.server.LookupServer.serve_arenas` fast path
+  computes admission vectorized over arrival arrays and produces
+  metrics bit-identical to the per-request
+  :meth:`~repro.serving.server.LookupServer.serve` loop.
+* :class:`~repro.serving.metrics.ServingMetrics` — columnar per-batch
+  latency records with QPS, p50/p99, per-device utilization, and
+  off-critical-path replan build cost views.
 * :class:`~repro.serving.server.DriftMonitor` — online per-feature
   pooling statistics compared against the profile the current plan was
   built from (Section 3.5's drift, detected rather than assumed).
@@ -37,17 +46,19 @@ Quickstart::
         sharder=RecShardFastSharder(batch_size=256),
         config=ServingConfig(max_batch_size=256, max_delay_ms=2.0),
     )
-    requests = synthetic_request_stream(model, num_requests=2000, qps=20000, seed=7)
-    metrics = server.serve(requests)
+    arenas = synthetic_request_arenas(model, num_requests=2000, qps=20000, seed=7)
+    metrics = server.serve_arenas(arenas)   # columnar fast path
     print(metrics.format_report())
 """
 
+from repro.serving.arena import RequestArena
 from repro.serving.metrics import ServingMetrics
 from repro.serving.queue import LookupRequest, MicroBatchQueue, coalesce_requests
 from repro.serving.server import (
     DriftMonitor,
     LookupServer,
     ServingConfig,
+    synthetic_request_arenas,
     synthetic_request_stream,
 )
 
@@ -56,8 +67,10 @@ __all__ = [
     "LookupRequest",
     "LookupServer",
     "MicroBatchQueue",
+    "RequestArena",
     "ServingConfig",
     "ServingMetrics",
     "coalesce_requests",
+    "synthetic_request_arenas",
     "synthetic_request_stream",
 ]

@@ -1,0 +1,174 @@
+"""Columnar request storage: the serving fast path's data layout.
+
+The object-path request stream materializes one
+:class:`~repro.serving.queue.LookupRequest` plus ``num_features`` tiny
+index arrays per sample, and :func:`~repro.serving.queue.coalesce_requests`
+re-concatenates those fragments for every released microbatch — so a
+simulated server spends its wall-clock on Python object churn rather
+than on lookups.  A :class:`RequestArena` keeps a chunk of requests
+*columnar end to end*: per feature one flat ``values`` array plus one
+``offsets`` array (request ``i`` owns segment ``[offsets[i],
+offsets[i+1])``), and one ``arrival_ms`` array for the whole chunk —
+the same feature-major jagged layout the engine consumes, so a
+microbatch is a pair of array slices instead of a rebuild.  This is the
+data-structure move serving-efficiency work like MicroRec makes on the
+inference path: restructure the request representation so the hot loop
+only slices views.
+
+:class:`~repro.serving.queue.LookupRequest` remains the object API:
+:meth:`RequestArena.request` materializes one as zero-copy views into
+the arena's arrays, which is what keeps the PR-1 object path (and every
+caller of ``synthetic_request_stream``) working unchanged on top of
+arena-backed generation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.batch import JaggedBatch, JaggedFeature
+from repro.serving.queue import LookupRequest, coalesce_requests
+
+
+class RequestArena:
+    """One chunk of lookup requests in feature-major columnar layout.
+
+    Args:
+        batch: the chunk's lookups as one jagged batch — sample ``i``
+            of every feature belongs to request ``i``.
+        arrival_ms: per-request arrival timestamps, non-decreasing,
+            shape ``(num_requests,)``.
+        base_id: request id of the chunk's first request (ids are
+            consecutive within a chunk).
+    """
+
+    __slots__ = ("batch", "arrival_ms", "base_id", "_offsets_mat")
+
+    def __init__(self, batch: JaggedBatch, arrival_ms: np.ndarray, base_id: int = 0):
+        arrival_ms = np.asarray(arrival_ms, dtype=np.float64)
+        if arrival_ms.ndim != 1:
+            raise ValueError("arrival_ms must be a 1-D array")
+        if batch.num_features and batch.batch_size != arrival_ms.size:
+            raise ValueError(
+                f"batch holds {batch.batch_size} requests, arrival_ms "
+                f"{arrival_ms.size}"
+            )
+        if arrival_ms.size > 1 and np.any(np.diff(arrival_ms) < 0):
+            raise ValueError("arrival_ms must be non-decreasing")
+        self.batch = batch
+        self.arrival_ms = arrival_ms
+        self.base_id = int(base_id)
+        self._offsets_mat: np.ndarray | None = None
+
+    @property
+    def offsets_mat(self) -> np.ndarray:
+        """All features' offsets stacked, shape ``(features, requests + 1)``.
+
+        Built once per arena; every microbatch slice then rebases its
+        offsets with one vectorized subtraction over all features
+        instead of a numpy call per feature.
+        """
+        if self._offsets_mat is None:
+            self._offsets_mat = np.stack([f.offsets for f in self.batch])
+        return self._offsets_mat
+
+    @property
+    def num_requests(self) -> int:
+        return self.arrival_ms.size
+
+    @property
+    def num_features(self) -> int:
+        return self.batch.num_features
+
+    @property
+    def total_lookups(self) -> int:
+        return self.batch.total_lookups
+
+    # ------------------------------------------------------------------
+    # Zero-copy views
+    # ------------------------------------------------------------------
+    def request(self, i: int) -> LookupRequest:
+        """Request ``i`` as an object whose feature arrays are views."""
+        return LookupRequest(
+            request_id=self.base_id + i,
+            features=tuple(f.sample(i) for f in self.batch),
+            arrival_ms=float(self.arrival_ms[i]),
+        )
+
+    def __iter__(self) -> Iterator[LookupRequest]:
+        for i in range(self.num_requests):
+            yield self.request(i)
+
+    def batch_view(self, start: int, stop: int) -> JaggedBatch:
+        """Requests ``[start, stop)`` as one jagged batch.
+
+        Values are contiguous slices of the arena's flat arrays (views,
+        no copy); only the rebased offsets (one vectorized subtraction
+        over the stacked offsets matrix) are materialized.  This
+        replaces the object path's per-batch ``np.concatenate`` of
+        per-sample fragments.  The slices inherit the arena's validated
+        invariants, so the jagged structures are built through the
+        check-free constructor.
+        """
+        if not self.batch.features:
+            return JaggedBatch([])
+        mat = self.offsets_mat
+        rebased = mat[:, start: stop + 1] - mat[:, start: start + 1]
+        lo = mat[:, start].tolist()
+        hi = mat[:, stop].tolist()
+        features = [
+            JaggedFeature.from_validated(f.values[lo[j]: hi[j]], rebased[j])
+            for j, f in enumerate(self.batch)
+        ]
+        return JaggedBatch(features)
+
+    def slice(self, start: int, stop: int) -> "RequestArena":
+        """Sub-arena over requests ``[start, stop)`` (values are views)."""
+        return RequestArena(
+            self.batch_view(start, stop),
+            self.arrival_ms[start:stop],
+            base_id=self.base_id + start,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def concat(cls, arenas: list["RequestArena"]) -> "RequestArena":
+        """Concatenate chunks (used to carry a partial batch forward)."""
+        if not arenas:
+            raise ValueError("cannot concatenate an empty arena list")
+        if len(arenas) == 1:
+            return arenas[0]
+        num_features = {a.num_features for a in arenas}
+        if len(num_features) != 1:
+            raise ValueError(f"arenas disagree on feature count: {num_features}")
+        features = []
+        for j in range(num_features.pop()):
+            parts = [a.batch[j] for a in arenas]
+            values = np.concatenate([p.values for p in parts])
+            offsets = np.zeros(
+                sum(p.batch_size for p in parts) + 1, dtype=np.int64
+            )
+            pos, base = 1, 0
+            for p in parts:
+                offsets[pos: pos + p.batch_size] = p.offsets[1:] + base
+                pos += p.batch_size
+                base += p.values.size
+            features.append(JaggedFeature(values, offsets))
+        return cls(
+            JaggedBatch(features),
+            np.concatenate([a.arrival_ms for a in arenas]),
+            base_id=arenas[0].base_id,
+        )
+
+    @classmethod
+    def from_requests(cls, requests: list[LookupRequest]) -> "RequestArena":
+        """Columnarize object-form requests (tests, adapters)."""
+        return cls(
+            coalesce_requests(requests),
+            np.array([r.arrival_ms for r in requests], dtype=np.float64),
+            base_id=requests[0].request_id,
+        )

@@ -4,17 +4,23 @@ The training engine reports per-iteration times (:mod:`repro.engine.metrics`);
 serving cares about a different set of figures — per-request latency
 distribution (p50/p99), sustained queries per second, and how evenly the
 simulated devices are loaded.  :class:`ServingMetrics` accumulates raw
-per-request and per-batch records during a run and derives those views.
+per-batch records during a run and derives those views.
+
+Storage is columnar: arrivals are kept as one float64 chunk per
+recorded batch, and start/finish are stored once per batch (every
+request in a microbatch starts and finishes with its batch), so
+recording costs O(1) Python objects per *batch* rather than per
+request.  Per-request views (:meth:`latencies_ms`,
+:meth:`queue_waits_ms`) are expanded on demand with ``np.repeat``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
+_EMPTY = np.empty(0, dtype=np.float64)
 
-@dataclass
+
 class ServingMetrics:
     """Accumulated measurements of one serving run.
 
@@ -22,27 +28,32 @@ class ServingMetrics:
     Populated incrementally via :meth:`record_batch` /
     :meth:`record_replan`; the derived views (QPS, percentiles,
     utilization) can be read at any point.
+
+    ``replan_build_ms`` is the one *wall-clock* series: how long each
+    drift replan took to build off the critical path (plan + remapper +
+    executor).  It surfaces the re-shard cost the simulated clock
+    deliberately treats as free, and is therefore excluded from
+    determinism/parity comparisons.
     """
 
-    num_devices: int
-    arrival_ms: list[float] = field(default_factory=list)
-    start_ms: list[float] = field(default_factory=list)
-    finish_ms: list[float] = field(default_factory=list)
-    batch_sizes: list[int] = field(default_factory=list)
-    batch_lookups: list[int] = field(default_factory=list)
-    replan_ms: list[float] = field(default_factory=list)
-    device_busy_ms: np.ndarray = None
-
-    def __post_init__(self):
-        if self.device_busy_ms is None:
-            self.device_busy_ms = np.zeros(self.num_devices, dtype=np.float64)
+    def __init__(self, num_devices: int):
+        self.num_devices = int(num_devices)
+        self._arrival_chunks: list[np.ndarray] = []
+        self._batch_start: list[float] = []
+        self._batch_finish: list[float] = []
+        self.batch_sizes: list[int] = []
+        self.batch_lookups: list[int] = []
+        self.replan_ms: list[float] = []
+        self.replan_build_ms: list[float] = []
+        self.device_busy_ms = np.zeros(self.num_devices, dtype=np.float64)
+        self._num_requests = 0
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_batch(
         self,
-        arrivals_ms: list[float],
+        arrivals_ms,
         start_ms: float,
         finish_ms: float,
         device_times_ms: np.ndarray,
@@ -51,7 +62,8 @@ class ServingMetrics:
         """Record one executed microbatch.
 
         Args:
-            arrivals_ms: arrival timestamp of each request in the batch.
+            arrivals_ms: arrival timestamp of each request in the batch
+                (list or ndarray; copied into the metrics' own storage).
             start_ms: when the batch started executing.
             finish_ms: when the batch completed (all requests finish
                 together — the engine is model-parallel across tables,
@@ -59,23 +71,54 @@ class ServingMetrics:
             device_times_ms: per-device execution time of this batch.
             total_lookups: embedding rows touched by the batch.
         """
-        self.arrival_ms.extend(arrivals_ms)
-        self.start_ms.extend([start_ms] * len(arrivals_ms))
-        self.finish_ms.extend([finish_ms] * len(arrivals_ms))
-        self.batch_sizes.append(len(arrivals_ms))
+        arrivals = np.array(arrivals_ms, dtype=np.float64)
+        self._arrival_chunks.append(arrivals)
+        self._batch_start.append(float(start_ms))
+        self._batch_finish.append(float(finish_ms))
+        self.batch_sizes.append(arrivals.size)
         self.batch_lookups.append(int(total_lookups))
         self.device_busy_ms += np.asarray(device_times_ms, dtype=np.float64)
+        self._num_requests += arrivals.size
 
-    def record_replan(self, now_ms: float) -> None:
-        """Record a drift-triggered re-shard at ``now_ms``."""
+    def record_replan(self, now_ms: float, build_wall_ms: float = 0.0) -> None:
+        """Record a drift-triggered re-shard at simulated ``now_ms``.
+
+        ``build_wall_ms`` is the wall-clock cost of building the new
+        plan/executor (0 when the caller does not measure it).
+        """
         self.replan_ms.append(float(now_ms))
+        self.replan_build_ms.append(float(build_wall_ms))
+
+    # ------------------------------------------------------------------
+    # Columnar views
+    # ------------------------------------------------------------------
+    @property
+    def arrival_ms(self) -> np.ndarray:
+        """Per-request arrival timestamps, in recording order."""
+        if not self._arrival_chunks:
+            return _EMPTY
+        return np.concatenate(self._arrival_chunks)
+
+    @property
+    def start_ms(self) -> np.ndarray:
+        """Per-request execution-start timestamps (batch-expanded)."""
+        if not self.batch_sizes:
+            return _EMPTY
+        return np.repeat(self._batch_start, self.batch_sizes)
+
+    @property
+    def finish_ms(self) -> np.ndarray:
+        """Per-request completion timestamps (batch-expanded)."""
+        if not self.batch_sizes:
+            return _EMPTY
+        return np.repeat(self._batch_finish, self.batch_sizes)
 
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
     @property
     def num_requests(self) -> int:
-        return len(self.arrival_ms)
+        return self._num_requests
 
     @property
     def num_batches(self) -> int:
@@ -84,22 +127,25 @@ class ServingMetrics:
     @property
     def horizon_ms(self) -> float:
         """Span from first arrival to last completion."""
-        if not self.arrival_ms:
+        if not self._num_requests:
             return 0.0
-        return float(max(self.finish_ms) - min(self.arrival_ms))
+        first_arrival = min(
+            chunk.min() for chunk in self._arrival_chunks if chunk.size
+        )
+        return float(max(self._batch_finish) - first_arrival)
 
     def latencies_ms(self) -> np.ndarray:
         """Per-request end-to-end latency (queue wait + execution)."""
-        return np.asarray(self.finish_ms) - np.asarray(self.arrival_ms)
+        return self.finish_ms - self.arrival_ms
 
     def queue_waits_ms(self) -> np.ndarray:
         """Per-request time spent waiting for batchmates and the engine
         (the batching-delay component of latency)."""
-        return np.asarray(self.start_ms) - np.asarray(self.arrival_ms)
+        return self.start_ms - self.arrival_ms
 
     def latency_percentile_ms(self, percentile: float) -> float:
         """A latency percentile in ms (e.g. 50 for p50, 99 for p99)."""
-        if not self.arrival_ms:
+        if not self._num_requests:
             return 0.0
         return float(np.percentile(self.latencies_ms(), percentile))
 
@@ -144,13 +190,23 @@ class ServingMetrics:
     def num_replans(self) -> int:
         return len(self.replan_ms)
 
+    @property
+    def replan_build_total_ms(self) -> float:
+        """Total wall-clock spent building replacement plans (off-path)."""
+        return float(sum(self.replan_build_ms))
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def summary(self) -> dict:
-        """All headline numbers as one dict (stable keys, for tests/CLI)."""
+    def summary(self, deterministic_only: bool = False) -> dict:
+        """All headline numbers as one dict (stable keys, for tests/CLI).
+
+        With ``deterministic_only`` the wall-clock entries (replan build
+        cost) are dropped, leaving exactly the values two serving paths
+        replaying the same seeded stream must agree on bit for bit.
+        """
         utilization = self.device_utilization()
-        return {
+        out = {
             "requests": self.num_requests,
             "batches": self.num_batches,
             "avg_batch_size": self.avg_batch_size,
@@ -159,12 +215,15 @@ class ServingMetrics:
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
             "mean_wait_ms": (
-                float(self.queue_waits_ms().mean()) if self.arrival_ms else 0.0
+                float(self.queue_waits_ms().mean()) if self._num_requests else 0.0
             ),
             "max_device_utilization": float(utilization.max(initial=0.0)),
             "mean_device_utilization": float(utilization.mean()) if utilization.size else 0.0,
             "replans": self.num_replans,
         }
+        if not deterministic_only:
+            out["replan_build_total_ms"] = self.replan_build_total_ms
+        return out
 
     def format_report(self) -> str:
         """Human-readable multi-line report of :meth:`summary`."""
@@ -183,4 +242,8 @@ class ServingMetrics:
         if self.num_replans:
             at = ", ".join(f"{t:.0f}" for t in self.replan_ms)
             lines.append(f"drift replans:     {self.num_replans} (at ms: {at})")
+            lines.append(
+                f"replan build cost: {self.replan_build_total_ms:.1f} ms "
+                f"wall-clock, off the serving critical path"
+            )
         return "\n".join(lines)

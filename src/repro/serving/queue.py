@@ -11,6 +11,12 @@ the oldest request has waited its latency budget.
 The queue is deterministic and clock-driven (callers pass ``now_ms``),
 so serving simulations replay exactly; nothing here depends on wall
 time or threads.
+
+This module is the serving layer's *object reference path*: the
+columnar fast path (:mod:`repro.serving.arena`,
+:meth:`~repro.serving.server.LookupServer.serve_arenas`) computes the
+same release decisions vectorized over arrival arrays and is checked
+bit-for-bit against this implementation by the serving parity tests.
 """
 
 from __future__ import annotations

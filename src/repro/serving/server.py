@@ -2,14 +2,27 @@
 
 A :class:`LookupServer` is a discrete-event simulation of an inference
 deployment of one sharded embedding model: requests arrive on a
-simulated clock, a :class:`~repro.serving.queue.MicroBatchQueue`
-coalesces them, and each released microbatch executes on the vectorized
+simulated clock, admission coalesces them into microbatches, and each
+released microbatch executes on the vectorized
 :class:`~repro.engine.executor.ShardedExecutor`, whose per-device times
 come from the same tiered-bandwidth cost model the MILP optimizes.  The
 engine is model-parallel across tables (as in training), so a batch
 completes when its slowest device does, and a plan with balanced,
 HBM-resident hot rows serves strictly higher QPS at lower tail latency
 — the serving-side restatement of the paper's Table 3 result.
+
+Two admission paths produce bit-identical metrics:
+
+* **columnar fast path** (:meth:`LookupServer.serve_arenas`, default in
+  the CLI): requests stay feature-major in
+  :class:`~repro.serving.arena.RequestArena` chunks; release points
+  (size cap / delay deadline) are computed vectorized over the
+  arrival-time array, and each microbatch is an offset slice of the
+  arena — no per-request objects, no per-batch re-concatenation.
+* **object reference path** (:meth:`LookupServer.serve`): the original
+  per-request loop through a
+  :class:`~repro.serving.queue.MicroBatchQueue`.  Kept as the ground
+  truth the serving parity tests check the fast path against.
 
 Serving also closes the loop the paper opens in Section 3.5: feature
 statistics drift, so a plan optimal at deployment decays.  The server
@@ -18,11 +31,17 @@ tracks observed per-feature statistics online (a streaming
 the profile the active plan was built from (:class:`DriftMonitor`), and
 when drift exceeds a threshold re-shards from the *observed* profile
 and hot-swaps the executor — the drift-triggered replan the paper
-argues periodic re-sharding should provide.
+argues periodic re-sharding should provide.  The replacement plan is
+built *off the critical path*: warm-started from the previous plan's
+cut points when the sharder supports it, installed by pointer swap, and
+its wall-clock build cost surfaced in
+:class:`~repro.serving.metrics.ServingMetrics` rather than hidden.
 """
 
 from __future__ import annotations
 
+import inspect
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
@@ -31,11 +50,12 @@ import numpy as np
 from repro.data.batch import JaggedBatch
 from repro.data.drift import DriftModel
 from repro.data.model import ModelSpec
-from repro.data.synthetic import TraceGenerator
+from repro.data.synthetic import SamplerBank
 from repro.engine.cache import CacheModel
 from repro.engine.executor import ShardedExecutor
 from repro.engine.ranked import RankRemapper
 from repro.memory.topology import SystemTopology
+from repro.serving.arena import RequestArena
 from repro.serving.metrics import ServingMetrics
 from repro.serving.queue import LookupRequest, MicroBatchQueue, coalesce_requests
 from repro.stats.profiler import TraceProfiler
@@ -71,6 +91,8 @@ class ServingConfig:
     def __post_init__(self):
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
         if self.overhead_ms_per_batch < 0:
             raise ValueError("overhead_ms_per_batch must be >= 0")
         if self.drift_check_every_batches < 1:
@@ -117,16 +139,24 @@ class DriftMonitor:
         return self._samples
 
     def observe(self, batch: JaggedBatch) -> None:
-        """Fold one served batch into the observed statistics."""
+        """Fold one served batch into the observed statistics.
+
+        Vectorized across features: every feature of a jagged batch
+        shares the same ``batch_size + 1`` offsets length, so presence
+        and lookup tallies reduce to one stacked-offsets pass instead
+        of a Python loop per feature.
+        """
         if batch.num_features != self._present.size:
             raise ValueError(
                 f"batch has {batch.num_features} features, monitor tracks "
                 f"{self._present.size}"
             )
         self._samples += batch.batch_size
-        for j, feature in enumerate(batch):
-            self._present[j] += int(np.count_nonzero(feature.lengths))
-            self._lookups[j] += feature.total_lookups
+        if not batch.num_features:
+            return
+        offsets = np.stack([f.offsets for f in batch])
+        self._present += np.count_nonzero(np.diff(offsets, axis=1), axis=1)
+        self._lookups += offsets[:, -1]
 
     def drift_pct(self) -> float:
         """Mean |percent change| of pooling vs baseline, observable features."""
@@ -149,18 +179,21 @@ class LookupServer:
     """Serves embedding lookup requests against a sharded plan.
 
     The server owns a simulated clock (milliseconds).  Requests are
-    admitted through a microbatching queue; each released batch runs on
-    the vectorized executor, busy-waiting behind the previous batch if
-    the engine is occupied (a single model-parallel replica).  Per-
-    request latency is queueing wait plus execution time of its batch.
+    admitted through microbatching; each released batch runs on the
+    vectorized executor, busy-waiting behind the previous batch if the
+    engine is occupied (a single model-parallel replica).  Per-request
+    latency is queueing wait plus execution time of its batch.
 
     Re-sharding: when built with a ``sharder`` (rather than a fixed
     ``plan``), the server profiles served traffic online and, when the
     :class:`DriftMonitor` trips, re-shards from the observed profile and
-    swaps the executor in place.  The swap is treated as free on the
-    serving clock — production re-shards build the new placement
-    off the critical path and flip atomically (Section 6.6's remapping
-    tables make that a pointer swap).
+    swaps the executor in place.  The swap is free on the serving clock
+    — production re-shards build the new placement off the critical
+    path and flip atomically (Section 6.6's remapping tables make that
+    a pointer swap) — but the *build* cost is measured in wall-clock
+    and recorded in the metrics, and sharders exposing a ``warm_start``
+    parameter (``RecShardFastSharder``) rebuild incrementally from the
+    outgoing plan's cut points and device assignment.
 
     Args:
         model: the served model's spec.
@@ -190,6 +223,9 @@ class LookupServer:
         self.config = config or ServingConfig()
         self.cache = cache
         self.sharder = sharder
+        self._sharder_warm_starts = sharder is not None and (
+            "warm_start" in inspect.signature(sharder.shard).parameters
+        )
         self.queue = MicroBatchQueue(
             max_batch_size=self.config.max_batch_size,
             max_delay_ms=self.config.max_delay_ms,
@@ -229,14 +265,14 @@ class LookupServer:
         self._num_installs += 1
 
     # ------------------------------------------------------------------
-    # Event loop
+    # Reference event loop (per-request object path)
     # ------------------------------------------------------------------
     def serve(
         self,
         requests: Iterable[LookupRequest],
         on_replan: Callable[[float], None] | None = None,
     ) -> ServingMetrics:
-        """Run the full event loop over a request stream.
+        """Run the object-path event loop over a request stream.
 
         Args:
             requests: requests in non-decreasing ``arrival_ms`` order
@@ -264,20 +300,151 @@ class LookupServer:
     def _process(
         self, trigger_ms: float, on_replan: Callable[[float], None] | None = None
     ) -> None:
-        """Release one microbatch and account its execution."""
+        """Release one microbatch from the queue and account it."""
         requests = self.queue.pop_batch()
         batch = coalesce_requests(requests)
+        self._execute(
+            batch, trigger_ms, [r.arrival_ms for r in requests], on_replan
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar fast path (vectorized admission over request arenas)
+    # ------------------------------------------------------------------
+    def serve_arenas(
+        self,
+        arenas: Iterable[RequestArena],
+        on_replan: Callable[[float], None] | None = None,
+    ) -> ServingMetrics:
+        """Run the event loop columnar over arena chunks.
+
+        Admission decisions depend only on arrival times, the size cap,
+        and the delay budget — never on execution — so release points
+        are computed directly on the arrival array: a batch starting at
+        request ``i`` either fills to the cap (released at the cap-th
+        arrival) or is flushed at ``arrival[i] + max_delay_ms`` by the
+        first later arrival past that deadline.  Each released batch is
+        an offset slice of the arena.  Produces metrics bit-identical
+        to :meth:`serve` on the same request content (the parity the
+        serving tests pin down).
+
+        Args:
+            arenas: columnar request chunks in arrival order (e.g. from
+                :func:`synthetic_request_arenas`).
+            on_replan: optional callback, as in :meth:`serve`.
+        """
+        cap = self.config.max_batch_size
+        delay = self.config.max_delay_ms
+        # An undecided tail is carried as a list of zero-copy slices
+        # (invariants: total size < cap, every arrival before the
+        # head's deadline) and only stitched when its batch releases —
+        # never by re-copying whole incoming chunks.
+        pending: list[RequestArena] = []
+        pending_count = 0
+        for arena in arenas:
+            n = arena.num_requests
+            if n == 0:
+                continue
+            i = 0
+            if pending_count:
+                deadline = float(pending[0].arrival_ms[0]) + delay
+                flush = int(
+                    np.searchsorted(arena.arrival_ms, deadline, side="left")
+                )
+                need = cap - pending_count
+                if need <= n and need <= flush:
+                    i, trigger = need, float(arena.arrival_ms[need - 1])
+                elif flush < n:
+                    i, trigger = flush, deadline
+                else:
+                    pending.append(arena)
+                    pending_count += n
+                    continue
+                parts = pending + ([arena.slice(0, i)] if i else [])
+                merged = RequestArena.concat(parts)
+                self._execute(
+                    merged.batch, trigger, merged.arrival_ms, on_replan
+                )
+                pending, pending_count = [], 0
+            tail = self._admit_chunk(arena, i, on_replan)
+            if tail is not None:
+                pending = [tail]
+                pending_count = tail.num_requests
+        if pending_count:
+            # Stream over: the tail waits out its delay budget (all of
+            # it arrived before the head's deadline, so it releases as
+            # one batch — mirroring the reference drain loop).
+            merged = RequestArena.concat(pending)
+            deadline = float(merged.arrival_ms[0]) + delay
+            self._execute(merged.batch, deadline, merged.arrival_ms, on_replan)
+        return self.metrics
+
+    def _admit_chunk(
+        self,
+        arena: RequestArena,
+        start: int,
+        on_replan: Callable[[float], None] | None,
+    ) -> RequestArena | None:
+        """Release every batch decidable within ``arena[start:]``.
+
+        Returns the undecidable tail (a run that neither fills the cap
+        nor meets a flushing arrival before the chunk ends, always
+        shorter than the cap) as a zero-copy slice for the caller to
+        carry into the next chunk, or ``None`` when the chunk closes
+        cleanly.
+        """
+        arrivals = arena.arrival_ms
+        n = arena.num_requests
+        cap = self.config.max_batch_size
+        delay = self.config.max_delay_ms
+        i = start
+        while i < n:
+            deadline = float(arrivals[i]) + delay
+            # First later arrival at/past the deadline forces a flush
+            # *before* that request is admitted (queue semantics:
+            # deadline <= now flushes, then the newcomer is submitted).
+            flush = int(np.searchsorted(arrivals, deadline, side="left"))
+            if flush <= i:
+                flush = i + 1
+            if i + cap <= n and i + cap <= flush:
+                # Cap fills first: released at the cap-th arrival.
+                end, trigger = i + cap, float(arrivals[i + cap - 1])
+            elif flush < n:
+                end, trigger = flush, deadline
+            else:
+                return arena.slice(i, n)
+            self._execute(
+                arena.batch_view(i, end),
+                trigger,
+                arrivals[i:end],
+                on_replan,
+            )
+            i = end
+        return None
+
+    # ------------------------------------------------------------------
+    # Shared batch execution and replanning
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        batch: JaggedBatch,
+        trigger_ms: float,
+        arrivals_ms,
+        on_replan: Callable[[float], None] | None,
+    ) -> None:
+        """Execute one released microbatch and account it."""
         start = max(trigger_ms, self._busy_until_ms)
-        device_times, _, _ = self.executor.run_batch(batch)
+        device_times, accesses, _ = self.executor.run_batch(batch)
         service = float(device_times.max()) + self.config.overhead_ms_per_batch
         finish = start + service
         self._busy_until_ms = finish
         self.metrics.record_batch(
-            [r.arrival_ms for r in requests],
+            arrivals_ms,
             start_ms=start,
             finish_ms=finish,
             device_times_ms=device_times,
-            total_lookups=batch.total_lookups,
+            # Every lookup lands in exactly one (tier, device) cell, so
+            # the access matrix already totals the batch's lookups.
+            total_lookups=int(accesses.sum()),
         )
         if self.sharder is None:
             return
@@ -296,13 +463,97 @@ class LookupServer:
     def _replan(
         self, now_ms: float, on_replan: Callable[[float], None] | None = None
     ) -> None:
-        """Re-shard from the observed profile and hot-swap the executor."""
+        """Re-shard from the observed profile and hot-swap the executor.
+
+        The build happens off the simulated critical path (the clock
+        does not advance), warm-started from the outgoing plan when the
+        sharder supports it; the wall-clock build cost is recorded so
+        re-shard overhead stays observable.
+        """
+        build_start = time.perf_counter()
         observed = self._profiler.finish()
-        plan = self.sharder.shard(self.model, observed, self.topology)
+        if self._sharder_warm_starts:
+            plan = self.sharder.shard(
+                self.model, observed, self.topology, warm_start=self.plan
+            )
+        else:
+            plan = self.sharder.shard(self.model, observed, self.topology)
         self._install(plan, observed)
-        self.metrics.record_replan(now_ms)
+        build_ms = (time.perf_counter() - build_start) * 1e3
+        self.metrics.record_replan(now_ms, build_wall_ms=build_ms)
         if on_replan is not None:
             on_replan(now_ms)
+
+
+def synthetic_request_arenas(
+    model: ModelSpec,
+    num_requests: int,
+    qps: float,
+    seed: int = 0,
+    start_ms: float = 0.0,
+    drift: DriftModel | None = None,
+    months_per_request: float = 0.0,
+    chunk_size: int = 512,
+) -> Iterator[RequestArena]:
+    """Generate a seeded open-loop request stream, columnar.
+
+    Chunks of samples are drawn feature-major from the model's feature
+    statistics and assigned Poisson arrivals at the offered ``qps``;
+    each chunk is one :class:`~repro.serving.arena.RequestArena`.  With
+    a ``drift`` model, each successive chunk is drawn from feature
+    statistics drifted to ``months_per_request * requests_so_far`` —
+    fast-forwarding the months-long drift of Figure 9 into one serving
+    run so drift-triggered replanning can be exercised end to end.
+    Per-feature sampler state (hashed value space, post-hash CDFs) is
+    reused across chunks and only rebuilt for the spec fields drift
+    actually changed.
+
+    The per-request view of the same stream is
+    :func:`synthetic_request_stream`; both yield identical content per
+    seed.
+
+    Args:
+        model: workload spec.
+        num_requests: stream length.
+        qps: offered load (mean arrival rate, requests/second).
+        seed: RNG seed; streams replay identically per seed.
+        start_ms: timestamp of the stream's start.
+        drift: optional :class:`~repro.data.drift.DriftModel`.
+        months_per_request: simulated months elapsed per request.
+        chunk_size: samples drawn per arena chunk (efficiency knob).
+
+    Yields:
+        :class:`~repro.serving.arena.RequestArena` chunks in arrival
+        order.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if qps <= 0:
+        raise ValueError("qps must be > 0")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    bank = SamplerBank()
+    now = float(start_ms)
+    emitted = 0
+    while emitted < num_requests:
+        count = min(chunk_size, num_requests - emitted)
+        chunk_model = model
+        if drift is not None and months_per_request > 0:
+            month = months_per_request * emitted
+            if month > 0:
+                chunk_model = drift.drift_model(model, month)
+        bank.refresh(chunk_model)
+        chunk_rng = np.random.default_rng(int(rng.integers(2**31)))
+        batch = bank.sample_batch(count, chunk_rng)
+        gaps = rng.exponential(1e3 / qps, size=count)
+        # Prepending ``now`` keeps the cumulative sum's float
+        # associativity identical to the scalar ``now += gap`` loop the
+        # object path historically ran, so streams replay bit-for-bit.
+        arrivals = np.cumsum(np.concatenate(([now], gaps)))[1:]
+        now = float(arrivals[-1])
+        yield RequestArena(batch, arrivals, base_id=emitted)
+        emitted += count
 
 
 def synthetic_request_stream(
@@ -315,53 +566,21 @@ def synthetic_request_stream(
     months_per_request: float = 0.0,
     chunk_size: int = 512,
 ) -> Iterator[LookupRequest]:
-    """Generate a seeded open-loop request stream for one model.
+    """Per-request object view of :func:`synthetic_request_arenas`.
 
-    Samples are drawn from the model's feature statistics in chunks (a
-    :class:`~repro.data.synthetic.TraceGenerator` batch sliced per
-    sample) and assigned Poisson arrivals at the offered ``qps``.  With
-    a ``drift`` model, each successive chunk is drawn from feature
-    statistics drifted to ``months_per_request * requests_so_far`` —
-    fast-forwarding the months-long drift of Figure 9 into one serving
-    run so drift-triggered replanning can be exercised end to end.
-
-    Args:
-        model: workload spec.
-        num_requests: stream length.
-        qps: offered load (mean arrival rate, requests/second).
-        seed: RNG seed; streams replay identically per seed.
-        start_ms: timestamp of the stream's start.
-        drift: optional :class:`~repro.data.drift.DriftModel`.
-        months_per_request: simulated months elapsed per request.
-        chunk_size: samples drawn per generator batch (efficiency knob).
-
-    Yields:
-        :class:`~repro.serving.queue.LookupRequest` in arrival order.
+    Yields :class:`~repro.serving.queue.LookupRequest` objects whose
+    feature arrays are zero-copy views into arena chunks — the object
+    API the reference serving path and external callers consume,
+    identical in content to the columnar stream for a given seed.
     """
-    if num_requests < 0:
-        raise ValueError("num_requests must be >= 0")
-    if qps <= 0:
-        raise ValueError("qps must be > 0")
-    rng = np.random.default_rng(seed)
-    now = float(start_ms)
-    emitted = 0
-    while emitted < num_requests:
-        count = min(chunk_size, num_requests - emitted)
-        chunk_model = model
-        if drift is not None and months_per_request > 0:
-            month = months_per_request * emitted
-            if month > 0:
-                chunk_model = drift.drift_model(model, month)
-        generator = TraceGenerator(
-            chunk_model, batch_size=count, seed=int(rng.integers(2**31))
-        )
-        batch = generator.next_batch()
-        gaps = rng.exponential(1e3 / qps, size=count)
-        for i in range(count):
-            now += gaps[i]
-            yield LookupRequest(
-                request_id=emitted + i,
-                features=tuple(f.sample(i) for f in batch),
-                arrival_ms=now,
-            )
-        emitted += count
+    for arena in synthetic_request_arenas(
+        model,
+        num_requests,
+        qps,
+        seed=seed,
+        start_ms=start_ms,
+        drift=drift,
+        months_per_request=months_per_request,
+        chunk_size=chunk_size,
+    ):
+        yield from arena

@@ -102,14 +102,25 @@ class TraceProfiler:
         self.model = model
         self.sample_rate = float(sample_rate)
         self._rng = np.random.default_rng(seed)
-        self._counts = [
-            np.zeros(t.num_rows, dtype=np.float64) for t in model.tables
-        ]
+        # Row counts for all tables live in one flat array; table j owns
+        # rows [_row_base[j], _row_base[j+1]).  One offset-shifted
+        # bincount per batch then covers every table at once.
+        self._row_base = np.zeros(model.num_tables + 1, dtype=np.int64)
+        np.cumsum([t.num_rows for t in model.tables], out=self._row_base[1:])
+        self._counts_flat = np.zeros(int(self._row_base[-1]), dtype=np.float64)
+        self._shift_scratch = np.empty(0, dtype=np.int64)
         self._present = np.zeros(model.num_tables, dtype=np.int64)
         self._samples = 0
 
     def consume(self, batch: JaggedBatch) -> int:
-        """Fold one batch into the profile; returns samples accepted."""
+        """Fold one batch into the profile; returns samples accepted.
+
+        Vectorized across features: lookups are shifted by their
+        table's row base into a flattened feature-major buffer and
+        counted with a single ``bincount``; presence tallies come from
+        one stacked-offsets pass.  No Python loop per feature per batch
+        beyond the buffer fill.
+        """
         if batch.num_features != self.model.num_tables:
             raise ValueError(
                 f"batch has {batch.num_features} features, model has "
@@ -123,12 +134,44 @@ class TraceProfiler:
             batch = batch.take(chosen)
         accepted = batch.batch_size
         self._samples += accepted
-        for j, feature in enumerate(batch):
-            if feature.values.size:
-                self._counts[j] += np.bincount(
-                    feature.values, minlength=self.model.tables[j].num_rows
+        if not batch.num_features:
+            return accepted
+        total = batch.total_lookups
+        if total:
+            if self._shift_scratch.size < total:
+                self._shift_scratch = np.empty(total, dtype=np.int64)
+            shifted = self._shift_scratch[:total]
+            tables, starts, pos = [], [], 0
+            for j, feature in enumerate(batch):
+                values = feature.values
+                if values.size:
+                    tables.append(j)
+                    starts.append(pos)
+                    np.add(
+                        values,
+                        self._row_base[j],
+                        out=shifted[pos: pos + values.size],
+                    )
+                    pos += values.size
+            # In the flat layout an out-of-range hashed index would land
+            # in a *neighboring table's* rows instead of raising the
+            # shape error the per-table bincount used to — so check the
+            # per-feature extrema stay inside each table's row block.
+            tables = np.asarray(tables, dtype=np.int64)
+            starts = np.asarray(starts, dtype=np.int64)
+            lo = np.minimum.reduceat(shifted, starts) < self._row_base[tables]
+            hi = np.maximum.reduceat(shifted, starts) >= self._row_base[tables + 1]
+            if lo.any() or hi.any():
+                bad = int(tables[np.argmax(lo | hi)])
+                raise ValueError(
+                    f"feature {bad} has lookup values outside "
+                    f"[0, {self.model.tables[bad].num_rows})"
                 )
-            self._present[j] += int(np.count_nonzero(feature.lengths))
+            self._counts_flat += np.bincount(
+                shifted, minlength=self._counts_flat.size
+            )
+        offsets = np.stack([f.offsets for f in batch])
+        self._present += np.count_nonzero(np.diff(offsets, axis=1), axis=1)
         return accepted
 
     def finish(self) -> ModelProfile:
@@ -137,7 +180,9 @@ class TraceProfiler:
             TableStats(
                 name=spec.name,
                 hash_size=spec.num_rows,
-                counts=self._counts[j].copy(),
+                counts=self._counts_flat[
+                    self._row_base[j]: self._row_base[j + 1]
+                ].copy(),
                 samples_present=int(self._present[j]),
                 samples_seen=self._samples,
             )
