@@ -31,7 +31,9 @@ import time
 import numpy as np
 import pytest
 
-from conftest import BENCH_GPUS, format_table, report, report_json
+from conftest import BENCH_BATCH, BENCH_GPUS, format_table, report, report_json
+from repro.core import RecShardFastSharder
+from repro.data.drift import DriftModel
 from repro.serving import (
     LookupServer,
     ServingConfig,
@@ -143,6 +145,56 @@ def test_serving_qps(models, serving_views):
     np.testing.assert_array_less(0, rec["qps"])
     print(f"RecShard serving capacity vs best baseline: "
           f"{rec['qps'] / best_baseline:.2f}x")
+
+
+def test_serving_drift_replan_build_cost(models, profiles, topology):
+    """Drift replans stay cheap: workspace reuse + warm starts.
+
+    Serves a drifted stream through a replanning server (the vectorized
+    fast sharder, as ``repro serve`` deploys it) and records how long
+    each off-critical-path replan took to build.  The per-replan build
+    cost lands in ``BENCH_serving.json`` so regressions in the
+    replan path (workspace refresh, warm-started vectorized solve,
+    remapper rebuild) are visible across PRs.
+    """
+    model = models[1]
+    profile = profiles[model.name]
+    config = ServingConfig(
+        max_batch_size=256, max_delay_ms=2.0,
+        drift_threshold_pct=2.0, drift_min_samples=256,
+        drift_check_every_batches=4,
+    )
+    server = LookupServer(
+        model, profile, topology,
+        sharder=RecShardFastSharder(batch_size=BENCH_BATCH, name="RecShard"),
+        config=config,
+    )
+    arenas = synthetic_request_arenas(
+        model, num_requests=REQUESTS, qps=SATURATING_QPS, seed=7,
+        drift=DriftModel(feature_noise=4.0, alpha_noise=4.0),
+        months_per_request=24.0 / REQUESTS,
+    )
+    metrics = server.serve_arenas(arenas)
+    assert metrics.num_replans >= 1, "drifted stream should trigger a replan"
+    builds = metrics.replan_build_ms
+    text = (
+        f"{model.name} on {BENCH_GPUS} GPUs, {REQUESTS} requests, 24 months "
+        f"of drift fast-forwarded\n"
+        f"drift replans: {metrics.num_replans}, build cost per replan (ms): "
+        + ", ".join(f"{b:.1f}" for b in builds)
+    )
+    report("serving_drift_replans", text)
+    report_json(
+        "serving_replans",
+        {
+            "requests": REQUESTS,
+            "drift_months": 24.0,
+            "replans": metrics.num_replans,
+            "replan_build_ms": list(builds),
+            "replan_build_mean_ms": float(np.mean(builds)),
+            "replan_build_total_ms": metrics.replan_build_total_ms,
+        },
+    )
 
 
 def test_serving_fast_path_speedup(models, profiles, topology, headline, serving_views):

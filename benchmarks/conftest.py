@@ -66,11 +66,20 @@ def recshard_sharder(batch_size: int = BENCH_BATCH, **kwargs):
 
 
 def report(name: str, text: str) -> None:
-    """Print a bench's table and persist it under benchmarks/reports/."""
+    """Print a bench's table and persist it under benchmarks/reports/.
+
+    The workload shape knobs are stamped into the header so a report
+    regenerated under shrink settings is never mistaken for (or diffed
+    against) a default-scale run.
+    """
     REPORT_DIR.mkdir(exist_ok=True)
-    banner = f"\n===== {name} =====\n{text}\n"
+    knobs = (
+        f"[workload: features={BENCH_FEATURES} batch={BENCH_BATCH} "
+        f"iters={BENCH_ITERS} gpus={BENCH_GPUS} milp_time={BENCH_MILP_TIME:g}]"
+    )
+    banner = f"\n===== {name} =====\n{knobs}\n{text}\n"
     print(banner)
-    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+    (REPORT_DIR / f"{name}.txt").write_text(f"{knobs}\n{text}\n")
 
 
 def report_json(name: str, payload: dict) -> Path:

@@ -25,12 +25,17 @@ from repro.baselines import GreedySharder, make_baseline
 from repro.core import (
     MultiTierSharder,
     PlanError,
+    PlannerWorkspace,
     RecShardFastSharder,
     RecShardSharder,
     RemappingLayer,
     RemappingTable,
     ShardingPlan,
     TablePlacement,
+    expected_device_costs_ms,
+    expected_device_costs_ms_many,
+    expected_max_cost_ms,
+    shard_sweep,
 )
 from repro.data import (
     DriftModel,
@@ -87,6 +92,7 @@ __all__ = [
     "ModelSpec",
     "MultiTierSharder",
     "PlanError",
+    "PlannerWorkspace",
     "RankRemapper",
     "RecShardFastSharder",
     "RecShardSharder",
@@ -105,6 +111,9 @@ __all__ = [
     "analytic_profile",
     "build_profile",
     "compare_strategies",
+    "expected_device_costs_ms",
+    "expected_device_costs_ms_many",
+    "expected_max_cost_ms",
     "make_baseline",
     "paper_node",
     "profile_trace",
@@ -113,6 +122,7 @@ __all__ = [
     "rm2",
     "rm3",
     "run_experiment",
+    "shard_sweep",
     "speedup_table",
     "synthetic_request_arenas",
     "synthetic_request_stream",

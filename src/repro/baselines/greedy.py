@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.baselines.cost import COST_FUNCTIONS
+from repro.core.evaluate import stamp_estimated_costs
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
 from repro.memory.topology import SystemTopology
 
@@ -71,10 +72,17 @@ class GreedySharder:
                 table_index=j, device=device, rows_per_tier=rows
             )
 
-        return ShardingPlan(
+        plan = ShardingPlan(
             strategy=self.name,
             placements=[p for p in placements if p is not None],
             metadata={"heuristic_loads": loads},
+        )
+        # The heuristic balances its own fixed costs; the analytic cost
+        # model (batched evaluator) scores what that balance actually
+        # buys.  The baseline has no batch size of its own, so costs
+        # are stamped per-sample (the stamped batch size says so).
+        return stamp_estimated_costs(
+            plan, model, profile, topology, batch_size=1
         )
 
 

@@ -4,6 +4,8 @@ Examples::
 
     python -m repro characterize --model rm1
     python -m repro shard --model rm2 --gpus 16 --formulation convex
+    python -m repro plan --model rm2 --sweep hbm=0.5,1,2
+    python -m repro plan --model rm2 --sweep gpus=8,16,32
     python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
     python -m repro replay --model rm2 --vectorized --iters 3
     python -m repro serve --model rm2 --qps 20000 --requests 4000
@@ -17,7 +19,13 @@ import sys
 import time
 
 from repro.baselines import make_baseline
-from repro.core import RecShardFastSharder, RecShardSharder
+from repro.core import (
+    PlanError,
+    PlannerWorkspace,
+    RecShardFastSharder,
+    RecShardSharder,
+    shard_sweep,
+)
 from repro.data.drift import DriftModel
 from repro.data.model import rm1, rm2, rm3
 from repro.data.synthetic import TraceGenerator
@@ -107,6 +115,89 @@ def _cmd_shard(args) -> int:
         print(f"  MILP objective: {plan.metadata['objective_ms']:.4f} ms "
               f"({plan.metadata.get('milp_status')}, "
               f"{plan.metadata.get('solve_seconds', 0):.1f}s)")
+    return 0
+
+
+def _parse_sweep(spec: str):
+    """Parse ``hbm=0.5,1,2`` / ``gpus=4,8,16`` sweep grids."""
+    kind, _, values = spec.partition("=")
+    if kind not in ("hbm", "gpus") or not values:
+        raise ValueError(
+            f"--sweep expects hbm=<scales> or gpus=<counts>, got {spec!r}"
+        )
+    if kind == "hbm":
+        return kind, [float(v) for v in values.split(",")]
+    return kind, [int(v) for v in values.split(",")]
+
+
+def _cmd_plan(args) -> int:
+    """Build plans on the vectorized planner engine, optionally a sweep."""
+    model, topology = _build_world(args)
+    profile = analytic_profile(model)
+    sharder = RecShardFastSharder(
+        batch_size=args.batch,
+        steps=args.steps,
+        reclaim_dead=args.reclaim_dead,
+        vectorized=args.plan_vectorized,
+        name="RecShard",
+    )
+    if not args.sweep:
+        start = time.perf_counter()
+        plan = sharder.shard(model, profile, topology)
+        build_ms = (time.perf_counter() - start) * 1e3
+        plan.validate(model, topology)
+        summary = plan.summary(model, topology)
+        path = "vectorized" if args.plan_vectorized else "scalar reference"
+        print(f"plan for {model.name} on {args.gpus} GPUs ({path} planner):")
+        print(f"  rows on UVM: {summary['uvm_row_fraction']:.1%}")
+        print(f"  estimated max GPU cost: "
+              f"{plan.metadata['estimated_max_cost_ms']:.4f} ms")
+        print(f"  tables per GPU: {summary['tables_per_device']}")
+        print(f"  plan build wall-clock: {build_ms:.1f} ms")
+        return 0
+    if not args.plan_vectorized:
+        print("error: --sweep requires the vectorized planner", file=sys.stderr)
+        return 2
+    try:
+        kind, values = _parse_sweep(args.sweep)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    workspace = PlannerWorkspace(model, profile, steps=args.steps)
+    try:
+        if kind == "hbm":
+            plans = shard_sweep(
+                workspace, sharder=sharder, budgets=values,
+                base_topology=topology,
+            )
+        else:
+            topologies = [
+                paper_node(num_gpus=g, scale=paper_scales(args.features, g)[0])
+                for g in values
+            ]
+            plans = shard_sweep(
+                workspace, sharder=sharder, topologies=topologies
+            )
+    except PlanError as error:
+        # The model is row-scaled to --gpus (see _build_world); grid
+        # points with much less aggregate capacity can be genuinely
+        # infeasible.
+        print(f"error: {error} (the workload is sized for --gpus "
+              f"{args.gpus}; smaller grid points may not fit it)",
+              file=sys.stderr)
+        return 2
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    print(f"{kind} sweep for {model.name} "
+          f"({len(plans)} plans, one shared workspace):")
+    print(f"{'point':>16}  {'rows on UVM':>11}  {'est. max GPU ms':>15}")
+    for plan in plans:
+        total_rows = sum(p.total_rows for p in plan)
+        uvm = 1.0 - plan.tier_rows_total(0) / total_rows if total_rows else 0.0
+        print(f"{plan.metadata['sweep_key']:>16}  {uvm:>11.1%}  "
+              f"{plan.metadata['estimated_max_cost_ms']:>15.4f}")
+    print(f"sweep wall-clock: {elapsed_ms:.1f} ms "
+          f"({elapsed_ms / len(plans):.1f} ms/plan incl. workspace build)")
     return 0
 
 
@@ -235,6 +326,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_char)
     p_char.set_defaults(func=_cmd_characterize)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="vectorized planner: one plan or a --sweep grid over one "
+             "shared workspace",
+    )
+    _add_common(p_plan)
+    p_plan.add_argument("--steps", type=int, default=100,
+                        help="ICDF discretization steps (default: 100)")
+    p_plan.add_argument("--reclaim-dead", action="store_true",
+                        help="do not charge never-accessed rows to UVM")
+    p_plan.add_argument("--sweep", default=None, metavar="GRID",
+                        help="hbm=<scale,...> (HBM budget multiples) or "
+                             "gpus=<count,...> (device-count grid)")
+    mode = p_plan.add_mutually_exclusive_group()
+    mode.add_argument("--vectorized", dest="plan_vectorized",
+                      action="store_true", default=True,
+                      help="workspace-array planner engine (default)")
+    mode.add_argument("--scalar", dest="plan_vectorized",
+                      action="store_false",
+                      help="per-step heapq reference path")
+    p_plan.set_defaults(func=_cmd_plan)
 
     for name, func, helptext in (
         ("shard", _cmd_shard, "produce and summarize a RecShard plan"),

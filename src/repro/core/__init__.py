@@ -10,6 +10,13 @@ embedding cost, then remap hashed indices so hot rows are contiguous.
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
 from repro.core.remap import RemappingLayer, RemappingTable
 from repro.core.formulation import RecShardInputs, TableInputs, build_milp
+from repro.core.workspace import PlannerWorkspace, shard_sweep
+from repro.core.evaluate import (
+    expected_device_costs_ms,
+    expected_device_costs_ms_many,
+    expected_max_cost_ms,
+    stamp_estimated_costs,
+)
 from repro.core.recshard import RecShardSharder
 from repro.core.fast import RecShardFastSharder
 from repro.core.multitier import MultiTierSharder
@@ -17,6 +24,7 @@ from repro.core.multitier import MultiTierSharder
 __all__ = [
     "MultiTierSharder",
     "PlanError",
+    "PlannerWorkspace",
     "RecShardFastSharder",
     "RecShardInputs",
     "RecShardSharder",
@@ -26,4 +34,9 @@ __all__ = [
     "TableInputs",
     "TablePlacement",
     "build_milp",
+    "expected_device_costs_ms",
+    "expected_device_costs_ms_many",
+    "expected_max_cost_ms",
+    "shard_sweep",
+    "stamp_estimated_costs",
 ]

@@ -20,6 +20,24 @@ ICDF convexity to get near-MILP plans in milliseconds:
 
 It also serves as the fallback when the MILP backend cannot produce an
 incumbent within its time limit.
+
+Like the replay engine, the sharder has two paths that produce exactly
+the same plans:
+
+* **vectorized** (default) — waterfill, refill, warm start, and local
+  search run on the stacked arrays of a
+  :class:`~repro.core.workspace.PlannerWorkspace`.  The waterfill's
+  heap is replaced by one global ordering: taking steps in descending
+  *effective* density (the per-table running minimum — what a max-heap
+  over per-table step sequences actually pops, even where integer
+  rounding makes raw densities locally non-monotone) with ties broken
+  by (table, step) reproduces the scalar heap's pop sequence exactly,
+  so whole prefixes of the order can be admitted against the budget
+  with one cumulative sum instead of one heap transaction per step.
+* **scalar** (``vectorized=False``) — the original per-step heapq
+  implementation, kept as the parity reference
+  (``tests/test_core/test_planner_vectorized.py`` pins plan equality
+  across both paths).
 """
 
 from __future__ import annotations
@@ -27,8 +45,11 @@ from __future__ import annotations
 import heapq
 import math
 
+import numpy as np
+
 from repro.core.formulation import RecShardInputs, TableInputs
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.core.workspace import PlannerWorkspace
 from repro.memory.topology import SystemTopology
 
 _MS = 1e3
@@ -135,6 +156,7 @@ class RecShardFastSharder:
         use_pooling: bool = True,
         reclaim_dead: bool = False,
         refine_rounds: int = 400,
+        vectorized: bool = True,
         name: str = "RecShard-fast",
     ):
         self.batch_size = int(batch_size)
@@ -143,12 +165,14 @@ class RecShardFastSharder:
         self.use_pooling = use_pooling
         self.reclaim_dead = reclaim_dead
         self.refine_rounds = int(refine_rounds)
+        self.vectorized = bool(vectorized)
         self.name = name
 
     # ------------------------------------------------------------------
     def shard(
         self, model, profile, topology: SystemTopology,
         warm_start: ShardingPlan | None = None,
+        workspace: PlannerWorkspace | None = None,
     ) -> ShardingPlan:
         """Shard ``model`` from ``profile``.
 
@@ -159,9 +183,29 @@ class RecShardFastSharder:
         home — so a replan mostly *repairs* the old plan instead of
         rebuilding it, which is what keeps replanning cheap enough to
         run off the serving critical path.
+
+        The vectorized path (default) solves on a
+        :class:`~repro.core.workspace.PlannerWorkspace`; pass one in to
+        amortize the statistics build across calls (replans, sweeps) —
+        otherwise a fresh workspace is built for this call.
         """
-        inputs = RecShardInputs.from_profile(model, profile, steps=self.steps)
-        return self.shard_from_inputs(model, inputs, topology, warm_start=warm_start)
+        if not self.vectorized:
+            inputs = RecShardInputs.from_profile(
+                model, profile, steps=self.steps
+            )
+            return self.shard_from_inputs(
+                model, inputs, topology, warm_start=warm_start
+            )
+        if workspace is None:
+            workspace = PlannerWorkspace(model, profile, steps=self.steps)
+        elif workspace.steps != self.steps:
+            raise ValueError(
+                f"workspace sampled {workspace.steps} ICDF steps, "
+                f"sharder expects {self.steps}"
+            )
+        return self.shard_from_workspace(
+            workspace, topology, warm_start=warm_start
+        )
 
     def shard_from_inputs(
         self, model, inputs: RecShardInputs, topology: SystemTopology,
@@ -194,7 +238,64 @@ class RecShardFastSharder:
         # Moves free HBM behind them; one more refill converts it into
         # additional hot rows.
         self._refill(states, device_of, hbm_free)
+        return self._emit_plan(states, device_of, topology, inputs, preferred)
 
+    def shard_from_workspace(
+        self, workspace: PlannerWorkspace, topology: SystemTopology,
+        warm_start: ShardingPlan | None = None,
+    ) -> ShardingPlan:
+        """Vectorized solve over a prebuilt workspace.
+
+        Same four phases as :meth:`shard_from_inputs`, but waterfill,
+        refill, warm start, and local search operate on the workspace
+        arrays; only the (cheap) LPT assignment and split resizing are
+        shared with the scalar path as-is.  Plans are identical to the
+        scalar path's, table for table.
+        """
+        if topology.num_tiers != 2:
+            raise ValueError("RecShardFastSharder targets two-tier topologies")
+        ws = workspace
+        inputs = ws.inputs
+        inv_bw_hbm = 1.0 / topology.hbm.bandwidth
+        inv_bw_uvm = 1.0 / topology.uvm.bandwidth
+        states = [
+            _TableState(
+                j, t, self.batch_size, inv_bw_hbm, inv_bw_uvm,
+                self.use_coverage, self.use_pooling, self.reclaim_dead,
+            )
+            for j, t in enumerate(inputs.tables)
+        ]
+        weight = np.array([s.weight for s in states], dtype=np.float64)
+
+        hbm_budget = topology.hbm.capacity_bytes * topology.num_devices
+        preferred = None
+        start_steps = np.zeros(ws.num_tables, dtype=np.int64)
+        if warm_start is not None and len(warm_start) == len(states):
+            start_steps, hbm_budget = self._warm_start_arrays(
+                ws, warm_start, hbm_budget
+            )
+            preferred = [warm_start[j].device for j in range(len(states))]
+
+        steps = self._waterfill_arrays(
+            ws, weight, inv_bw_hbm, inv_bw_uvm, start_steps, hbm_budget
+        )
+        for j, state in enumerate(states):
+            state.step = int(steps[j])
+        device_of, loads, hbm_free, host_free = self._assign(
+            states, topology, preferred=preferred
+        )
+        self._refill_arrays(
+            ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of, hbm_free
+        )
+        loads = self._recompute_loads(states, device_of, topology.num_devices)
+        self._local_search_arrays(states, device_of, loads, hbm_free, host_free)
+        self._refill_arrays(
+            ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of, hbm_free
+        )
+        return self._emit_plan(states, device_of, topology, inputs, preferred)
+
+    def _emit_plan(self, states, device_of, topology, inputs, preferred):
+        """Materialize placements and metadata (shared by both paths)."""
         placements = []
         for state in states:
             hbm_rows = state.hbm_rows
@@ -209,6 +310,7 @@ class RecShardFastSharder:
         metadata = {
             "estimated_max_cost_ms": max(loads),
             "estimated_device_costs_ms": loads,
+            "estimated_cost_batch_size": self.batch_size,
             "solver": "fast",
         }
         if preferred is not None:
@@ -278,6 +380,309 @@ class RecShardFastSharder:
             state.advance()
             remaining -= d_bytes
             push(state)
+
+    # ------------------------------------------------------------------
+    # Vectorized phases (workspace-array equivalents of the scalar ones)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bulk_take(
+        eff_density, d_bytes, table_ids, step_ids, steps_out, budget,
+        stop_on_exhausted,
+    ):
+        """Admit ICDF steps in heap-pop order against a byte budget.
+
+        ``eff_density`` must be the per-table *running minimum* of the
+        raw marginal densities: sorting by ``(-eff, table, step)`` then
+        reproduces exactly the pop order of a max-heap holding one
+        current step per table (a table's step can only surface after
+        its predecessor, so a locally *rising* density pops immediately
+        after the dip that hid it — i.e. at the dip's priority).  Steps
+        are then taken in bulk: one cumulative sum finds the longest
+        admissible prefix, and only budget-blocking steps (which retire
+        their whole table, like a dropped heap entry) restart the scan.
+
+        ``stop_on_exhausted`` mirrors the two scalar loops: the global
+        waterfill stops once the budget hits zero, the per-device
+        refill keeps draining zero-byte steps.
+
+        Updates ``steps_out`` (per-table step reached) in place and
+        returns the unspent budget.
+        """
+        if table_ids.size == 0:
+            return budget
+        order = np.lexsort((step_ids, table_ids, -eff_density))
+        tables = table_ids[order]
+        sizes = d_bytes[order]
+        steps = step_ids[order]
+        alive = np.ones(order.size, dtype=bool)
+        remaining = int(budget)
+        pos = 0
+        while pos < order.size:
+            if stop_on_exhausted and remaining <= 0:
+                break
+            sel = np.flatnonzero(alive[pos:])
+            if sel.size == 0:
+                break
+            sel += pos
+            cum = np.cumsum(sizes[sel])
+            if stop_on_exhausted:
+                take = (cum <= remaining) & ((cum - sizes[sel]) < remaining)
+            else:
+                take = cum <= remaining
+            # Both conditions are prefix-shaped (cum is non-decreasing).
+            count = int(np.count_nonzero(take))
+            if count:
+                taken = sel[:count]
+                np.maximum.at(steps_out, tables[taken], steps[taken] + 1)
+                remaining -= int(cum[count - 1])
+            if count == sel.size:
+                break
+            if stop_on_exhausted and remaining <= 0:
+                break
+            blocker = int(sel[count])
+            alive[tables == tables[blocker]] = False
+            pos = blocker + 1
+        return remaining
+
+    def _marginal_density(self, ws, weight, inv_bw_hbm, inv_bw_uvm,
+                          d_bytes):
+        """Cost reduction per byte for every (table, step) advance."""
+        d_cost = (weight[:, None] * ws.d_frac[None, :]) * (
+            inv_bw_uvm - inv_bw_hbm
+        )
+        density = np.full(d_bytes.shape, np.inf)
+        np.divide(d_cost, d_bytes, out=density, where=d_bytes > 0)
+        return density
+
+    def _waterfill_arrays(
+        self, ws, weight, inv_bw_hbm, inv_bw_uvm, start_steps, budget
+    ):
+        """Global waterfill on the workspace arrays (one bulk take)."""
+        d_bytes = ws.d_grid_rows * ws.row_bytes[:, None]
+        density = self._marginal_density(
+            ws, weight, inv_bw_hbm, inv_bw_uvm, d_bytes
+        )
+        col = np.arange(ws.steps)
+        mask = (ws.total_accesses > 0)[:, None] & (
+            col[None, :] >= start_steps[:, None]
+        )
+        # +inf placeholders ahead of each table's start keep the running
+        # minimum anchored at the (possibly warm-started) current step.
+        eff = np.minimum.accumulate(
+            np.where(mask, density, np.inf), axis=1
+        )
+        flat = np.flatnonzero(mask)
+        table_ids, step_ids = np.divmod(flat, ws.steps)
+        steps_out = start_steps.copy()
+        self._bulk_take(
+            eff.ravel()[flat], d_bytes.ravel()[flat], table_ids, step_ids,
+            steps_out, budget, stop_on_exhausted=True,
+        )
+        return steps_out
+
+    def _refill_arrays(
+        self, ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of,
+        hbm_free,
+    ):
+        """Per-device refill on the workspace arrays.
+
+        Dead rows promoted by the assignment phase (``extra_rows``)
+        absorb part of each advance, so the byte cost of every step is
+        adjusted by the extra rows still unabsorbed at that step —
+        computable in closed form from the grid because consecutive
+        ``max(0, extra - gain)`` updates compose.
+        """
+        steps = np.array([s.step for s in states], dtype=np.int64)
+        extra = np.array([s.extra_rows for s in states], dtype=np.int64)
+        grid = ws.grid_rows
+        base = grid[np.arange(ws.num_tables), steps]
+        unabsorbed = np.maximum(
+            0, extra[:, None] - (grid[:, :-1] - base[:, None])
+        )
+        adj_bytes = np.maximum(0, ws.d_grid_rows - unabsorbed) * (
+            ws.row_bytes[:, None]
+        )
+        density = self._marginal_density(
+            ws, weight, inv_bw_hbm, inv_bw_uvm, adj_bytes
+        )
+        col = np.arange(ws.steps)
+        valid = (ws.total_accesses > 0)[:, None] & (
+            col[None, :] >= steps[:, None]
+        )
+        devices = np.asarray(device_of)
+        for device in range(len(hbm_free)):
+            members = np.flatnonzero(devices == device)
+            if members.size == 0:
+                continue
+            sub_valid = valid[members]
+            eff = np.minimum.accumulate(
+                np.where(sub_valid, density[members], np.inf), axis=1
+            )
+            flat = np.flatnonzero(sub_valid)
+            member_pos, step_ids = np.divmod(flat, ws.steps)
+            hbm_free[device] = self._bulk_take(
+                eff.ravel()[flat],
+                adj_bytes[members].ravel()[flat],
+                members[member_pos],
+                step_ids,
+                steps,
+                hbm_free[device],
+                stop_on_exhausted=False,
+            )
+        new_extra = np.maximum(
+            0, extra - (grid[np.arange(ws.num_tables), steps] - base)
+        )
+        for j, state in enumerate(states):
+            state.step = int(steps[j])
+            state.extra_rows = int(new_extra[j])
+
+    def _warm_start_arrays(self, ws, previous: ShardingPlan, budget: int):
+        """Vectorized :meth:`_warm_start_splits` over the grid arrays.
+
+        A table's walk stops at the first step past the previous plan's
+        cut point or past the remaining budget; because per-step bytes
+        are cumulative in the grid, both stops reduce to one
+        ``searchsorted`` per table over the prefix-byte row.
+        """
+        grid = ws.grid_rows
+        need = (grid - grid[:, :1]) * ws.row_bytes[:, None]
+        targets = np.array(
+            [previous[j].hbm_rows for j in range(ws.num_tables)],
+            dtype=np.int64,
+        )
+        caps = (grid <= targets[:, None]).sum(axis=1) - 1
+        start = np.zeros(ws.num_tables, dtype=np.int64)
+        remaining = int(budget)
+        for j in range(ws.num_tables):
+            if ws.total_accesses[j] <= 0 or caps[j] <= 0:
+                continue
+            row = need[j, : caps[j] + 1]
+            step = int(np.searchsorted(row, remaining, side="right")) - 1
+            if step <= 0:
+                continue
+            start[j] = step
+            remaining -= int(row[step])
+        return start, remaining
+
+    def _local_search_arrays(
+        self, states, device_of, loads, hbm_free, host_free
+    ):
+        """Array form of :meth:`_local_search`: same moves, same order.
+
+        Table splits are frozen during the search, so per-table costs
+        and footprints become constant vectors; each round's candidate
+        scan is then a couple of boolean matrices instead of nested
+        Python loops, with the scalar path's first-candidate order
+        recovered from a composite rank.
+        """
+        num_devices = len(loads)
+        cost = np.array([s.cost() for s in states], dtype=np.float64)
+        hbm_b = np.array([s.hbm_bytes for s in states], dtype=np.int64)
+        host_b = np.array([s.host_bytes() for s in states], dtype=np.int64)
+        dev = np.array(device_of, dtype=np.int64)
+        loads_a = np.array(loads, dtype=np.float64)
+        hbm_f = np.array(hbm_free, dtype=np.int64)
+        host_f = np.array(host_free, dtype=np.int64)
+
+        def transfer(j, src, dst):
+            moved = cost[j]
+            dev[j] = dst
+            loads_a[src] -= moved
+            loads_a[dst] += moved
+            hbm_f[src] += hbm_b[j]
+            hbm_f[dst] -= hbm_b[j]
+            host_f[src] += host_b[j]
+            host_f[dst] -= host_b[j]
+
+        def sorted_members(busiest):
+            members = np.flatnonzero(dev == busiest)
+            members = members[np.argsort(-cost[members], kind="stable")]
+            return members[cost[members] > 0]
+
+        def sorted_others(busiest):
+            others = np.flatnonzero(np.arange(num_devices) != busiest)
+            return others[np.argsort(loads_a[others], kind="stable")]
+
+        def try_move(busiest):
+            members = sorted_members(busiest)
+            others = sorted_others(busiest)
+            if members.size == 0 or others.size == 0:
+                return False
+            moved = cost[members][:, None]
+            fits = (
+                (hbm_f[others][None, :] >= hbm_b[members][:, None])
+                & (host_f[others][None, :] >= host_b[members][:, None])
+            )
+            better = (
+                np.maximum(
+                    loads_a[busiest] - moved, loads_a[others][None, :] + moved
+                )
+                < loads_a[busiest]
+            )
+            ok = fits & better
+            if not ok.any():
+                return False
+            first = int(np.argmax(ok))
+            i, k = divmod(first, others.size)
+            transfer(members[i], busiest, int(others[k]))
+            return True
+
+        def try_swap(busiest):
+            members = sorted_members(busiest)
+            others = sorted_others(busiest)
+            if members.size == 0 or others.size == 0:
+                return False
+            num_tables = cost.size
+            target_rank = np.full(num_devices, num_devices, dtype=np.int64)
+            target_rank[others] = np.arange(others.size)
+            my_cost = cost[members][:, None]
+            their_cost = cost[None, :]
+            cheaper = their_cost < my_cost
+            new_busy = (loads_a[busiest] - cost[members])[:, None] + their_cost
+            new_target = (
+                (loads_a[dev][None, :] + my_cost) - their_cost
+            )
+            improves = (
+                np.maximum(new_busy, new_target) < loads_a[busiest] - 1e-12
+            )
+            hbm_ok = (
+                (hbm_f[dev][None, :] + hbm_b[None, :] >= hbm_b[members][:, None])
+                & ((hbm_f[busiest] + hbm_b[members])[:, None] >= hbm_b[None, :])
+            )
+            host_ok = (
+                (host_f[dev][None, :] + host_b[None, :]
+                 >= host_b[members][:, None])
+                & ((host_f[busiest] + host_b[members])[:, None]
+                   >= host_b[None, :])
+            )
+            ok = (dev != busiest)[None, :] & cheaper & improves & hbm_ok & host_ok
+            if not ok.any():
+                return False
+            # Scalar scan order: mine (desc cost), then target (asc
+            # load), then theirs (table index).
+            rank = (
+                np.arange(members.size)[:, None] * (num_devices * num_tables)
+                + target_rank[dev][None, :] * num_tables
+                + np.arange(num_tables)[None, :]
+            )
+            first = int(
+                np.argmin(np.where(ok, rank, np.iinfo(np.int64).max))
+            )
+            i, j = divmod(first, num_tables)
+            target = int(dev[j])
+            transfer(j, target, busiest)
+            transfer(members[i], busiest, target)
+            return True
+
+        for _ in range(self.refine_rounds):
+            busiest = int(np.argmax(loads_a))
+            if not (try_move(busiest) or try_swap(busiest)):
+                break
+
+        device_of[:] = [int(d) for d in dev]
+        loads[:] = [float(x) for x in loads_a]
+        hbm_free[:] = [int(x) for x in hbm_f]
+        host_free[:] = [int(x) for x in host_f]
 
     def _assign(self, states, topology, preferred=None):
         """LPT placement under per-device HBM and host capacity.

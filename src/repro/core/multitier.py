@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 import math
 
+from repro.core.evaluate import stamp_estimated_costs
 from repro.core.formulation import MIB, RecShardInputs
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
 from repro.memory.topology import SystemTopology
@@ -51,8 +52,15 @@ class MultiTierSharder:
     def shard(self, model, profile, topology: SystemTopology) -> ShardingPlan:
         inputs = RecShardInputs.from_profile(model, profile, steps=self.steps)
         if self.method == "milp":
-            return self._shard_milp(inputs, topology)
-        return self._shard_greedy(inputs, topology)
+            plan = self._shard_milp(inputs, topology)
+        else:
+            plan = self._shard_greedy(inputs, topology)
+        # Score the result under the analytic cost model (batched
+        # evaluator handles any tier count) so multi-tier plans report
+        # the same estimated-makespan metadata as the two-tier sharders.
+        return stamp_estimated_costs(
+            plan, model, profile, topology, self.batch_size
+        )
 
     # ------------------------------------------------------------------
     # Greedy: sequential waterfill over tiers, then LPT assignment

@@ -1,0 +1,268 @@
+"""Planner workspace: per-profile tensors shared across sharder calls.
+
+The planner's inputs are pure statistics (Section 4.2): per-table ICDF
+grids, marginal densities, row geometry, and coverage prefixes.  The
+scalar pipeline re-derives all of them from the profile on every
+``shard`` call — every drift replan and every sweep point pays the same
+per-table Python loops again.  A :class:`PlannerWorkspace` hoists that
+state into stacked arrays built once per profile:
+
+* the sampled ICDF as dense ``(tables, steps + 1)`` grids — fractional
+  rows (exactly the scalar ``icdf_points`` values, produced by the
+  vectorized CDF query) and their ceil'd integer row counts;
+* marginal matrices over ``(tables, steps)``: coverage gained and rows
+  / bytes spent per ICDF step, the raw material of the waterfill's
+  marginal-density selection;
+* per-table scalars (row bytes, hash size, live rows, coverage,
+  pooling, access totals) as flat vectors;
+* the coverage-prefix tensors: every table's ``_cum_fraction`` grid,
+  ragged-stacked into one flat array with per-table offsets, powering
+  batched ``coverage_of_rows`` gathers for whole plan populations.
+
+The workspace is reused across :class:`~repro.core.fast.RecShardFastSharder`
+calls, warm-started drift replans (:meth:`refresh` refills the buffers
+in place from a new observed profile — no reallocation), and the
+:func:`shard_sweep` grids behind ``repro plan --sweep``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.formulation import RecShardInputs, TableInputs
+from repro.core.plan import PlanError
+from repro.memory.tier import MemoryTier
+from repro.memory.topology import SystemTopology
+from repro.stats.cdf import PiecewiseICDF
+
+
+class PlannerWorkspace:
+    """Stacked planner statistics for one (model, profile, steps) triple.
+
+    Args:
+        model: the model spec being sharded.
+        profile: per-table statistics (:class:`~repro.stats.profiler.ModelProfile`).
+        steps: ICDF discretization steps (the paper uses 100).
+    """
+
+    def __init__(self, model, profile, steps: int = 100):
+        if len(profile) != model.num_tables:
+            raise ValueError(
+                f"profile has {len(profile)} tables, model has "
+                f"{model.num_tables}"
+            )
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.model = model
+        self.steps = int(steps)
+        self.num_tables = model.num_tables
+        T, S = self.num_tables, self.steps
+
+        # Geometry is fixed by the model; only the statistics refresh.
+        self.row_bytes = np.array(
+            [t.row_bytes for t in model.tables], dtype=np.int64
+        )
+        self.hash_sizes = np.array(
+            [t.num_rows for t in model.tables], dtype=np.int64
+        )
+        self.total_bytes = self.hash_sizes * self.row_bytes
+        self.row_base = np.zeros(T + 1, dtype=np.int64)
+        np.cumsum(self.hash_sizes, out=self.row_base[1:])
+
+        # The sampled coverage fractions are one shared uniform grid.
+        self.fractions = np.linspace(0.0, 1.0, S + 1)
+        self.d_frac = np.diff(self.fractions)
+
+        self.frac_rows = np.empty((T, S + 1), dtype=np.float64)
+        self.grid_rows = np.empty((T, S + 1), dtype=np.int64)
+        self.d_grid_rows = np.empty((T, S), dtype=np.int64)
+        self.live_rows = np.empty(T, dtype=np.int64)
+        self.total_accesses = np.empty(T, dtype=np.float64)
+        self.coverage = np.empty(T, dtype=np.float64)
+        self.avg_pooling = np.empty(T, dtype=np.float64)
+        # The coverage-prefix stack is O(sum of hash sizes) — only the
+        # batched evaluator reads it, so it is built lazily on first
+        # use (and its buffer reused across refreshes).
+        self._cum_fraction_flat: np.ndarray | None = None
+        self._cum_fraction_valid = False
+        self.refresh(profile)
+
+    # ------------------------------------------------------------------
+    def refresh(self, profile) -> None:
+        """Refill every statistics buffer in place from ``profile``.
+
+        The model geometry (table count, hash sizes, row bytes) must
+        match the workspace's; only the profiled statistics change.
+        Reusing the allocated buffers is what keeps drift replans cheap
+        — the serving layer calls this once per replan.  Any
+        :attr:`inputs` previously handed out alias these buffers and
+        must be considered stale after a refresh.
+        """
+        if len(profile) != self.num_tables:
+            raise ValueError(
+                f"profile has {len(profile)} tables, workspace holds "
+                f"{self.num_tables}"
+            )
+        for j, stats in enumerate(profile):
+            if stats.hash_size != self.hash_sizes[j]:
+                raise ValueError(
+                    f"table {j}: profile hash size {stats.hash_size} != "
+                    f"workspace {self.hash_sizes[j]}"
+                )
+            cdf = stats.cdf
+            self.frac_rows[j] = cdf.fractional_rows_for_coverage_many(
+                self.fractions
+            )
+            self.live_rows[j] = cdf.live_rows
+            self.total_accesses[j] = stats.total_accesses
+            self.coverage[j] = stats.coverage
+            self.avg_pooling[j] = stats.avg_pooling
+        # Integer grid rows exactly as every scalar consumer rounds
+        # them: ceil(rows - 1e-9).
+        self.grid_rows[...] = np.ceil(self.frac_rows - 1e-9)
+        self.d_grid_rows[...] = self.grid_rows[:, 1:] - self.grid_rows[:, :-1]
+        self.live_bytes = self.live_rows * self.row_bytes
+        self._profile = profile
+        self._cum_fraction_valid = False
+        self._inputs = None
+
+    @property
+    def cum_fraction_flat(self) -> np.ndarray:
+        """Every table's coverage prefix, ragged-stacked (lazy)."""
+        if not self._cum_fraction_valid:
+            if self._cum_fraction_flat is None:
+                self._cum_fraction_flat = np.empty(
+                    int(self.row_base[-1]), dtype=np.float64
+                )
+            for j, stats in enumerate(self._profile):
+                self._cum_fraction_flat[
+                    self.row_base[j]: self.row_base[j + 1]
+                ] = stats.cdf.cum_fraction
+            self._cum_fraction_valid = True
+        return self._cum_fraction_flat
+
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> RecShardInputs:
+        """The scalar pipeline's :class:`RecShardInputs` view.
+
+        Built lazily (per refresh) from the workspace buffers; the
+        per-table ``PiecewiseICDF`` objects are zero-copy views of the
+        stacked grids, so the scalar helpers (`LPT assignment`, split
+        resizing) the two sharder paths share read the same numbers.
+        """
+        if self._inputs is None:
+            tables = []
+            for j, spec in enumerate(self.model.tables):
+                tables.append(
+                    TableInputs(
+                        name=spec.name,
+                        row_bytes=int(self.row_bytes[j]),
+                        hash_size=int(self.hash_sizes[j]),
+                        live_rows=int(self.live_rows[j]),
+                        icdf=PiecewiseICDF(
+                            fractions=self.fractions,
+                            rows=self.frac_rows[j],
+                        ),
+                        avg_pooling=float(self.avg_pooling[j]),
+                        coverage=float(self.coverage[j]),
+                        total_accesses=float(self.total_accesses[j]),
+                    )
+                )
+            self._inputs = RecShardInputs(tables=tuple(tables))
+        return self._inputs
+
+    # ------------------------------------------------------------------
+    def coverage_of_rows_grid(self, rows: np.ndarray) -> np.ndarray:
+        """Batched ``coverage_of_rows`` over a ``(..., tables)`` grid.
+
+        ``rows[..., j]`` is a cumulative hot-row count for table ``j``;
+        the result matches the scalar method element for element
+        (including the 0 / ``hash_size`` edges and zero-access tables).
+        One flat gather serves every (plan, table, tier) query of the
+        batched evaluator at once.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.shape[-1] != self.num_tables:
+            raise ValueError(
+                f"last axis must span {self.num_tables} tables, got "
+                f"{rows.shape[-1]}"
+            )
+        idx = self.row_base[:-1] + np.clip(rows - 1, 0, self.hash_sizes - 1)
+        out = self.cum_fraction_flat[idx]
+        out = np.where(rows <= 0, 0.0, out)
+        out = np.where(rows >= self.hash_sizes, 1.0, out)
+        return np.where(self.total_accesses > 0, out, 0.0)
+
+
+def _scale_hbm(topology: SystemTopology, scale: float) -> SystemTopology:
+    """A copy of ``topology`` with the HBM tier's capacity scaled."""
+    hbm = topology.tiers[0]
+    scaled = MemoryTier(
+        name=hbm.name,
+        capacity_bytes=int(round(hbm.capacity_bytes * scale)),
+        bandwidth=hbm.bandwidth,
+    )
+    return SystemTopology(
+        num_devices=topology.num_devices,
+        tiers=(scaled,) + topology.tiers[1:],
+    )
+
+
+def shard_sweep(
+    workspace: PlannerWorkspace,
+    *,
+    sharder,
+    topologies=None,
+    budgets=None,
+    base_topology: SystemTopology | None = None,
+):
+    """Shard one profile across a grid of topologies or HBM budgets.
+
+    The grid reuses ``workspace`` for every point, so a sweep costs one
+    statistics build plus one vectorized solve per point — the access
+    pattern behind Figure 12/13-style studies and ``repro plan --sweep``.
+
+    Args:
+        workspace: the profile's :class:`PlannerWorkspace`.
+        sharder: a :class:`~repro.core.fast.RecShardFastSharder` (or any
+            object exposing ``shard_from_workspace``).
+        topologies: explicit grid of :class:`SystemTopology` points
+            (mutually exclusive with ``budgets``).
+        budgets: HBM capacity scale factors applied to
+            ``base_topology``'s first tier.
+        base_topology: required with ``budgets``.
+
+    Returns:
+        One plan per grid point, each stamped with a ``sweep_key`` in
+        its metadata (``gpus=<n>`` / ``hbm_scale=<s>``).
+    """
+    if (topologies is None) == (budgets is None):
+        raise ValueError("provide exactly one of topologies= or budgets=")
+    sharder_steps = getattr(sharder, "steps", None)
+    if sharder_steps is not None and sharder_steps != workspace.steps:
+        raise ValueError(
+            f"workspace sampled {workspace.steps} ICDF steps, sharder "
+            f"expects {sharder_steps}"
+        )
+    if budgets is not None:
+        if base_topology is None:
+            raise ValueError("budgets= requires base_topology=")
+        points = [
+            (f"hbm_scale={scale:g}", _scale_hbm(base_topology, scale))
+            for scale in budgets
+        ]
+    else:
+        points = [
+            (f"gpus={topology.num_devices}", topology)
+            for topology in topologies
+        ]
+    plans = []
+    for key, topology in points:
+        try:
+            plan = sharder.shard_from_workspace(workspace, topology)
+        except PlanError as error:
+            raise PlanError(f"sweep point {key}: {error}") from error
+        plan.metadata["sweep_key"] = key
+        plans.append(plan)
+    return plans

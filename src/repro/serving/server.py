@@ -47,6 +47,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.core.workspace import PlannerWorkspace
 from repro.data.batch import JaggedBatch
 from repro.data.drift import DriftModel
 from repro.data.model import ModelSpec
@@ -223,9 +224,20 @@ class LookupServer:
         self.config = config or ServingConfig()
         self.cache = cache
         self.sharder = sharder
-        self._sharder_warm_starts = sharder is not None and (
-            "warm_start" in inspect.signature(sharder.shard).parameters
+        sharder_params = (
+            inspect.signature(sharder.shard).parameters
+            if sharder is not None
+            else {}
         )
+        self._sharder_warm_starts = "warm_start" in sharder_params
+        # Vectorized sharders accept a planner workspace; the server
+        # owns one and refreshes it in place per replan, so consecutive
+        # replans never rebuild the stacked statistics buffers.
+        self._sharder_takes_workspace = (
+            "workspace" in sharder_params
+            and getattr(sharder, "vectorized", False)
+        )
+        self._workspace: PlannerWorkspace | None = None
         self.queue = MicroBatchQueue(
             max_batch_size=self.config.max_batch_size,
             max_delay_ms=self.config.max_delay_ms,
@@ -234,7 +246,31 @@ class LookupServer:
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
         self._num_installs = 0
-        self._install(plan if plan is not None else sharder.shard(model, profile, topology), profile)
+        self._install(
+            plan if plan is not None else self._build_plan(profile), profile
+        )
+
+    def _build_plan(self, profile, warm_start=None):
+        """Shard from ``profile``, reusing the server's planner state.
+
+        Warm start (previous plan's cut points and homes) and the
+        in-place-refreshed :class:`PlannerWorkspace` are both handed to
+        sharders that support them — together they are what keeps
+        ``replan_build_ms`` a repair cost rather than a rebuild cost.
+        """
+        kwargs = {}
+        if self._sharder_takes_workspace:
+            if self._workspace is None:
+                self._workspace = PlannerWorkspace(
+                    self.model, profile,
+                    steps=getattr(self.sharder, "steps", 100),
+                )
+            else:
+                self._workspace.refresh(profile)
+            kwargs["workspace"] = self._workspace
+        if warm_start is not None and self._sharder_warm_starts:
+            kwargs["warm_start"] = warm_start
+        return self.sharder.shard(self.model, profile, self.topology, **kwargs)
 
     def _install(self, plan, profile) -> None:
         """Activate ``plan`` (initial install or drift replan swap)."""
@@ -472,12 +508,7 @@ class LookupServer:
         """
         build_start = time.perf_counter()
         observed = self._profiler.finish()
-        if self._sharder_warm_starts:
-            plan = self.sharder.shard(
-                self.model, observed, self.topology, warm_start=self.plan
-            )
-        else:
-            plan = self.sharder.shard(self.model, observed, self.topology)
+        plan = self._build_plan(observed, warm_start=self.plan)
         self._install(plan, observed)
         build_ms = (time.perf_counter() - build_start) * 1e3
         self.metrics.record_replan(now_ms, build_wall_ms=build_ms)

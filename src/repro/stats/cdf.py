@@ -49,6 +49,14 @@ class FrequencyCDF:
         else:
             self._cum_fraction = np.zeros(self.hash_size)
 
+    @property
+    def cum_fraction(self) -> np.ndarray:
+        """Coverage prefix per rank: ``cum_fraction[k]`` is the access
+        fraction covered by the hottest ``k + 1`` rows.  Treat as
+        read-only — the planner workspace stacks these grids directly.
+        """
+        return self._cum_fraction
+
     # ------------------------------------------------------------------
     # Forward and inverse queries
     # ------------------------------------------------------------------
@@ -59,6 +67,24 @@ class FrequencyCDF:
         if rows >= self.hash_size:
             return 1.0 if self.total > 0 else 0.0
         return float(self._cum_fraction[rows - 1])
+
+    def coverage_of_rows_many(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`coverage_of_rows` over an array of row counts.
+
+        Element-for-element identical to the scalar method (including
+        the ``rows <= 0`` and ``rows >= hash_size`` edge cases), so the
+        batched plan evaluator can take whole ``rows_per_tier`` grids in
+        one shot.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if self.total <= 0:
+            return np.zeros(rows.shape, dtype=np.float64)
+        # Clip before the take so out-of-range counts never index; the
+        # edge cases are then painted over the gathered values.
+        idx = np.clip(rows - 1, 0, self.hash_size - 1)
+        out = self._cum_fraction[idx]
+        out = np.where(rows <= 0, 0.0, out)
+        return np.where(rows >= self.hash_size, 1.0, out)
 
     def rows_for_coverage(self, fraction: float) -> int:
         """Minimum number of hottest rows covering ``fraction`` of accesses."""
@@ -89,6 +115,35 @@ class FrequencyCDF:
         row_mass = self._cum_fraction[k] - prev_cum
         partial = (fraction - prev_cum) / row_mass if row_mass > 0 else 1.0
         return float(k + partial)
+
+    def fractional_rows_for_coverage_many(
+        self, fractions: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`fractional_rows_for_coverage`.
+
+        Runs the same searchsorted + within-row interpolation for a
+        whole grid of coverage fractions at once, producing bit-identical
+        values to the scalar method (the planner workspace relies on
+        this to build ICDF grids without the per-point Python loop).
+        """
+        fractions = np.asarray(fractions, dtype=np.float64)
+        if not np.all((fractions >= 0.0) & (fractions <= 1.0)):
+            raise ValueError("fractions must be in [0, 1]")
+        if self.total == 0 or self.hash_size == 0:
+            return np.zeros(fractions.shape, dtype=np.float64)
+        cum = self._cum_fraction
+        k = np.searchsorted(cum, fractions, side="left")
+        # cum[-1] == 1.0 >= every query, so k < hash_size always; the
+        # clip only guards the k == 0 gather for prev_cum.
+        prev_cum = np.where(k > 0, cum[np.maximum(k - 1, 0)], 0.0)
+        row_mass = cum[k] - prev_cum
+        with np.errstate(divide="ignore", invalid="ignore"):
+            partial = np.where(
+                row_mass > 0, (fractions - prev_cum) / row_mass, 1.0
+            )
+        rows = k + partial
+        rows = np.where(k >= self.live_rows, float(self.live_rows), rows)
+        return np.where(fractions == 0.0, 0.0, rows)
 
     def icdf_points(self, steps: int = 100) -> "PiecewiseICDF":
         """The paper's piecewise ICDF: ``steps + 1`` uniformly spaced

@@ -45,6 +45,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "plan for RM1" in out
 
+    def test_plan_vectorized_default(self, capsys):
+        argv = ["plan", "--model", "rm2"] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "vectorized planner" in out
+        assert "plan build wall-clock" in out
+
+    def test_plan_scalar_flag(self, capsys):
+        argv = ["plan", "--scalar", "--model", "rm2"] + self.COMMON
+        assert main(argv) == 0
+        assert "scalar reference planner" in capsys.readouterr().out
+
+    def test_plan_sweep_hbm(self, capsys):
+        argv = ["plan", "--model", "rm2", "--sweep", "hbm=0.5,1,2"] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hbm sweep" in out
+        assert "hbm_scale=0.5" in out
+        assert "one shared workspace" in out
+
+    def test_plan_sweep_gpus(self, capsys):
+        argv = ["plan", "--model", "rm1", "--sweep", "gpus=2,4"] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "gpus=2" in out and "gpus=4" in out
+
+    def test_plan_sweep_infeasible_point_reports_cleanly(self, capsys):
+        # The workload is row-scaled to --gpus; a much smaller sweep
+        # point cannot hold it and must error, not traceback.
+        argv = [
+            "plan", "--model", "rm2", "--features", "40", "--gpus", "8",
+            "--batch", "256", "--sweep", "gpus=2",
+        ]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "sweep point gpus=2" in err
+        assert "sized for --gpus 8" in err
+
+    def test_plan_sweep_rejects_bad_grid(self, capsys):
+        argv = ["plan", "--sweep", "volts=1,2"] + self.COMMON
+        assert main(argv) == 2
+        assert "--sweep expects" in capsys.readouterr().err
+
+    def test_plan_sweep_rejects_scalar_path(self, capsys):
+        argv = ["plan", "--scalar", "--sweep", "hbm=1"] + self.COMMON
+        assert main(argv) == 2
+        assert "vectorized" in capsys.readouterr().err
+
     def test_compare(self, capsys):
         argv = [
             "compare", "--model", "rm2", "--milp-time", "0", "--iters", "2",
