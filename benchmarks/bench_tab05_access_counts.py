@@ -3,9 +3,23 @@
 Paper shape: baselines source ~20.3% (RM2) and ~36.3% (RM3) of accesses
 from UVM; RecShard sources 0.2% and 0.5% — a 70-100x reduction in
 slow-memory traffic.  RM1 needs no UVM under any strategy.
+
+Two sources produce the counts:
+
+* offline replay (the ``headline`` fixture) — the paper's Table 5
+  methodology;
+* the serving path — :class:`~repro.serving.metrics.ServingMetrics`
+  accumulates per-tier access chunks batch by batch while requests are
+  served, and must agree with the offline replay of the same trace
+  content *exactly* (microbatch slicing cannot change where a lookup
+  is served).
 """
 
-from conftest import format_table, report
+import numpy as np
+
+from conftest import BENCH_GPUS, format_table, report
+from repro.engine import ShardedExecutor
+from repro.serving import LookupServer, ServingConfig, synthetic_request_arenas
 
 PAPER_UVM_FRACTION = {
     "RM1": {"baselines": 0.0, "RecShard": 0.0},
@@ -51,6 +65,63 @@ def _table5(headline) -> str:
             f"{recshard:.3%} -> {reduction} reduction"
         )
     return table + "\n\n" + "\n".join(notes)
+
+
+def test_table5_serving_counts_match_offline_replay(
+    models, profiles, topology, headline
+):
+    """Table 5 online: the serving path's per-tier chunks, pinned.
+
+    Serves a seeded stream against the RecShard plans of RM2 and RM3
+    and compares the accumulated per-tier serving counts against an
+    offline replay of the identical trace content — the counts must be
+    equal element for element, per tier, per device.
+    """
+    rows = []
+    for model in models[1:]:  # RM2/RM3: the tiers-under-pressure regimes
+        profile = profiles[model.name]
+        plan = headline[model.name]["RecShard"].plan
+        arenas = list(
+            synthetic_request_arenas(
+                model, num_requests=1024, qps=1e9, seed=55
+            )
+        )
+        server = LookupServer(
+            model, profile, topology, plan=plan,
+            config=ServingConfig(max_batch_size=256, max_delay_ms=2.0),
+        )
+        metrics = server.serve_arenas(arenas)
+
+        executor = ShardedExecutor(model, plan, profile, topology)
+        offline = np.zeros(
+            (topology.num_tiers, topology.num_devices), dtype=np.int64
+        )
+        for arena in arenas:
+            _, accesses, _ = executor.run_batch(arena.batch)
+            offline += accesses
+        np.testing.assert_array_equal(metrics.tier_access_totals, offline)
+        assert metrics.tier_access_totals.sum() == sum(metrics.batch_lookups)
+
+        batches = metrics.num_batches
+        for t, name in enumerate(metrics.tier_names):
+            rows.append(
+                (
+                    model.name,
+                    name,
+                    f"{metrics.tier_access_totals[t].sum():,}",
+                    f"{metrics.tier_access_totals[t].sum() / batches / BENCH_GPUS:,.0f}",
+                    f"{metrics.tier_access_fraction(name):.2%}",
+                )
+            )
+    table = format_table(
+        ["Model", "Tier", "served accesses", "per GPU/batch", "share"], rows
+    )
+    report(
+        "tab05_serving_counts",
+        "serving-path per-tier access counts (RecShard plans, 1024 "
+        "requests, saturating load);\nverified equal to the offline "
+        f"Table 5 replay of the same trace, per tier per device\n\n{table}",
+    )
 
 
 def test_table5_access_counts(benchmark, headline):

@@ -6,10 +6,12 @@ Examples::
     python -m repro shard --model rm2 --gpus 16 --formulation convex
     python -m repro plan --model rm2 --sweep hbm=0.5,1,2
     python -m repro plan --model rm2 --sweep gpus=8,16,32
+    python -m repro plan --model rm3 --sweep tiers=2,3,4
     python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
     python -m repro replay --model rm2 --vectorized --iters 3
     python -m repro serve --model rm2 --qps 20000 --requests 4000
     python -m repro serve --model rm2 --reference --requests 4000
+    python -m repro serve --model rm3 --tiers hbm,dram:8,ssd --staging-gib 2
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import time
 
 from repro.baselines import make_baseline
 from repro.core import (
+    MultiTierSharder,
     PlanError,
     PlannerWorkspace,
     RecShardFastSharder,
@@ -29,9 +32,15 @@ from repro.core import (
 from repro.data.drift import DriftModel
 from repro.data.model import rm1, rm2, rm3
 from repro.data.synthetic import TraceGenerator
-from repro.engine import ShardedExecutor, compare_strategies
+from repro.engine import ShardedExecutor, TierStagingModel, compare_strategies
 from repro.engine.harness import speedup_table
-from repro.memory import paper_node, paper_scales
+from repro.memory import (
+    GIB,
+    node_from_tier_names,
+    paper_node,
+    paper_scales,
+    tier_ladder_node,
+)
 from repro.serving import (
     LookupServer,
     ServingConfig,
@@ -65,12 +74,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_world(args):
-    """Model + topology with capacity regimes matched to the paper."""
+    """Model + topology with capacity regimes matched to the paper.
+
+    ``--tiers`` (where the subcommand offers it) swaps the default
+    two-tier node for an arbitrary preset hierarchy, capacity-scaled
+    with the same knobs.
+    """
     topo_scale, row_scale = paper_scales(args.features, args.gpus)
     model = _MODELS[args.model](
         num_features=args.features, row_scale=row_scale, seed=args.seed
     )
-    topology = paper_node(num_gpus=args.gpus, scale=topo_scale)
+    tiers = getattr(args, "tiers", None)
+    if tiers:
+        topology = node_from_tier_names(
+            tiers, num_gpus=args.gpus, scale=topo_scale
+        )
+    else:
+        topology = paper_node(num_gpus=args.gpus, scale=topo_scale)
     return model, topology
 
 
@@ -119,11 +139,12 @@ def _cmd_shard(args) -> int:
 
 
 def _parse_sweep(spec: str):
-    """Parse ``hbm=0.5,1,2`` / ``gpus=4,8,16`` sweep grids."""
+    """Parse ``hbm=0.5,1,2`` / ``gpus=4,8,16`` / ``tiers=2,3`` grids."""
     kind, _, values = spec.partition("=")
-    if kind not in ("hbm", "gpus") or not values:
+    if kind not in ("hbm", "gpus", "tiers") or not values:
         raise ValueError(
-            f"--sweep expects hbm=<scales> or gpus=<counts>, got {spec!r}"
+            f"--sweep expects hbm=<scales>, gpus=<counts>, or "
+            f"tiers=<counts>, got {spec!r}"
         )
     if kind == "hbm":
         return kind, [float(v) for v in values.split(",")]
@@ -171,6 +192,23 @@ def _cmd_plan(args) -> int:
                 workspace, sharder=sharder, budgets=values,
                 base_topology=topology,
             )
+        elif kind == "tiers":
+            # Tier-count grid (Section 4.4): every point is a prefix of
+            # the preset tier ladder, solved by the vectorized
+            # multi-tier greedy over the same workspace.
+            topo_scale = paper_scales(args.features, args.gpus)[0]
+            topologies = [
+                tier_ladder_node(t, num_gpus=args.gpus, scale=topo_scale)
+                for t in values
+            ]
+            plans = shard_sweep(
+                workspace,
+                sharder=MultiTierSharder(
+                    batch_size=args.batch, steps=args.steps
+                ),
+                topologies=topologies,
+                labels=[f"tiers={t}" for t in values],
+            )
         else:
             topologies = [
                 paper_node(num_gpus=g, scale=paper_scales(args.features, g)[0])
@@ -190,11 +228,11 @@ def _cmd_plan(args) -> int:
     elapsed_ms = (time.perf_counter() - start) * 1e3
     print(f"{kind} sweep for {model.name} "
           f"({len(plans)} plans, one shared workspace):")
-    print(f"{'point':>16}  {'rows on UVM':>11}  {'est. max GPU ms':>15}")
+    print(f"{'point':>16}  {'off-HBM rows':>12}  {'est. max GPU ms':>15}")
     for plan in plans:
         total_rows = sum(p.total_rows for p in plan)
-        uvm = 1.0 - plan.tier_rows_total(0) / total_rows if total_rows else 0.0
-        print(f"{plan.metadata['sweep_key']:>16}  {uvm:>11.1%}  "
+        spilled = 1.0 - plan.tier_rows_total(0) / total_rows if total_rows else 0.0
+        print(f"{plan.metadata['sweep_key']:>16}  {spilled:>12.1%}  "
               f"{plan.metadata['estimated_max_cost_ms']:>15.4f}")
     print(f"sweep wall-clock: {elapsed_ms:.1f} ms "
           f"({elapsed_ms / len(plans):.1f} ms/plan incl. workspace build)")
@@ -272,6 +310,9 @@ def _cmd_serve(args) -> int:
     if args.max_delay_ms < 0:
         print("error: --max-delay-ms must be >= 0", file=sys.stderr)
         return 2
+    if args.staging_gib < 0:
+        print("error: --staging-gib must be >= 0", file=sys.stderr)
+        return 2
     model, topology = _build_world(args)
     profile = analytic_profile(model)
     config = ServingConfig(
@@ -280,8 +321,27 @@ def _cmd_serve(args) -> int:
         drift_threshold_pct=args.drift_threshold,
         drift_min_samples=args.drift_min_samples,
     )
+    # Beyond HBM+UVM the two-tier sharders cannot cut the CDF, so a
+    # multi-tier topology is planned (and replanned under drift) by the
+    # vectorized multi-tier greedy.
+    if topology.num_tiers == 2:
+        sharder = _make_recshard(args)
+    else:
+        sharder = MultiTierSharder(
+            batch_size=args.batch, steps=args.steps, method="greedy",
+            name="RecShard-multitier",
+        )
+    staging = None
+    if args.staging_gib > 0:
+        # Like every capacity knob, the staging buffer is specified at
+        # paper scale and shrunk with the topology.
+        topo_scale = paper_scales(args.features, args.gpus)[0]
+        staging = TierStagingModel(
+            capacity_bytes=int(args.staging_gib * GIB * topo_scale)
+        )
     server = LookupServer(
-        model, profile, topology, sharder=_make_recshard(args), config=config
+        model, profile, topology, sharder=sharder, config=config,
+        staging=staging,
     )
     drift = None
     if args.drift_months > 0:
@@ -306,7 +366,8 @@ def _cmd_serve(args) -> int:
         )
     elapsed = time.perf_counter() - start
     path = "columnar fast path" if args.fast_serving else "reference object path"
-    print(f"served {model.name} on {args.gpus} GPUs "
+    tiers = "/".join(topology.tier_names)
+    print(f"served {model.name} on {args.gpus} GPUs over {tiers} "
           f"(offered load {args.qps:.0f} QPS, "
           f"microbatch <= {args.batch_requests} reqs / "
           f"{args.max_delay_ms:g} ms, {path}):")
@@ -338,8 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--reclaim-dead", action="store_true",
                         help="do not charge never-accessed rows to UVM")
     p_plan.add_argument("--sweep", default=None, metavar="GRID",
-                        help="hbm=<scale,...> (HBM budget multiples) or "
-                             "gpus=<count,...> (device-count grid)")
+                        help="hbm=<scale,...> (HBM budget multiples), "
+                             "gpus=<count,...> (device-count grid), or "
+                             "tiers=<count,...> (tier-ladder depth grid, "
+                             "multi-tier greedy planner)")
     mode = p_plan.add_mutually_exclusive_group()
     mode.add_argument("--vectorized", dest="plan_vectorized",
                       action="store_true", default=True,
@@ -390,6 +453,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "--reference", dest="fast_serving", action="store_false",
                 help="per-request object path (parity reference)",
             )
+            p.add_argument("--tiers", default=None, metavar="NAMES",
+                           help="comma-separated tier presets, fastest "
+                                "first (hbm,uvm|dram,ssd,hdd); each may "
+                                "override its per-GPU GiB as name:GiB, "
+                                "e.g. hbm,dram:8,ssd (default: hbm,uvm)")
+            p.add_argument("--staging-gib", type=float, default=0.0,
+                           help="per-device per-cold-tier staging buffer "
+                                "in (paper-scale) GiB: statically-hottest "
+                                "cold rows served at the next-faster "
+                                "tier's bandwidth (default: off)")
             p.add_argument("--qps", type=float, default=20000,
                            help="offered load, requests/s (default: 20000)")
             p.add_argument("--requests", type=int, default=4000,

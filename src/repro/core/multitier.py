@@ -10,6 +10,27 @@ the fastest tier.  Two solving methods are provided:
 * ``"greedy"`` — sequential per-tier waterfill plus LPT assignment,
   scaling to full-size models (same machinery as
   :class:`~repro.core.fast.RecShardFastSharder`).
+
+Like the two-tier fast sharder, the greedy method has two paths that
+produce identical plans:
+
+* **vectorized** (default) — each tier's waterfill runs as one bulk
+  admission over the stacked arrays of a
+  :class:`~repro.core.workspace.PlannerWorkspace` (the running-minimum
+  *effective*-density ordering of
+  :meth:`~repro.core.fast.RecShardFastSharder._bulk_take` reproduces
+  the per-tier heap's pop order exactly; a tier's marginal gains all
+  share the same positive bandwidth-delta factor, so only budgets and
+  start boundaries differ between tiers).  This is the path serving
+  drift replans and ``shard_sweep`` tier grids take: the workspace is
+  built once per profile and every tier boundary after the first
+  resumes from the previous tier's boundary array.
+* **scalar** (``vectorized=False``) — the original per-step heapq
+  waterfill, kept as the parity reference.
+
+``warm_start`` (the outgoing plan of a drift replan) steers the LPT
+assignment toward each table's previous device home, so a replan moves
+tables only where drift actually changed relative costs.
 """
 
 from __future__ import annotations
@@ -17,9 +38,13 @@ from __future__ import annotations
 import heapq
 import math
 
+import numpy as np
+
 from repro.core.evaluate import stamp_estimated_costs
+from repro.core.fast import RecShardFastSharder
 from repro.core.formulation import MIB, RecShardInputs
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.core.workspace import PlannerWorkspace
 from repro.memory.topology import SystemTopology
 from repro.milp.model import Model, lin_sum
 
@@ -37,6 +62,7 @@ class MultiTierSharder:
         backend: str = "highs",
         time_limit: float = 60.0,
         mip_gap: float = 0.02,
+        vectorized: bool = True,
         name: str = "RecShard-multitier",
     ):
         if method not in ("greedy", "milp"):
@@ -47,25 +73,112 @@ class MultiTierSharder:
         self.backend = backend
         self.time_limit = time_limit
         self.mip_gap = mip_gap
+        self.vectorized = bool(vectorized)
         self.name = name
 
-    def shard(self, model, profile, topology: SystemTopology) -> ShardingPlan:
-        inputs = RecShardInputs.from_profile(model, profile, steps=self.steps)
+    def shard(
+        self, model, profile, topology: SystemTopology,
+        warm_start: ShardingPlan | None = None,
+        workspace: PlannerWorkspace | None = None,
+    ) -> ShardingPlan:
+        """Shard ``model`` from ``profile`` across ``topology``'s tiers.
+
+        Pass a prebuilt ``workspace`` to amortize the statistics build
+        across calls (drift replans, sweeps); ``warm_start`` keeps
+        tables on their previous devices where the splits still fit.
+        """
+        if self.method == "greedy" and self.vectorized:
+            if workspace is None:
+                workspace = PlannerWorkspace(model, profile, steps=self.steps)
+            elif workspace.steps != self.steps:
+                raise ValueError(
+                    f"workspace sampled {workspace.steps} ICDF steps, "
+                    f"sharder expects {self.steps}"
+                )
+            return self.shard_from_workspace(
+                workspace, topology, warm_start=warm_start
+            )
+        inputs = (
+            workspace.inputs
+            if workspace is not None
+            else RecShardInputs.from_profile(model, profile, steps=self.steps)
+        )
         if self.method == "milp":
             plan = self._shard_milp(inputs, topology)
         else:
-            plan = self._shard_greedy(inputs, topology)
+            plan = self._shard_greedy(inputs, topology, warm_start=warm_start)
         # Score the result under the analytic cost model (batched
         # evaluator handles any tier count) so multi-tier plans report
         # the same estimated-makespan metadata as the two-tier sharders.
         return stamp_estimated_costs(
-            plan, model, profile, topology, self.batch_size
+            plan, model, profile, topology, self.batch_size,
+            workspace=workspace,
         )
 
     # ------------------------------------------------------------------
     # Greedy: sequential waterfill over tiers, then LPT assignment
     # ------------------------------------------------------------------
-    def _shard_greedy(self, inputs: RecShardInputs, topology) -> ShardingPlan:
+    def shard_from_workspace(
+        self, workspace: PlannerWorkspace, topology: SystemTopology,
+        warm_start: ShardingPlan | None = None,
+    ) -> ShardingPlan:
+        """Vectorized greedy solve over a prebuilt workspace.
+
+        Sequential per-tier waterfill as in :meth:`_shard_greedy`, each
+        tier's heap replaced by one bulk admission in effective-density
+        order against the tier's aggregate budget.  Plans are identical
+        to the scalar path's, table for table.
+        """
+        ws = workspace
+        num_tiers = topology.num_tiers
+        inv_bw = [1.0 / t.bandwidth for t in topology.tiers]
+        weights = (
+            ws.coverage * ws.avg_pooling * ws.row_bytes
+            * self.batch_size * _MS
+        )
+        d_bytes = ws.d_grid_rows * ws.row_bytes[:, None]
+        # The bandwidth-delta factor is the only per-tier term of the
+        # marginal densities; the factor-free matrix is hoisted and the
+        # per-tier product kept in the scalar path's evaluation order
+        # (base * factor, then / bytes) so densities — and therefore
+        # tie-breaks against the heapq reference — stay bit-identical.
+        d_cost_base = weights[:, None] * ws.d_frac[None, :]
+        density = np.empty(d_bytes.shape)
+        col = np.arange(ws.steps)
+        active = ws.total_accesses > 0
+        start = np.zeros(ws.num_tables, dtype=np.int64)
+        boundary = np.zeros((ws.num_tables, max(num_tiers - 1, 0)), dtype=np.int64)
+        for tier in range(num_tiers - 1):
+            budget = topology.tiers[tier].capacity_bytes * topology.num_devices
+            factor = inv_bw[tier + 1] - inv_bw[tier]
+            density.fill(np.inf)
+            np.divide(d_cost_base * factor, d_bytes, out=density, where=d_bytes > 0)
+            mask = active[:, None] & (col[None, :] >= start[:, None])
+            eff = np.minimum.accumulate(
+                np.where(mask, density, np.inf), axis=1
+            )
+            flat = np.flatnonzero(mask)
+            table_ids, step_ids = np.divmod(flat, ws.steps)
+            steps_out = start.copy()
+            RecShardFastSharder._bulk_take(
+                eff.ravel()[flat], d_bytes.ravel()[flat], table_ids,
+                step_ids, steps_out, budget, stop_on_exhausted=True,
+            )
+            boundary[:, tier] = steps_out
+            start = steps_out
+        boundary_steps = [[int(b) for b in row] for row in boundary]
+        plan = self._finish_greedy(
+            ws.inputs, topology, boundary_steps, warm_start
+        )
+        return stamp_estimated_costs(
+            plan, ws.model, ws.profile, topology, self.batch_size,
+            workspace=ws,
+        )
+
+    def _shard_greedy(
+        self, inputs: RecShardInputs, topology,
+        warm_start: ShardingPlan | None = None,
+    ) -> ShardingPlan:
         num_tiers = topology.num_tiers
         inv_bw = [1.0 / t.bandwidth for t in topology.tiers]
         weights = [
@@ -119,14 +232,36 @@ class MultiTierSharder:
                 remaining -= d_bytes
                 push(j)
 
-        placements, costs = self._extract(inputs, topology, boundary_steps, weights, inv_bw)
-        device_of = self._assign_lpt(inputs, topology, placements, costs)
+        return self._finish_greedy(inputs, topology, boundary_steps, warm_start)
+
+    def _finish_greedy(
+        self, inputs, topology, boundary_steps, warm_start
+    ) -> ShardingPlan:
+        """Boundary steps -> placements, LPT assignment, plan (shared by
+        the scalar and vectorized waterfills)."""
+        inv_bw = [1.0 / t.bandwidth for t in topology.tiers]
+        weights = [
+            t.coverage * t.avg_pooling * t.row_bytes * self.batch_size * _MS
+            for t in inputs.tables
+        ]
+        placements, costs = self._extract(
+            inputs, topology, boundary_steps, weights, inv_bw
+        )
+        preferred = None
+        if warm_start is not None and len(warm_start) == len(placements):
+            preferred = [warm_start[j].device for j in range(len(placements))]
+        device_of = self._assign_lpt(
+            inputs, topology, placements, costs, preferred=preferred
+        )
         final = [
             TablePlacement(p.table_index, device_of[p.table_index], p.rows_per_tier)
             for p in placements
         ]
+        metadata = {"solver": "greedy"}
+        if preferred is not None:
+            metadata["warm_started"] = True
         return ShardingPlan(
-            strategy=self.name, placements=final, metadata={"solver": "greedy"}
+            strategy=self.name, placements=final, metadata=metadata
         )
 
     def _extract(self, inputs, topology, boundary_steps, weights, inv_bw):
@@ -159,12 +294,15 @@ class MultiTierSharder:
             costs.append(cost if table.total_accesses > 0 else 0.0)
         return placements, costs
 
-    def _assign_lpt(self, inputs, topology, placements, costs):
+    def _assign_lpt(self, inputs, topology, placements, costs, preferred=None):
         """Least-loaded placement under per-device per-tier capacities.
 
-        When no device fits a table's current splits, the splits are
-        demoted tier by tier (rows cascade toward slower tiers) until
-        the device with the most free space can hold the table.
+        With ``preferred`` (per-table device hints from a warm-start
+        plan), a table stays on its hinted device whenever its splits
+        fit there.  When no device fits a table's current splits, the
+        splits are demoted tier by tier (rows cascade toward slower
+        tiers) until the device with the most free space can hold the
+        table.
         """
         num_devices = topology.num_devices
         num_tiers = topology.num_tiers
@@ -184,7 +322,9 @@ class MultiTierSharder:
                 for m in range(num_devices)
                 if all(free[m][t] >= need[t] for t in range(num_tiers))
             ]
-            if candidates:
+            if preferred is not None and preferred[j] in candidates:
+                device = preferred[j]
+            elif candidates:
                 device = min(candidates, key=lambda m: loads[m])
             else:
                 # Demote rows toward slower tiers on the roomiest device.

@@ -127,6 +127,11 @@ class PlannerWorkspace:
         self._inputs = None
 
     @property
+    def profile(self):
+        """The profile the buffers were last refreshed from."""
+        return self._profile
+
+    @property
     def cum_fraction_flat(self) -> np.ndarray:
         """Every table's coverage prefix, ragged-stacked (lazy)."""
         if not self._cum_fraction_valid:
@@ -216,6 +221,7 @@ def shard_sweep(
     topologies=None,
     budgets=None,
     base_topology: SystemTopology | None = None,
+    labels=None,
 ):
     """Shard one profile across a grid of topologies or HBM budgets.
 
@@ -225,17 +231,22 @@ def shard_sweep(
 
     Args:
         workspace: the profile's :class:`PlannerWorkspace`.
-        sharder: a :class:`~repro.core.fast.RecShardFastSharder` (or any
+        sharder: a :class:`~repro.core.fast.RecShardFastSharder` or
+            :class:`~repro.core.multitier.MultiTierSharder` (or any
             object exposing ``shard_from_workspace``).
         topologies: explicit grid of :class:`SystemTopology` points
-            (mutually exclusive with ``budgets``).
+            (mutually exclusive with ``budgets``).  Points may differ
+            in tier count — the tier-count scaling study of Section 4.4.
         budgets: HBM capacity scale factors applied to
             ``base_topology``'s first tier.
         base_topology: required with ``budgets``.
+        labels: optional explicit ``sweep_key`` per ``topologies`` point
+            (e.g. ``tiers=3``); defaults to ``gpus=<n>``.
 
     Returns:
         One plan per grid point, each stamped with a ``sweep_key`` in
-        its metadata (``gpus=<n>`` / ``hbm_scale=<s>``).
+        its metadata (``gpus=<n>`` / ``hbm_scale=<s>`` / a ``labels``
+        entry).
     """
     if (topologies is None) == (budgets is None):
         raise ValueError("provide exactly one of topologies= or budgets=")
@@ -248,15 +259,21 @@ def shard_sweep(
     if budgets is not None:
         if base_topology is None:
             raise ValueError("budgets= requires base_topology=")
+        if labels is not None:
+            raise ValueError("labels= applies to topologies= grids")
         points = [
             (f"hbm_scale={scale:g}", _scale_hbm(base_topology, scale))
             for scale in budgets
         ]
     else:
-        points = [
-            (f"gpus={topology.num_devices}", topology)
-            for topology in topologies
-        ]
+        topologies = list(topologies)
+        if labels is None:
+            labels = [f"gpus={t.num_devices}" for t in topologies]
+        elif len(labels) != len(topologies):
+            raise ValueError(
+                f"{len(labels)} labels for {len(topologies)} topologies"
+            )
+        points = list(zip(labels, topologies))
     plans = []
     for key, topology in points:
         try:

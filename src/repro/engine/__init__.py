@@ -7,7 +7,12 @@ paper's MILP uses (and validates on hardware).  Produces the per-GPU
 per-iteration EMB times and access counts of Tables 3 and 5.
 """
 
-from repro.engine.cache import CacheModel, cached_rows_per_table
+from repro.engine.cache import (
+    CacheModel,
+    TierStagingModel,
+    cached_rows_per_table,
+    staged_rows_per_table,
+)
 from repro.engine.executor import ShardedExecutor, replay_trace
 from repro.engine.metrics import IterationStats, RunMetrics
 from repro.engine.ranked import RankedBatch, RankedFeature, RankRemapper
@@ -26,7 +31,9 @@ __all__ = [
     "RankedFeature",
     "RunMetrics",
     "ShardedExecutor",
+    "TierStagingModel",
     "cached_rows_per_table",
+    "staged_rows_per_table",
     "compare_strategies",
     "replay_trace",
     "run_experiment",

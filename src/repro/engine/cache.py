@@ -1,21 +1,35 @@
-"""An optional GPU cache model for the execution engine.
+"""Frequency-informed caching/staging models for the execution engine.
 
-The paper's Table 3 shows RecShard improving RM1's *mean* per-GPU time
-even though RM1 fits entirely in HBM — impossible under a purely
-additive bandwidth model, where identical total traffic implies
-identical mean time. The gain comes from locality: each GPU's cache
-(L2) retains its hottest embedding rows, and a GPU serving a compact,
-well-chosen working set hits cache far more often than one serving a
-sprawling one.
+Two levels of the same idea — serve statically-predicted-hot rows from
+a faster lane than their home tier — at the same level of abstraction
+as the rest of the engine:
 
-This module models that effect at the same level of abstraction as the
-rest of the engine: per device, the expectedly-hottest HBM-resident
-rows up to the cache capacity are served at cache bandwidth instead of
-HBM bandwidth. Because RecShard's remapping packs each table's hottest
-rows first, "expectedly hottest" is simply a per-table rank threshold.
+* :class:`CacheModel` — the paper's Table 3 locality effect.  RM1's
+  *mean* per-GPU time improves under RecShard even though RM1 fits
+  entirely in HBM, impossible under a purely additive bandwidth model.
+  The gain comes from each GPU's cache (L2) retaining its hottest
+  embedding rows; per device, the expectedly-hottest HBM-resident rows
+  up to the cache capacity are served at cache bandwidth instead of
+  HBM bandwidth.
+* :class:`TierStagingModel` — the Section 4.4 capacity-scaling
+  counterpart for hierarchies deeper than HBM+UVM.  Each cold tier's
+  statically-hottest resident rows (the leading rows of every table's
+  tier block, by construction of the frequency-ordered split) are
+  staged into a per-device buffer carved out of the next-faster tier
+  and served at *that* tier's bandwidth.  This is RecShard's
+  "statistics beat reactive caching" claim made runnable: the rows a
+  steady-state LRU would converge to under independent draws are known
+  up front from the profiled CDF, so the staging set is computed once
+  per plan install instead of being discovered by misses (the
+  RecSSD/RecNMP observation that cold-tier lookups dominate inference
+  latency unless hot rows are staged in faster memory).
 
-The model is off by default; `bench_ablation_cache.py` quantifies its
-effect on the RM1 comparison.
+Because RecShard's remapping packs each table's hottest rows first,
+"expectedly hottest" is simply a per-(table, tier) rank threshold in
+both models.  Both are off by default; ``bench_ablation_cache.py``
+quantifies the cache's effect on the RM1 comparison and
+``bench_serving_multitier.py`` exercises staging on a three-tier
+serving topology.
 """
 
 from __future__ import annotations
@@ -43,6 +57,117 @@ class CacheModel:
             raise ValueError("cache capacity must be >= 0")
         if self.bandwidth <= 0:
             raise ValueError("cache bandwidth must be > 0")
+
+
+@dataclass(frozen=True)
+class TierStagingModel:
+    """Frequency-informed staging of cold-tier rows into faster memory.
+
+    For every cold tier ``t >= 1`` of a topology, a per-device buffer of
+    ``capacity_for(t)`` bytes in tier ``t - 1`` holds the
+    statically-hottest tier-``t``-resident rows of the device's tables;
+    accesses to staged rows are charged at tier ``t - 1``'s bandwidth
+    while still being *counted* against their home tier (staging is a
+    bandwidth effect, not a placement change — Table 5 access counts
+    are unaffected).
+
+    Attributes:
+        capacity_bytes: staging buffer per device per cold tier.  A
+            single int applies the same budget to every cold tier; a
+            tuple gives tier ``t`` the budget at index ``t - 1``
+            (missing entries mean no staging for that tier).
+    """
+
+    capacity_bytes: int | tuple[int, ...]
+
+    def __post_init__(self):
+        caps = (
+            self.capacity_bytes
+            if isinstance(self.capacity_bytes, tuple)
+            else (self.capacity_bytes,)
+        )
+        if any(c < 0 for c in caps):
+            raise ValueError("staging capacity must be >= 0")
+
+    def capacity_for(self, tier_index: int) -> int:
+        """Staging budget (bytes/device) for cold tier ``tier_index``."""
+        if tier_index < 1:
+            raise ValueError("staging applies to cold tiers (index >= 1)")
+        if isinstance(self.capacity_bytes, tuple):
+            offset = tier_index - 1
+            if offset >= len(self.capacity_bytes):
+                return 0
+            return int(self.capacity_bytes[offset])
+        return int(self.capacity_bytes)
+
+
+def staged_rows_per_table(
+    staging: TierStagingModel,
+    plan,
+    profile,
+    model,
+    num_tiers: int,
+    device: int,
+) -> np.ndarray:
+    """Per-(table, tier) counts of leading tier rows staged one tier up.
+
+    Same greedy-by-expected-count selection as
+    :func:`cached_rows_per_table`, run independently per cold tier: all
+    rows resident on tier ``t`` across the device's tables compete for
+    the tier's staging budget, hottest first — exactly the steady-state
+    content of an LRU over that tier under independent reference draws,
+    computed from statistics instead of discovered by misses.
+
+    Returns:
+        ``(num_tables, num_tiers)`` int64 array; entry ``[j, t]`` is how
+        many leading rows of table ``j``'s tier-``t`` block are staged
+        (column 0 is always zero — the fastest tier has nowhere faster
+        to stage into; :class:`CacheModel` covers that lane).
+    """
+    staged = np.zeros((len(plan), num_tiers), dtype=np.int64)
+    members = [p for p in plan if p.device == device]
+    if not members:
+        return staged
+    for tier in range(1, num_tiers):
+        budget = staging.capacity_for(tier)
+        if budget <= 0:
+            continue
+        counts_list, owner_list, bytes_list = [], [], []
+        for placement in members:
+            stats = profile[placement.table_index]
+            if stats.total_accesses <= 0:
+                continue
+            start = int(sum(placement.rows_per_tier[:tier]))
+            stop = start + int(placement.rows_per_tier[tier])
+            if stop <= start:
+                continue
+            # Ranked (descending) expected counts of the tier block.
+            ranked = stats.counts[stats.cdf.row_order[start:stop]]
+            counts_list.append(ranked)
+            owner_list.append(
+                np.full(ranked.size, placement.table_index, dtype=np.int64)
+            )
+            bytes_list.append(
+                np.full(
+                    ranked.size,
+                    model.tables[placement.table_index].row_bytes,
+                    dtype=np.int64,
+                )
+            )
+        if not counts_list:
+            continue
+        counts = np.concatenate(counts_list)
+        owners = np.concatenate(owner_list)
+        row_bytes = np.concatenate(bytes_list)
+        order = np.argsort(-counts, kind="stable")
+        cum_bytes = np.cumsum(row_bytes[order])
+        take = int(np.searchsorted(cum_bytes, budget, side="right"))
+        if take == 0:
+            continue
+        chosen = owners[order[:take]]
+        for table_index, num in zip(*np.unique(chosen, return_counts=True)):
+            staged[int(table_index), tier] = int(num)
+    return staged
 
 
 def cached_rows_per_table(

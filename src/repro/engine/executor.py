@@ -17,13 +17,32 @@ Two execution paths produce identical metrics:
   table, with no per-lookup tier gather.  The device cache model
   likewise operates directly on the sorted-by-construction frequency
   ranking: a hit is simply ``rank < cached_rows``.
-* **scalar** (``vectorized=False``): the original per-feature reference
-  path that resolves every lookup through the remapping table.  Kept as
-  the ground truth the parity tests check the fast path against.
+* **scalar** (``vectorized=False``): the per-feature reference path
+  that resolves every lookup through the remapping table.  Kept as the
+  ground truth the parity tests check the fast path against.  Both
+  paths classify independently but share :meth:`_reduce_counts`, so
+  identical classifications yield *bit-identical* device times — the
+  equality the multi-tier serving bench gates on.
 
-An optional cache model (:mod:`repro.engine.cache`) serves each device's
-expectedly-hottest HBM rows at cache bandwidth, reproducing the
-locality-driven mean-time gains the paper measures on real GPUs.
+Both paths handle any tier count: per-tier counts are prefix
+differences of the rank array against the plan's cumulative tier
+boundaries, whether computed by threshold scans (ranked path), one
+global ``searchsorted`` over interleaved per-table edge grids (fused
+jagged path), or per-lookup remap-table gathers (scalar reference).
+
+Two frequency-informed fast-lane models (:mod:`repro.engine.cache`) can
+be layered on top:
+
+* a :class:`~repro.engine.cache.CacheModel` serves each device's
+  expectedly-hottest HBM rows at cache bandwidth, reproducing the
+  locality-driven mean-time gains the paper measures on real GPUs;
+* a :class:`~repro.engine.cache.TierStagingModel` serves each cold
+  tier's statically-hottest resident rows at the next-faster tier's
+  bandwidth (Section 4.4's capacity-scaling hierarchies made fast to
+  serve).  Staged accesses stay *counted* in their home tier.
+
+Because the remapping packs hot rows first, both reduce to per-(table,
+tier) rank cutoffs that slot into the same classification passes.
 """
 
 from __future__ import annotations
@@ -34,7 +53,12 @@ from repro.core.plan import ShardingPlan
 from repro.core.remap import RemappingTable
 from repro.data.batch import JaggedBatch
 from repro.data.model import ModelSpec
-from repro.engine.cache import CacheModel, cached_rows_per_table
+from repro.engine.cache import (
+    CacheModel,
+    TierStagingModel,
+    cached_rows_per_table,
+    staged_rows_per_table,
+)
 from repro.engine.metrics import RunMetrics
 from repro.engine.ranked import RankedBatch, RankRemapper
 from repro.memory.topology import SystemTopology
@@ -54,6 +78,9 @@ class ShardedExecutor:
             deliberately infeasible what-if runs).
         cache: optional per-device cache model; each device's expectedly
             hottest HBM rows are served at cache bandwidth.
+        staging: optional per-device staging model; each cold tier's
+            expectedly hottest resident rows are served at the
+            next-faster tier's bandwidth (multi-tier hierarchies).
         vectorized: use the rank-space fast path (default).  The scalar
             path is the bit-equivalent reference implementation.
         ranker: a pre-built :class:`RankRemapper` for this profile, to
@@ -69,6 +96,7 @@ class ShardedExecutor:
         topology: SystemTopology,
         validate: bool = True,
         cache: CacheModel | None = None,
+        staging: TierStagingModel | None = None,
         vectorized: bool = True,
         ranker: RankRemapper | None = None,
     ):
@@ -97,17 +125,18 @@ class ShardedExecutor:
             [1.0 / tier.bandwidth for tier in topology.tiers], dtype=np.float64
         )
         self.cache = cache
+        self.staging = staging
         # Reusable comparison mask for the rank threshold scans: avoids a
         # fresh (page-faulting) bool temporary per table per batch.  Makes
         # run_ranked non-reentrant, like the executor's other scratch state.
         self._mask_scratch = np.empty(0, dtype=bool)
         # Fused jagged-path scratch (the serving loop's per-batch hot
         # path): a flat global-rank buffer reused across batches, and
-        # the per-(table, segment) edge grid it is counted against.
+        # the per-(table, tier) edge grids it is compared against.
         # Built lazily because both depend on the (possibly lazy) ranker.
         self._flat_rank_scratch = np.empty(0, dtype=np.int64)
-        self._seg_edges: np.ndarray | None = None
-        self._hbm_edge: np.ndarray | None = None
+        self._bound_edges: np.ndarray | None = None
+        self._cutoff_edges: np.ndarray | None = None
         self._cache_threshold = np.zeros(model.num_tables, dtype=np.int64)
         if cache is not None:
             for device in range(topology.num_devices):
@@ -115,13 +144,39 @@ class ShardedExecutor:
                     cache, plan, profile, model, device
                 ).items():
                     self._cache_threshold[table_index] = rows
-        # Effective per-table cache cutoffs in rank space: the cache only
-        # holds HBM-resident rows, so the hit threshold is clamped to the
-        # table's HBM boundary.
-        self._cache_cutoff = [
-            min(int(t), row[0])
-            for t, row in zip(self._cache_threshold, self._bounds_list)
-        ]
+        # Leading rows of each (table, cold tier) block staged one tier
+        # up; column 0 is always zero (CacheModel owns the HBM lane).
+        self._stage_rows = np.zeros(
+            (model.num_tables, topology.num_tiers), dtype=np.int64
+        )
+        if staging is not None:
+            for device in range(topology.num_devices):
+                self._stage_rows += staged_rows_per_table(
+                    staging, plan, profile, model, topology.num_tiers, device
+                )
+        # Per-(table, tier) fast-lane cutoffs in cumulative rank space:
+        # ranks in [bounds[t-1], cutoffs[t]) are served at the tier's
+        # fast lane (cache bandwidth for tier 0, tier t-1's bandwidth
+        # for cold tiers).  The cache only holds HBM-resident rows and a
+        # tier's staged rows live inside its block, so every cutoff is
+        # clamped into the tier's boundary interval.
+        bounds = self._tier_bounds
+        cutoffs = np.empty_like(bounds)
+        cutoffs[:, 0] = np.minimum(self._cache_threshold, bounds[:, 0])
+        if topology.num_tiers > 1:
+            cutoffs[:, 1:] = np.minimum(
+                bounds[:, :-1] + self._stage_rows[:, 1:], bounds[:, 1:]
+            )
+        self._tier_cutoffs = cutoffs
+        self._cutoff_list = [[int(c) for c in row] for row in cutoffs]
+        # Tiers whose fast-lane cutoff sits strictly above the tier's
+        # lower boundary for at least one table: only these cost the
+        # fused lane an extra scan.
+        lower = np.zeros_like(bounds)
+        lower[:, 1:] = bounds[:, :-1]
+        self._hit_tiers = tuple(
+            int(t) for t in np.flatnonzero((cutoffs > lower).any(axis=0))
+        )
 
     # ------------------------------------------------------------------
     # Lazily-built helpers
@@ -161,9 +216,11 @@ class ShardedExecutor:
 
         Returns:
             times_ms: per-device EMB time for this iteration (ms).
-            accesses: (num_tiers, num_devices) access counts; cache hits
-                are counted within their home (HBM) tier.
-            cache_hits: per-device accesses served from cache.
+            accesses: (num_tiers, num_devices) access counts; cache and
+                staging hits are counted within their home tier.
+            tier_hits: (num_tiers, num_devices) accesses served from a
+                fast lane — row 0 is device-cache hits, row ``t >= 1``
+                is tier-``t`` rows staged at tier ``t - 1`` bandwidth.
         """
         if isinstance(batch, RankedBatch):
             if not self.vectorized:
@@ -176,26 +233,20 @@ class ShardedExecutor:
             return self.run_jagged(batch)
         return self._run_batch_scalar(batch)
 
-    def _fused_edges(self) -> np.ndarray:
-        """Per-(table, segment) boundaries in the global rank space.
+    def _fused_lane_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-(table, tier) boundary and cutoff edges, base-shifted.
 
-        Each table contributes ``num_tiers + 1`` ascending edges:
-        ``base + cache_cutoff`` (segment 0 = cache hits, empty without a
-        cache), then ``base + cumsum(rows_per_tier)``.  Consecutive
-        tables chain because a table's last edge is the next table's
-        base, so the concatenation is globally sorted and one
-        ``searchsorted`` classifies every lookup of every table.
+        ``bound_edges[j, t]`` is the end of table ``j``'s tier-``t``
+        block in the concatenated rank space; ``cutoff_edges[j, t]``
+        the tier's fast-lane cutoff.  Stored in the flat buffer's dtype
+        so the fused lane's comparisons never promote (copy) it.
         """
-        if self._seg_edges is None:
+        if self._bound_edges is None:
             base = self.ranker.rank_base[:-1]
-            num_tiers = self.topology.num_tiers
-            edges = np.empty((len(self.plan), num_tiers + 1), dtype=np.int64)
-            edges[:, 0] = base + np.asarray(self._cache_cutoff, dtype=np.int64)
-            edges[:, 1:] = base[:, None] + self._tier_bounds
-            # Matching the flat buffer's dtype avoids searchsorted
-            # promoting (copying) the whole buffer to int64 per batch.
-            self._seg_edges = edges.reshape(-1).astype(self.ranker.fused_dtype)
-        return self._seg_edges
+            dtype = self.ranker.fused_dtype
+            self._bound_edges = (base[:, None] + self._tier_bounds).astype(dtype)
+            self._cutoff_edges = (base[:, None] + self._tier_cutoffs).astype(dtype)
+        return self._bound_edges, self._cutoff_edges
 
     def run_jagged(
         self, batch: JaggedBatch
@@ -207,10 +258,11 @@ class ShardedExecutor:
         microbatches) where per-feature numpy calls dominate: every
         feature's lookups are gathered through the base-shifted
         :meth:`~repro.engine.ranked.RankRemapper.fused_rank` map into
-        one flat reused buffer, and a single ``searchsorted`` +
-        ``bincount`` against :meth:`_fused_edges` yields all per-table
-        tier counts and cache hits at once — two global passes instead
-        of several scans per feature.
+        one flat reused buffer, then classified by
+        :meth:`_classify_fused` — one linear pass over the whole
+        buffer per tier boundary (and per active fast-lane cutoff)
+        instead of several numpy calls per feature or a binary search
+        per lookup.
         """
         num_tables = len(self.plan)
         if batch.num_features != num_tables:
@@ -222,7 +274,7 @@ class ShardedExecutor:
         total = batch.total_lookups
         if total == 0:
             zeros = np.zeros((num_tables, num_tiers), dtype=np.int64)
-            return self._reduce_counts(zeros, np.zeros(num_tables, dtype=np.int64))
+            return self._reduce_counts(zeros, zeros)
         dtype = self.ranker.fused_dtype
         if self._flat_rank_scratch.dtype != dtype or self._flat_rank_scratch.size < total:
             self._flat_rank_scratch = np.empty(total, dtype=dtype)
@@ -240,28 +292,23 @@ class ShardedExecutor:
                 pos += values.size
         tables = np.asarray(tables, dtype=np.int64)
         starts = np.asarray(starts, dtype=np.int64)
-        if num_tiers == 2 and self.cache is None:
-            return self._classify_two_tier(flat, tables, starts)
-        segments = np.searchsorted(self._fused_edges(), flat, side="right")
-        seg_counts = np.bincount(
-            segments, minlength=num_tables * (num_tiers + 1)
-        ).reshape(num_tables, num_tiers + 1)
-        counts = np.empty((num_tables, num_tiers), dtype=np.int64)
-        # Segment 0 (cache hits) lives inside the HBM tier block.
-        counts[:, 0] = seg_counts[:, 0] + seg_counts[:, 1]
-        counts[:, 1:] = seg_counts[:, 2:]
-        return self._reduce_counts(counts, seg_counts[:, 0])
+        return self._classify_fused(flat, tables, starts)
 
-    def _classify_two_tier(
+    def _classify_fused(
         self, flat: np.ndarray, tables: np.ndarray, starts: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cache-less two-tier classification of the flat rank buffer.
+        """Multi-boundary linear classification of the flat rank buffer.
 
-        The dominant serving topology needs only one boundary per
-        table (the HBM cut), so the general segment search reduces to:
-        expand each lookup's boundary with ``repeat``, one comparison,
-        and one segmented reduction — three linear passes instead of a
-        binary search per lookup.
+        Tier membership needs one prefix count per tier boundary:
+        expand each lookup's boundary with ``repeat``, one comparison
+        into the reused mask, one segmented reduction — three linear
+        passes per boundary, regardless of table count.  Fast-lane
+        cutoffs (cache, staging) add the same three passes only for
+        the tiers that actually stage rows (:attr:`_hit_tiers`).  For
+        the dominant hierarchies (two to five tiers) this beats a
+        per-lookup binary search over the per-table edge grid; it is
+        the direct generalization of the original two-tier HBM-cut
+        lane.
 
         Args:
             flat: base-shifted ranks, grouped by feature.
@@ -269,22 +316,32 @@ class ShardedExecutor:
             starts: group start offsets into ``flat``.
         """
         num_tables = len(self.plan)
-        if self._hbm_edge is None:
-            self._hbm_edge = (
-                self.ranker.rank_base[:-1] + self._tier_bounds[:, 0]
-            ).astype(self.ranker.fused_dtype)
+        num_tiers = self.topology.num_tiers
         total = flat.size
         sizes = np.diff(np.append(starts, total))
-        bounds = np.repeat(self._hbm_edge[tables], sizes)
+        counts = np.zeros((num_tables, num_tiers), dtype=np.int64)
+        hits = np.zeros((num_tables, num_tiers), dtype=np.int64)
         if self._mask_scratch.size < total:
             self._mask_scratch = np.empty(total, dtype=bool)
         mask = self._mask_scratch[:total]
-        np.less(flat, bounds, out=mask)
-        in_hbm = np.add.reduceat(mask.view(np.int8), starts, dtype=np.int64)
-        counts = np.zeros((num_tables, 2), dtype=np.int64)
-        counts[tables, 0] = in_hbm
-        counts[tables, 1] = sizes - in_hbm
-        return self._reduce_counts(counts, np.zeros(num_tables, dtype=np.int64))
+        bound_edges, cutoff_edges = self._fused_lane_edges()
+
+        def prefix_below(edges_column):
+            """Per-feature count of ranks below each feature's edge."""
+            np.less(flat, np.repeat(edges_column[tables], sizes), out=mask)
+            return np.add.reduceat(mask.view(np.int8), starts, dtype=np.int64)
+
+        prev = np.zeros(tables.size, dtype=np.int64)
+        for t in range(num_tiers):
+            if t in self._hit_tiers:
+                hits[tables, t] = prefix_below(cutoff_edges[:, t]) - prev
+            if t < num_tiers - 1:
+                below = prefix_below(bound_edges[:, t])
+                counts[tables, t] = below - prev
+                prev = below
+            else:
+                counts[tables, t] = sizes - prev
+        return self._reduce_counts(counts, hits)
 
     def run_ranked(
         self, ranked: RankedBatch
@@ -304,16 +361,18 @@ class ShardedExecutor:
                 f"batch has {ranked.num_features} features, plan has "
                 f"{num_tables} tables"
             )
-        counts = np.zeros((num_tables, self.topology.num_tiers), dtype=np.int64)
-        hits = np.zeros(num_tables, dtype=np.int64)
+        num_tiers = self.topology.num_tiers
+        counts = np.zeros((num_tables, num_tiers), dtype=np.int64)
+        hits = np.zeros((num_tables, num_tiers), dtype=np.int64)
         max_lookups = max((f.ranks.size for f in ranked), default=0)
         if self._mask_scratch.size < max_lookups:
             self._mask_scratch = np.empty(max_lookups, dtype=bool)
         for j, feature in enumerate(ranked):
             ranks = feature.ranks
             if ranks.size:
-                hits[j] = self._scan_feature(
-                    j, ranks, self._mask_scratch[: ranks.size], counts[j]
+                self._scan_feature(
+                    j, ranks, self._mask_scratch[: ranks.size],
+                    counts[j], hits[j],
                 )
         return self._reduce_counts(counts, hits)
 
@@ -323,29 +382,35 @@ class ShardedExecutor:
         ranks: np.ndarray,
         mask: np.ndarray,
         counts_row: np.ndarray,
-    ) -> int:
-        """Tier counts (written into ``counts_row``) and cache hits for
-        one feature's rank array.
+        hits_row: np.ndarray,
+    ) -> None:
+        """Per-tier counts and fast-lane hits for one feature's ranks.
 
         ``mask`` is a caller-provided bool buffer of ``ranks.size`` that
         the threshold scans reuse.  Prefix counts at each cumulative tier
         boundary; differences give the per-tier counts without ever
-        materializing tier ids.
+        materializing tier ids.  A tier's fast-lane cutoff (cache for
+        tier 0, staging for cold tiers) adds one scan only when it sits
+        strictly above the tier's lower boundary.
         """
         bounds = self._bounds_list[table_index]
+        cutoffs = self._cutoff_list[table_index]
+        scan_hits = self.cache is not None or self.staging is not None
+        last = len(bounds) - 1
         prev = 0
-        for t in range(len(bounds) - 1):
-            np.less(ranks, bounds[t], out=mask)
-            below = int(np.count_nonzero(mask))
-            counts_row[t] = below - prev
-            prev = below
-        counts_row[len(bounds) - 1] = ranks.size - prev
-        if self.cache is not None:
-            cutoff = self._cache_cutoff[table_index]
-            if cutoff > 0:
-                np.less(ranks, cutoff, out=mask)
-                return int(np.count_nonzero(mask))
-        return 0
+        for t in range(len(bounds)):
+            if scan_hits:
+                cutoff = cutoffs[t]
+                if cutoff > (bounds[t - 1] if t else 0):
+                    np.less(ranks, cutoff, out=mask)
+                    hits_row[t] = int(np.count_nonzero(mask)) - prev
+            if t < last:
+                np.less(ranks, bounds[t], out=mask)
+                below = int(np.count_nonzero(mask))
+                counts_row[t] = below - prev
+                prev = below
+            else:
+                counts_row[t] = ranks.size - prev
 
     def _reduce_counts(
         self, counts: np.ndarray, hits: np.ndarray
@@ -354,7 +419,11 @@ class ShardedExecutor:
 
         The pooling is a ``bincount`` over the plan's table → device
         assignment, once for accesses and once for byte traffic; device
-        times follow from the additive bandwidth model.
+        times follow from the additive bandwidth model.  ``hits`` are
+        each tier's fast-lane counts: tier 0's move from the HBM lane
+        to the cache lane, a cold tier's from its own lane to the
+        next-faster tier's.  Shared by the scalar and vectorized paths,
+        so identical classifications produce bit-identical times.
         """
         num_devices = self.topology.num_devices
         num_tiers = self.topology.num_tiers
@@ -368,49 +437,61 @@ class ShardedExecutor:
                 minlength=num_devices,
             )
         times = (traffic * self._inv_bw[:, None]).sum(axis=0)
-        cache_hits = np.zeros(num_devices, dtype=np.int64)
-        if self.cache is not None:
-            hit_bytes = np.bincount(
-                self.device_of, weights=hits * self.row_bytes,
-                minlength=num_devices,
-            )
-            np.add.at(cache_hits, self.device_of, hits)
-            # Hit bytes move from the HBM lane to the cache lane.
-            times -= hit_bytes * self._inv_bw[0]
-            times += hit_bytes / self.cache.bandwidth
-        return times * 1e3, accesses, cache_hits
+        tier_hits = np.zeros((num_tiers, num_devices), dtype=np.int64)
+        if self.cache is not None or self.staging is not None:
+            for t in range(num_tiers):
+                if not hits[:, t].any():
+                    continue
+                np.add.at(tier_hits[t], self.device_of, hits[:, t])
+                hit_bytes = np.bincount(
+                    self.device_of, weights=hits[:, t] * self.row_bytes,
+                    minlength=num_devices,
+                )
+                fast_inv_bw = (
+                    1.0 / self.cache.bandwidth if t == 0
+                    else self._inv_bw[t - 1]
+                )
+                # Hit bytes move from the tier's lane to the fast lane.
+                times -= hit_bytes * self._inv_bw[t]
+                times += hit_bytes * fast_inv_bw
+        return times * 1e3, accesses, tier_hits
 
     def _run_batch_scalar(
         self, batch: JaggedBatch
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Reference path: resolve every lookup through the remap tables."""
-        num_devices = self.topology.num_devices
+        """Reference path: resolve every lookup through the remap tables.
+
+        Classification is per lookup — tier membership and within-tier
+        offsets come straight from the remapping tables of Section 4.3
+        rather than from rank thresholds — but the classified counts
+        feed the same :meth:`_reduce_counts` as the vectorized paths,
+        so agreement on classification means bit-identical metrics.
+        """
+        num_tables = len(self.plan)
         num_tiers = self.topology.num_tiers
-        accesses = np.zeros((num_tiers, num_devices), dtype=np.int64)
-        traffic = np.zeros((num_tiers, num_devices), dtype=np.float64)
-        cache_hits = np.zeros(num_devices, dtype=np.int64)
-        cache_traffic = np.zeros(num_devices, dtype=np.float64)
+        counts = np.zeros((num_tables, num_tiers), dtype=np.int64)
+        hits = np.zeros((num_tables, num_tiers), dtype=np.int64)
+        scan_hits = self.cache is not None or self.staging is not None
         for j, feature in enumerate(batch):
             if feature.values.size == 0:
                 continue
-            device = self.device_of[j]
-            threshold = self._cache_threshold[j]
-            if self.cache is not None and threshold > 0:
+            if scan_hits:
                 tiers, offsets = self.remap_tables[j].apply(feature.values)
-                counts = np.bincount(tiers, minlength=num_tiers)
-                hits = int(np.count_nonzero((tiers == 0) & (offsets < threshold)))
-                cache_hits[device] += hits
-                # Hit bytes move from the HBM lane to the cache lane.
-                traffic[0, device] -= hits * self.row_bytes[j]
-                cache_traffic[device] += hits * self.row_bytes[j]
+                counts[j] = np.bincount(tiers, minlength=num_tiers)
+                threshold = self._cache_threshold[j]
+                if self.cache is not None and threshold > 0:
+                    hits[j, 0] = np.count_nonzero(
+                        (tiers == 0) & (offsets < threshold)
+                    )
+                for t in range(1, num_tiers):
+                    staged = self._stage_rows[j, t]
+                    if staged > 0:
+                        hits[j, t] = np.count_nonzero(
+                            (tiers == t) & (offsets < staged)
+                        )
             else:
-                counts = self.remap_tables[j].tier_counts(feature.values)
-            accesses[:, device] += counts
-            traffic[:, device] += counts * self.row_bytes[j]
-        times = (traffic * self._inv_bw[:, None]).sum(axis=0)
-        if self.cache is not None:
-            times += cache_traffic / self.cache.bandwidth
-        return times * 1e3, accesses, cache_hits
+                counts[j] = self.remap_tables[j].tier_counts(feature.values)
+        return self._reduce_counts(counts, hits)
 
     def run(self, batches) -> RunMetrics:
         """Execute a sequence of batches and collect metrics.
@@ -422,7 +503,8 @@ class ShardedExecutor:
         """
         rows = [self.run_batch(batch) for batch in batches]
         return _collect_metrics(
-            self.plan.strategy, self.topology, rows, self.cache is not None
+            self.plan.strategy, self.topology, rows,
+            self.cache is not None, self.staging is not None,
         )
 
     def expected_device_costs_ms(self, batch_size: int) -> np.ndarray:
@@ -432,8 +514,8 @@ class ShardedExecutor:
         ``coverage * avg_pooling * batch_size``; the profiled CDF gives
         the fraction of them served by each tier's row block.  Useful to
         cross-check measured times against the optimized cost model.
-        The cache model is intentionally excluded: this reproduces
-        exactly what the MILP sees.
+        The cache and staging models are intentionally excluded: this
+        reproduces exactly what the MILP sees.
         """
         costs = np.zeros(self.topology.num_devices)
         for j, placement in enumerate(self.plan):
@@ -460,6 +542,7 @@ def _collect_metrics(
     topology: SystemTopology,
     rows: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     with_cache: bool,
+    with_staging: bool = False,
 ) -> RunMetrics:
     """Stack per-iteration (times, accesses, hits) rows into RunMetrics."""
     times_arr = np.array([r[0] for r in rows])
@@ -467,11 +550,15 @@ def _collect_metrics(
     tier_accesses = {
         tier.name: stacked[:, t, :] for t, tier in enumerate(topology.tiers)
     }
+    hits = None
+    if rows and (with_cache or with_staging):
+        hits = np.array([r[2] for r in rows])  # (iters, tiers, devices)
     return RunMetrics(
         strategy=strategy,
         times_ms=times_arr,
         tier_accesses=tier_accesses,
-        cache_hits=np.array([r[2] for r in rows]) if with_cache else None,
+        cache_hits=hits[:, 0, :] if with_cache and hits is not None else None,
+        staged_hits=hits if with_staging and hits is not None else None,
     )
 
 
@@ -525,7 +612,7 @@ def replay_trace(
                 f"{num_tables} tables"
             )
         counts = np.zeros((num_plans, num_tables, num_tiers), dtype=np.int64)
-        hits = np.zeros((num_plans, num_tables), dtype=np.int64)
+        hits = np.zeros((num_plans, num_tables, num_tiers), dtype=np.int64)
         for j, feature in enumerate(batch):
             if pre_ranked:
                 ranks = feature.ranks
@@ -544,12 +631,13 @@ def replay_trace(
             if mask.size < n:
                 mask = np.empty(n, dtype=bool)
             for s, ex in enumerate(executors):
-                hits[s, j] = ex._scan_feature(j, ranks, mask[:n], counts[s, j])
+                ex._scan_feature(j, ranks, mask[:n], counts[s, j], hits[s, j])
         for s, ex in enumerate(executors):
             rows[s].append(ex._reduce_counts(counts[s], hits[s]))
     return [
         _collect_metrics(
-            ex.plan.strategy, ex.topology, rows[s], ex.cache is not None
+            ex.plan.strategy, ex.topology, rows[s],
+            ex.cache is not None, ex.staging is not None,
         )
         for s, ex in enumerate(executors)
     ]

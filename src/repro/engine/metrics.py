@@ -37,12 +37,17 @@ class RunMetrics:
         cache_hits: (iterations, devices) accesses served from the cache
             model, when one was enabled (hits are a subset of the HBM
             tier's counts, never additional traffic).
+        staged_hits: (iterations, tiers, devices) accesses served from a
+            fast lane when a staging model was enabled — slice ``t >= 1``
+            counts tier-``t`` rows served at tier ``t - 1`` bandwidth
+            (a subset of the tier's counts, never additional traffic).
     """
 
     strategy: str
     times_ms: np.ndarray
     tier_accesses: dict[str, np.ndarray] = field(default_factory=dict)
     cache_hits: np.ndarray | None = None
+    staged_hits: np.ndarray | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -90,6 +95,17 @@ class RunMetrics:
         if total == 0:
             return 0.0
         return float(self.cache_hits.sum() / total)
+
+    def staged_fraction(self, tier: str) -> float:
+        """Fraction of ``tier``'s accesses served from the staging lane
+        (0 without a staging model)."""
+        if self.staged_hits is None:
+            return 0.0
+        tier_index = list(self.tier_accesses).index(tier)
+        total = self.tier_accesses[tier].sum()
+        if total == 0:
+            return 0.0
+        return float(self.staged_hits[:, tier_index, :].sum() / total)
 
     def table5_row(self) -> dict[str, float]:
         """Per-tier average accesses per GPU-iteration (a Table 5 row)."""

@@ -8,13 +8,26 @@ effective bandwidth per device.
 
 from repro.memory.tier import MemoryTier
 from repro.memory.topology import SystemTopology
-from repro.memory.presets import paper_node, paper_scales, three_tier_node, GIB
+from repro.memory.presets import (
+    GIB,
+    TIER_LADDER,
+    TIER_PRESETS,
+    node_from_tier_names,
+    paper_node,
+    paper_scales,
+    three_tier_node,
+    tier_ladder_node,
+)
 
 __all__ = [
     "GIB",
     "MemoryTier",
     "SystemTopology",
+    "TIER_LADDER",
+    "TIER_PRESETS",
+    "node_from_tier_names",
     "paper_node",
     "paper_scales",
     "three_tier_node",
+    "tier_ladder_node",
 ]

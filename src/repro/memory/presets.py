@@ -29,6 +29,22 @@ PAPER_HOST_DRAM_BYTES = 128 * GIB
 HBM_GATHER_BANDWIDTH = 256e9
 UVM_GATHER_BANDWIDTH = 12.8e9
 SSD_GATHER_BANDWIDTH = 1.6e9
+HDD_GATHER_BANDWIDTH = 0.2e9
+
+#: Named tier presets: unscaled per-GPU capacity and effective gather
+#: bandwidth.  "dram" is the host-DRAM tier under its serving-side name
+#: ("uvm" is the same memory reached through UVM during training).
+TIER_PRESETS = {
+    "hbm": (PAPER_HBM_RESERVED_BYTES, HBM_GATHER_BANDWIDTH),
+    "uvm": (PAPER_HOST_DRAM_BYTES, UVM_GATHER_BANDWIDTH),
+    "dram": (PAPER_HOST_DRAM_BYTES, UVM_GATHER_BANDWIDTH),
+    "ssd": (1024 * GIB, SSD_GATHER_BANDWIDTH),
+    "hdd": (8192 * GIB, HDD_GATHER_BANDWIDTH),
+}
+
+#: Canonical fastest-first tier ladder for tier-count sweeps: a
+#: ``T``-tier topology is the first ``T`` rungs.
+TIER_LADDER = ("hbm", "uvm", "ssd", "hdd")
 
 
 def paper_scales(num_features: int, num_gpus: int) -> tuple[float, float]:
@@ -65,6 +81,62 @@ def paper_node(
         hbm_bandwidth=hbm_bandwidth,
         uvm_capacity=int(PAPER_HOST_DRAM_BYTES * scale),
         uvm_bandwidth=uvm_bandwidth,
+    )
+
+
+def node_from_tier_names(
+    specs,
+    num_gpus: int = 16,
+    scale: float = DEFAULT_ROW_SCALE,
+) -> SystemTopology:
+    """Build a topology from tier names, fastest first.
+
+    Each spec is a preset name from :data:`TIER_PRESETS` or
+    ``name:GiB`` overriding the preset's per-GPU capacity (e.g.
+    ``"dram:8"`` — an 8 GiB host-DRAM slice, the knob that creates
+    genuine multi-tier pressure in shrunken worlds).  Capacities scale
+    by ``scale`` like every other preset constructor; this is what
+    ``repro serve --tiers hbm,dram,ssd`` builds.
+
+    Args:
+        specs: iterable of tier specs, or one comma-separated string.
+        num_gpus: device count.
+        scale: capacity scale (must match the model's ``row_scale``).
+    """
+    if isinstance(specs, str):
+        specs = [s.strip() for s in specs.split(",") if s.strip()]
+    if not specs:
+        raise ValueError("need at least one tier name")
+    tiers = []
+    for spec in specs:
+        name, _, cap = spec.partition(":")
+        if name not in TIER_PRESETS:
+            raise ValueError(
+                f"unknown tier {name!r} (have {sorted(TIER_PRESETS)})"
+            )
+        capacity_bytes, bandwidth = TIER_PRESETS[name]
+        if cap:
+            capacity_bytes = int(float(cap) * GIB)
+        tiers.append(
+            MemoryTier(name, int(capacity_bytes * scale), bandwidth)
+        )
+    return SystemTopology(num_devices=num_gpus, tiers=tuple(tiers))
+
+
+def tier_ladder_node(
+    num_tiers: int,
+    num_gpus: int = 16,
+    scale: float = DEFAULT_ROW_SCALE,
+) -> SystemTopology:
+    """The first ``num_tiers`` rungs of :data:`TIER_LADDER` as a node —
+    the grid points of a tier-count sweep (Section 4.4's capacity
+    scaling study)."""
+    if not 1 <= num_tiers <= len(TIER_LADDER):
+        raise ValueError(
+            f"num_tiers must be in [1, {len(TIER_LADDER)}], got {num_tiers}"
+        )
+    return node_from_tier_names(
+        TIER_LADDER[:num_tiers], num_gpus=num_gpus, scale=scale
     )
 
 

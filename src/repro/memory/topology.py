@@ -28,6 +28,11 @@ class SystemTopology:
         bandwidths = [t.bandwidth for t in self.tiers]
         if any(b1 < b2 for b1, b2 in zip(bandwidths, bandwidths[1:])):
             raise ValueError("tiers must be ordered fastest (highest bandwidth) first")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            # Metrics, reports, and tier lookups key tiers by name; a
+            # duplicate would silently collapse two tiers' accounting.
+            raise ValueError(f"tier names must be unique, got {names}")
 
     @property
     def num_tiers(self) -> int:

@@ -12,6 +12,13 @@ request in a microbatch starts and finishes with its batch), so
 recording costs O(1) Python objects per *batch* rather than per
 request.  Per-request views (:meth:`latencies_ms`,
 :meth:`queue_waits_ms`) are expanded on demand with ``np.repeat``.
+
+Per-tier access accounting (Table 5, online): each recorded batch may
+carry the engine's ``(tiers, devices)`` access matrix; the metrics keep
+the per-batch chunks plus a running total, so a serving run reports
+where its lookups were physically served — the same per-tier counts the
+offline Table 5 replay produces for the same trace content, regardless
+of how admission sliced the stream into microbatches.
 """
 
 from __future__ import annotations
@@ -36,8 +43,9 @@ class ServingMetrics:
     determinism/parity comparisons.
     """
 
-    def __init__(self, num_devices: int):
+    def __init__(self, num_devices: int, tier_names=None):
         self.num_devices = int(num_devices)
+        self.tier_names: tuple[str, ...] = tuple(tier_names or ())
         self._arrival_chunks: list[np.ndarray] = []
         self._batch_start: list[float] = []
         self._batch_finish: list[float] = []
@@ -46,6 +54,10 @@ class ServingMetrics:
         self.replan_ms: list[float] = []
         self.replan_build_ms: list[float] = []
         self.device_busy_ms = np.zeros(self.num_devices, dtype=np.float64)
+        # Per-batch (tiers, devices) access chunks plus a running total;
+        # populated only when record_batch receives tier matrices.
+        self._tier_access_chunks: list[np.ndarray] = []
+        self._tier_access_total: np.ndarray | None = None
         self._num_requests = 0
 
     # ------------------------------------------------------------------
@@ -58,6 +70,7 @@ class ServingMetrics:
         finish_ms: float,
         device_times_ms: np.ndarray,
         total_lookups: int,
+        tier_accesses: np.ndarray | None = None,
     ) -> None:
         """Record one executed microbatch.
 
@@ -70,6 +83,9 @@ class ServingMetrics:
                 so the slowest device bounds the batch).
             device_times_ms: per-device execution time of this batch.
             total_lookups: embedding rows touched by the batch.
+            tier_accesses: optional ``(tiers, devices)`` access-count
+                matrix of this batch (copied; accumulated into the
+                per-tier serving totals).
         """
         arrivals = np.array(arrivals_ms, dtype=np.float64)
         self._arrival_chunks.append(arrivals)
@@ -78,6 +94,13 @@ class ServingMetrics:
         self.batch_sizes.append(arrivals.size)
         self.batch_lookups.append(int(total_lookups))
         self.device_busy_ms += np.asarray(device_times_ms, dtype=np.float64)
+        if tier_accesses is not None:
+            chunk = np.array(tier_accesses, dtype=np.int64)
+            self._tier_access_chunks.append(chunk)
+            if self._tier_access_total is None:
+                self._tier_access_total = chunk.copy()
+            else:
+                self._tier_access_total += chunk
         self._num_requests += arrivals.size
 
     def record_replan(self, now_ms: float, build_wall_ms: float = 0.0) -> None:
@@ -112,6 +135,35 @@ class ServingMetrics:
         if not self.batch_sizes:
             return _EMPTY
         return np.repeat(self._batch_finish, self.batch_sizes)
+
+    @property
+    def tier_access_chunks(self) -> list[np.ndarray]:
+        """Per-batch ``(tiers, devices)`` access matrices, recording order."""
+        return self._tier_access_chunks
+
+    @property
+    def tier_access_totals(self) -> np.ndarray:
+        """Accesses served per (tier, device) over the whole run.
+
+        Shape ``(num_tiers, num_devices)``; all zeros (with zero tiers)
+        when no batch carried tier matrices.
+        """
+        if self._tier_access_total is None:
+            return np.zeros((len(self.tier_names), self.num_devices), dtype=np.int64)
+        return self._tier_access_total
+
+    def tier_access_fraction(self, tier) -> float:
+        """Fraction of all served accesses landing on ``tier``.
+
+        ``tier`` is a tier name (when the metrics were built with
+        ``tier_names``) or a tier index.
+        """
+        totals = self.tier_access_totals
+        total = totals.sum()
+        if total == 0:
+            return 0.0
+        index = self.tier_names.index(tier) if isinstance(tier, str) else tier
+        return float(totals[index].sum() / total)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -221,6 +273,14 @@ class ServingMetrics:
             "mean_device_utilization": float(utilization.mean()) if utilization.size else 0.0,
             "replans": self.num_replans,
         }
+        if self._tier_access_total is not None:
+            names = self.tier_names or tuple(
+                f"tier{t}" for t in range(self._tier_access_total.shape[0])
+            )
+            out["tier_accesses"] = {
+                name: int(self._tier_access_total[t].sum())
+                for t, name in enumerate(names)
+            }
         if not deterministic_only:
             out["replan_build_total_ms"] = self.replan_build_total_ms
         return out
@@ -239,6 +299,13 @@ class ServingMetrics:
             f"device load:       mean {s['mean_device_utilization']:.1%}, "
             f"max {s['max_device_utilization']:.1%}",
         ]
+        if "tier_accesses" in s:
+            total = sum(s["tier_accesses"].values())
+            shares = ", ".join(
+                f"{name} {count / total:.2%}" if total else f"{name} 0"
+                for name, count in s["tier_accesses"].items()
+            )
+            lines.append(f"tier accesses:     {shares}")
         if self.num_replans:
             at = ", ".join(f"{t:.0f}" for t in self.replan_ms)
             lines.append(f"drift replans:     {self.num_replans} (at ms: {at})")

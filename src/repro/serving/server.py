@@ -52,7 +52,7 @@ from repro.data.batch import JaggedBatch
 from repro.data.drift import DriftModel
 from repro.data.model import ModelSpec
 from repro.data.synthetic import SamplerBank
-from repro.engine.cache import CacheModel
+from repro.engine.cache import CacheModel, TierStagingModel
 from repro.engine.executor import ShardedExecutor
 from repro.engine.ranked import RankRemapper
 from repro.memory.topology import SystemTopology
@@ -202,9 +202,18 @@ class LookupServer:
         topology: simulated device/tier hierarchy.
         plan: a fixed sharding plan (mutually exclusive with sharder).
         sharder: strategy object with ``shard(model, profile, topology)``
-            — enables drift-triggered replanning.
+            — enables drift-triggered replanning.  Works for any tier
+            count (:class:`~repro.core.multitier.MultiTierSharder` for
+            hierarchies beyond HBM+UVM).
         config: serving tunables.
         cache: optional device cache model passed to the executor.
+        staging: optional :class:`~repro.engine.cache.TierStagingModel`
+            — each cold tier's statically-hottest resident rows are
+            served at the next-faster tier's bandwidth; the staging set
+            is recomputed from the observed profile on every replan.
+        vectorized: executor mode; ``False`` serves on the per-lookup
+            scalar reference engine (the multi-tier serving bench's
+            baseline).
     """
 
     def __init__(
@@ -216,6 +225,8 @@ class LookupServer:
         sharder=None,
         config: ServingConfig | None = None,
         cache: CacheModel | None = None,
+        staging: TierStagingModel | None = None,
+        vectorized: bool = True,
     ):
         if (plan is None) == (sharder is None):
             raise ValueError("provide exactly one of plan= or sharder=")
@@ -223,6 +234,8 @@ class LookupServer:
         self.topology = topology
         self.config = config or ServingConfig()
         self.cache = cache
+        self.staging = staging
+        self.vectorized = bool(vectorized)
         self.sharder = sharder
         sharder_params = (
             inspect.signature(sharder.shard).parameters
@@ -242,7 +255,9 @@ class LookupServer:
             max_batch_size=self.config.max_batch_size,
             max_delay_ms=self.config.max_delay_ms,
         )
-        self.metrics = ServingMetrics(num_devices=topology.num_devices)
+        self.metrics = ServingMetrics(
+            num_devices=topology.num_devices, tier_names=topology.tier_names
+        )
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
         self._num_installs = 0
@@ -279,7 +294,8 @@ class LookupServer:
         ranker = RankRemapper(profile)
         self.executor = ShardedExecutor(
             self.model, plan, profile, self.topology,
-            cache=self.cache, ranker=ranker,
+            cache=self.cache, staging=self.staging,
+            vectorized=self.vectorized, ranker=ranker,
         )
         # Drift tracking only exists where a replan is possible: a
         # fixed-plan server skips the per-batch profiling entirely.
@@ -481,6 +497,7 @@ class LookupServer:
             # Every lookup lands in exactly one (tier, device) cell, so
             # the access matrix already totals the batch's lookups.
             total_lookups=int(accesses.sum()),
+            tier_accesses=accesses,
         )
         if self.sharder is None:
             return

@@ -42,6 +42,7 @@ def world():
 
 
 class TestFullPipeline:
+    @pytest.mark.slow
     def test_profile_shard_remap_execute(self, world):
         model, topology = world
         # Phase 1: profile a sampled trace (Section 4.1).

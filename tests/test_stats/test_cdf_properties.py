@@ -1,0 +1,174 @@
+"""Property-style randomized tests for the vectorized CDF queries.
+
+``FrequencyCDF.fractional_rows_for_coverage_many`` and
+``coverage_of_rows_many`` are the planner workspace's foundation: every
+ICDF grid and coverage prefix the vectorized sharders consume comes
+from them.  These tests draw randomized count vectors (heavy tails,
+ties, dead rows, degenerate shapes) and check, for each:
+
+* element-for-element agreement with the scalar methods;
+* monotonicity in the query argument (a CDF/ICDF structural property);
+* the inverse round-trip: covering the fraction the hottest ``k`` rows
+  cover needs at most ``k`` rows, and the (ceil'd) rows returned for a
+  fraction really cover it;
+* the 0/1 coverage edges (0 rows ↔ 0 coverage, ``live_rows`` ↔ full
+  coverage).
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats.cdf import FrequencyCDF
+
+
+def random_counts(rng: np.random.Generator) -> np.ndarray:
+    """A randomized per-row count vector with adversarial structure."""
+    size = int(rng.integers(1, 400))
+    style = rng.integers(4)
+    if style == 0:
+        # Zipf-ish heavy tail (the realistic case).
+        counts = rng.zipf(float(rng.uniform(1.2, 2.5)), size=size).astype(
+            np.float64
+        )
+    elif style == 1:
+        # Heavy ties: few distinct values.
+        counts = rng.choice([0.0, 1.0, 2.0, 5.0], size=size)
+    elif style == 2:
+        # Uniform floats, some exact zeros (dead rows).
+        counts = rng.uniform(0.0, 3.0, size=size)
+        counts[rng.uniform(size=size) < 0.3] = 0.0
+    else:
+        # One hot row dominating everything.
+        counts = np.zeros(size)
+        counts[rng.integers(size)] = float(rng.uniform(1.0, 100.0))
+    return counts
+
+
+SEEDS = list(range(25))
+
+
+@pytest.fixture(params=SEEDS)
+def cdf(request):
+    rng = np.random.default_rng(request.param)
+    return FrequencyCDF(random_counts(rng)), rng
+
+
+class TestFractionalRowsMany:
+    def test_matches_scalar_pointwise(self, cdf):
+        cdf, rng = cdf
+        fractions = np.sort(
+            np.concatenate(
+                [
+                    rng.uniform(0.0, 1.0, size=64),
+                    [0.0, 1.0],
+                    # Exact grid values of the CDF itself: the
+                    # searchsorted tie cases.
+                    cdf.cum_fraction[
+                        rng.integers(0, cdf.hash_size, size=8)
+                    ],
+                ]
+            )
+        )
+        many = cdf.fractional_rows_for_coverage_many(fractions)
+        scalar = np.array(
+            [cdf.fractional_rows_for_coverage(float(f)) for f in fractions]
+        )
+        np.testing.assert_array_equal(many, scalar)
+
+    def test_monotone_in_fraction(self, cdf):
+        cdf, rng = cdf
+        fractions = np.sort(rng.uniform(0.0, 1.0, size=128))
+        rows = cdf.fractional_rows_for_coverage_many(fractions)
+        assert np.all(np.diff(rows) >= 0)
+
+    def test_edges(self, cdf):
+        cdf, _ = cdf
+        rows = cdf.fractional_rows_for_coverage_many(np.array([0.0, 1.0]))
+        assert rows[0] == 0.0
+        if cdf.total > 0:
+            assert rows[1] == pytest.approx(cdf.live_rows)
+        else:
+            assert rows[1] == 0.0
+
+    def test_rejects_out_of_range(self, cdf):
+        cdf, _ = cdf
+        with pytest.raises(ValueError):
+            cdf.fractional_rows_for_coverage_many(np.array([-0.1]))
+        with pytest.raises(ValueError):
+            cdf.fractional_rows_for_coverage_many(np.array([1.0 + 1e-9]))
+
+
+class TestCoverageOfRowsMany:
+    def test_matches_scalar_pointwise(self, cdf):
+        cdf, rng = cdf
+        rows = np.concatenate(
+            [
+                rng.integers(-3, cdf.hash_size + 3, size=64),
+                [0, 1, cdf.live_rows, cdf.hash_size, cdf.hash_size + 1],
+            ]
+        )
+        many = cdf.coverage_of_rows_many(rows)
+        scalar = np.array([cdf.coverage_of_rows(int(r)) for r in rows])
+        np.testing.assert_array_equal(many, scalar)
+
+    def test_monotone_in_rows(self, cdf):
+        cdf, _ = cdf
+        rows = np.arange(0, cdf.hash_size + 1)
+        cov = cdf.coverage_of_rows_many(rows)
+        assert np.all(np.diff(cov) >= 0)
+        assert np.all((cov >= 0.0) & (cov <= 1.0))
+
+    def test_preserves_query_shape(self, cdf):
+        cdf, rng = cdf
+        rows = rng.integers(0, cdf.hash_size + 1, size=(3, 5))
+        assert cdf.coverage_of_rows_many(rows).shape == (3, 5)
+
+
+class TestInverseRoundTrip:
+    def test_rows_of_coverage_of_rows(self, cdf):
+        """The hottest ``k`` rows' coverage needs at most ``k`` rows."""
+        cdf, rng = cdf
+        ks = np.unique(rng.integers(0, cdf.hash_size + 1, size=32))
+        cov = cdf.coverage_of_rows_many(ks)
+        back = cdf.fractional_rows_for_coverage_many(cov)
+        assert np.all(back <= ks + 1e-9)
+
+    def test_coverage_of_rows_for_coverage(self, cdf):
+        """Ceil'd rows for a fraction really cover that fraction."""
+        cdf, rng = cdf
+        fractions = rng.uniform(0.0, 1.0, size=32)
+        rows = np.ceil(
+            cdf.fractional_rows_for_coverage_many(fractions) - 1e-9
+        ).astype(np.int64)
+        cov = cdf.coverage_of_rows_many(rows)
+        if cdf.total > 0:
+            assert np.all(cov >= fractions - 1e-12)
+        else:
+            assert np.all(cov == 0.0)
+
+
+class TestDegenerateShapes:
+    def test_all_zero_counts(self):
+        cdf = FrequencyCDF(np.zeros(10))
+        fractions = np.linspace(0.0, 1.0, 7)
+        np.testing.assert_array_equal(
+            cdf.fractional_rows_for_coverage_many(fractions), np.zeros(7)
+        )
+        np.testing.assert_array_equal(
+            cdf.coverage_of_rows_many(np.arange(12)), np.zeros(12)
+        )
+
+    def test_single_row(self):
+        cdf = FrequencyCDF(np.array([3.0]))
+        rows = cdf.fractional_rows_for_coverage_many(
+            np.array([0.0, 0.25, 1.0])
+        )
+        scalar = [
+            cdf.fractional_rows_for_coverage(f) for f in (0.0, 0.25, 1.0)
+        ]
+        np.testing.assert_array_equal(rows, scalar)
+        assert cdf.coverage_of_rows_many(np.array([0, 1, 2])).tolist() == [
+            0.0,
+            1.0,
+            1.0,
+        ]
