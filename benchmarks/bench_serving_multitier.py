@@ -224,7 +224,7 @@ def test_multitier_serving_matches_offline_replay(world):
         (topology.num_tiers, topology.num_devices), dtype=np.int64
     )
     for arena in arenas:
-        _, accesses, _ = executor.run_batch(arena.batch)
+        _, accesses, _, _ = executor.run_batch(arena.batch)
         offline += accesses
     np.testing.assert_array_equal(metrics.tier_access_totals, offline)
     assert metrics.tier_access_totals.sum() == sum(metrics.batch_lookups)

@@ -38,7 +38,6 @@ from repro.serving import (
     LookupServer,
     ServingConfig,
     synthetic_request_arenas,
-    synthetic_request_stream,
 )
 
 REQUESTS = 2048

@@ -97,7 +97,7 @@ def test_table5_serving_counts_match_offline_replay(
             (topology.num_tiers, topology.num_devices), dtype=np.int64
         )
         for arena in arenas:
-            _, accesses, _ = executor.run_batch(arena.batch)
+            _, accesses, _, _ = executor.run_batch(arena.batch)
             offline += accesses
         np.testing.assert_array_equal(metrics.tier_access_totals, offline)
         assert metrics.tier_access_totals.sum() == sum(metrics.batch_lookups)

@@ -30,7 +30,6 @@ import pytest
 from repro import (
     RecShardFastSharder,
     RecShardSharder,
-    analytic_profile,
     compare_strategies,
     make_baseline,
     paper_node,

@@ -7,11 +7,14 @@ Examples::
     python -m repro plan --model rm2 --sweep hbm=0.5,1,2
     python -m repro plan --model rm2 --sweep gpus=8,16,32
     python -m repro plan --model rm3 --sweep tiers=2,3,4
+    python -m repro plan --model rm2 --replicate-gib 1
+    python -m repro plan --model rm2 --sweep replicate=0,0.5,1,2
     python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
     python -m repro replay --model rm2 --vectorized --iters 3
     python -m repro serve --model rm2 --qps 20000 --requests 4000
     python -m repro serve --model rm2 --reference --requests 4000
     python -m repro serve --model rm3 --tiers hbm,dram:8,ssd --staging-gib 2
+    python -m repro serve --model rm2 --replicate-gib 1
 """
 
 from __future__ import annotations
@@ -27,6 +30,8 @@ from repro.core import (
     PlannerWorkspace,
     RecShardFastSharder,
     RecShardSharder,
+    ReplicationPolicy,
+    plan_with_replication,
     shard_sweep,
 )
 from repro.data.drift import DriftModel
@@ -139,14 +144,14 @@ def _cmd_shard(args) -> int:
 
 
 def _parse_sweep(spec: str):
-    """Parse ``hbm=0.5,1,2`` / ``gpus=4,8,16`` / ``tiers=2,3`` grids."""
+    """Parse ``hbm=…`` / ``gpus=…`` / ``tiers=…`` / ``replicate=…`` grids."""
     kind, _, values = spec.partition("=")
-    if kind not in ("hbm", "gpus", "tiers") or not values:
+    if kind not in ("hbm", "gpus", "tiers", "replicate") or not values:
         raise ValueError(
-            f"--sweep expects hbm=<scales>, gpus=<counts>, or "
-            f"tiers=<counts>, got {spec!r}"
+            f"--sweep expects hbm=<scales>, gpus=<counts>, "
+            f"tiers=<counts>, or replicate=<GiB>, got {spec!r}"
         )
-    if kind == "hbm":
+    if kind in ("hbm", "replicate"):
         return kind, [float(v) for v in values.split(",")]
     return kind, [int(v) for v in values.split(",")]
 
@@ -162,11 +167,34 @@ def _cmd_plan(args) -> int:
         vectorized=args.plan_vectorized,
         name="RecShard",
     )
+    if args.replicate_gib < 0:
+        print("error: --replicate-gib must be >= 0", file=sys.stderr)
+        return 2
+    topo_scale = paper_scales(args.features, args.gpus)[0]
     if not args.sweep:
+        replicated = None
         start = time.perf_counter()
-        plan = sharder.shard(model, profile, topology)
+        if args.replicate_gib > 0:
+            # Budgets are specified at paper scale, like every other
+            # capacity knob, and shrunk with the topology.
+            policy = ReplicationPolicy(
+                capacity_bytes=int(args.replicate_gib * GIB * topo_scale)
+            )
+            try:
+                replicated = plan_with_replication(
+                    sharder, model, profile, topology, policy
+                )
+            except PlanError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            plan = replicated.plan
+        else:
+            plan = sharder.shard(model, profile, topology)
         build_ms = (time.perf_counter() - start) * 1e3
-        plan.validate(model, topology)
+        if replicated is not None:
+            replicated.validate(model, topology)
+        else:
+            plan.validate(model, topology)
         summary = plan.summary(model, topology)
         path = "vectorized" if args.plan_vectorized else "scalar reference"
         print(f"plan for {model.name} on {args.gpus} GPUs ({path} planner):")
@@ -174,6 +202,14 @@ def _cmd_plan(args) -> int:
         print(f"  estimated max GPU cost: "
               f"{plan.metadata['estimated_max_cost_ms']:.4f} ms")
         print(f"  tables per GPU: {summary['tables_per_device']}")
+        if replicated is not None:
+            rep = replicated.summary(model, topology)
+            print(f"  replicated rows: {rep['replicated_rows']} "
+                  f"(from {rep['replicated_tables']} tables, "
+                  f"budget {args.replicate_gib:g} GiB/GPU paper-scale)")
+            print(f"  replica bytes/GPU: "
+                  f"{rep['max_replica_bytes_per_device']} max of "
+                  f"{rep['budget_bytes_per_device']} budgeted")
         print(f"  plan build wall-clock: {build_ms:.1f} ms")
         return 0
     if not args.plan_vectorized:
@@ -192,11 +228,18 @@ def _cmd_plan(args) -> int:
                 workspace, sharder=sharder, budgets=values,
                 base_topology=topology,
             )
+        elif kind == "replicate":
+            # Hot-row replica budget grid: each point carves the budget
+            # out of HBM, shards the remainder, and spends the carved
+            # bytes on replicas of the globally hottest rows.
+            plans = shard_sweep(
+                workspace, sharder=sharder, replicate_gib=values,
+                base_topology=topology, replicate_scale=topo_scale,
+            )
         elif kind == "tiers":
             # Tier-count grid (Section 4.4): every point is a prefix of
             # the preset tier ladder, solved by the vectorized
             # multi-tier greedy over the same workspace.
-            topo_scale = paper_scales(args.features, args.gpus)[0]
             topologies = [
                 tier_ladder_node(t, num_gpus=args.gpus, scale=topo_scale)
                 for t in values
@@ -313,6 +356,9 @@ def _cmd_serve(args) -> int:
     if args.staging_gib < 0:
         print("error: --staging-gib must be >= 0", file=sys.stderr)
         return 2
+    if args.replicate_gib < 0:
+        print("error: --replicate-gib must be >= 0", file=sys.stderr)
+        return 2
     model, topology = _build_world(args)
     profile = analytic_profile(model)
     config = ServingConfig(
@@ -331,17 +377,22 @@ def _cmd_serve(args) -> int:
             batch_size=args.batch, steps=args.steps, method="greedy",
             name="RecShard-multitier",
         )
+    # Like every capacity knob, the staging and replica buffers are
+    # specified at paper scale and shrunk with the topology.
+    topo_scale = paper_scales(args.features, args.gpus)[0]
     staging = None
     if args.staging_gib > 0:
-        # Like every capacity knob, the staging buffer is specified at
-        # paper scale and shrunk with the topology.
-        topo_scale = paper_scales(args.features, args.gpus)[0]
         staging = TierStagingModel(
             capacity_bytes=int(args.staging_gib * GIB * topo_scale)
         )
+    replication = None
+    if args.replicate_gib > 0:
+        replication = ReplicationPolicy(
+            capacity_bytes=int(args.replicate_gib * GIB * topo_scale)
+        )
     server = LookupServer(
         model, profile, topology, sharder=sharder, config=config,
-        staging=staging,
+        staging=staging, replication=replication,
     )
     drift = None
     if args.drift_months > 0:
@@ -398,11 +449,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ICDF discretization steps (default: 100)")
     p_plan.add_argument("--reclaim-dead", action="store_true",
                         help="do not charge never-accessed rows to UVM")
+    p_plan.add_argument("--replicate-gib", type=float, default=0.0,
+                        help="per-GPU (paper-scale) GiB of HBM carved "
+                             "out for replicas of the globally hottest "
+                             "rows, served least-loaded from any GPU "
+                             "(default: off)")
     p_plan.add_argument("--sweep", default=None, metavar="GRID",
                         help="hbm=<scale,...> (HBM budget multiples), "
-                             "gpus=<count,...> (device-count grid), or "
+                             "gpus=<count,...> (device-count grid), "
                              "tiers=<count,...> (tier-ladder depth grid, "
-                             "multi-tier greedy planner)")
+                             "multi-tier greedy planner), or "
+                             "replicate=<GiB,...> (hot-row replica "
+                             "budget grid)")
     mode = p_plan.add_mutually_exclusive_group()
     mode.add_argument("--vectorized", dest="plan_vectorized",
                       action="store_true", default=True,
@@ -463,6 +521,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "in (paper-scale) GiB: statically-hottest "
                                 "cold rows served at the next-faster "
                                 "tier's bandwidth (default: off)")
+            p.add_argument("--replicate-gib", type=float, default=0.0,
+                           help="per-GPU (paper-scale) GiB of the fastest "
+                                "tier carved out for replicas of the "
+                                "globally hottest rows, routed to the "
+                                "least-loaded GPU per lookup "
+                                "(default: off)")
             p.add_argument("--qps", type=float, default=20000,
                            help="offered load, requests/s (default: 20000)")
             p.add_argument("--requests", type=int, default=4000,

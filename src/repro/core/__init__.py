@@ -10,6 +10,13 @@ embedding cost, then remap hashed indices so hot rows are contiguous.
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
 from repro.core.remap import RemappingLayer, RemappingTable
 from repro.core.formulation import RecShardInputs, TableInputs, build_milp
+from repro.core.replicate import (
+    ReplicatedPlan,
+    ReplicationPolicy,
+    build_replication,
+    carve_replica_budget,
+    plan_with_replication,
+)
 from repro.core.workspace import PlannerWorkspace, shard_sweep
 from repro.core.evaluate import (
     expected_device_costs_ms,
@@ -30,13 +37,18 @@ __all__ = [
     "RecShardSharder",
     "RemappingLayer",
     "RemappingTable",
+    "ReplicatedPlan",
+    "ReplicationPolicy",
     "ShardingPlan",
     "TableInputs",
     "TablePlacement",
     "build_milp",
+    "build_replication",
+    "carve_replica_budget",
     "expected_device_costs_ms",
     "expected_device_costs_ms_many",
     "expected_max_cost_ms",
+    "plan_with_replication",
     "shard_sweep",
     "stamp_estimated_costs",
 ]

@@ -1,0 +1,371 @@
+"""Hot-row replication and load-balanced routing (FlexShard-style).
+
+RecShard's CDF statistics place each table's rows by tier, but a skewed
+workload still concentrates accesses on the few devices that own the
+hottest tables: placement alone cannot split one table's traffic across
+devices, so the access disparity the offline Table 4 comparison
+quantifies shows up online as per-device load imbalance.  FlexShard
+(PAPERS.md) shows the fix is orthogonal to tiering: *replicate* the
+statically-hottest rows on every device and route each lookup to the
+least-loaded replica.  Because RecShard already profiles per-row
+expected access counts, the replica set is a pure pre-computation — no
+reactive migration, no online popularity tracking.
+
+Pieces:
+
+* :class:`ReplicationPolicy` — a per-device byte budget to spend on
+  replica copies of the globally hottest rows.
+* :func:`build_replication` — greedy hottest-first selection (the same
+  expected-count machinery as the cache/staging models, run as one
+  vectorized pass over a
+  :class:`~repro.core.workspace.PlannerWorkspace`'s coverage-prefix
+  stack), emitting a :class:`ReplicatedPlan`.
+* :class:`ReplicatedPlan` — a wrapper around the base
+  :class:`~repro.core.plan.ShardingPlan` whose capacity accounting
+  charges every replica against the device hosting it.
+* :func:`plan_with_replication` — carve the replica budget out of the
+  fastest tier, shard the remainder, then spend the carved bytes on
+  replicas: the end-to-end path behind ``repro plan --replicate-gib``
+  and the server's drift replans.
+
+Because every sharding strategy splits rows in descending expected
+frequency, "the globally hottest rows" is, per table, a *prefix of the
+frequency ranking* — so the executor's replica lane is one more rank
+cutoff (exactly like the cache and staging lanes), and the remap a
+replicated lookup resolves through is simply
+``rank < replica_rows[table]``.  The routing itself lives in the
+execution engine (:class:`~repro.engine.executor.ShardedExecutor`),
+which keeps running per-device byte counters and sends each replicated
+lookup to the least-loaded candidate home.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import PlanError, ShardingPlan
+from repro.memory.tier import MemoryTier
+from repro.memory.topology import SystemTopology
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """Per-device byte budget spent on replicas of the hottest rows.
+
+    Attributes:
+        capacity_bytes: bytes of the fastest tier, per device, reserved
+            for replica copies.  Every selected row is replicated to
+            every device (its home keeps the original), so a device is
+            charged for each selected row it does not already own.
+    """
+
+    capacity_bytes: int
+
+    def __post_init__(self):
+        if self.capacity_bytes < 0:
+            raise ValueError("replication capacity must be >= 0")
+
+
+class ReplicatedPlan:
+    """A sharding plan plus a replica set of the globally hottest rows.
+
+    The replica set is stored as one leading-rank count per table
+    (``replica_rows[j]`` hottest rows of table ``j`` exist on every
+    device): selection always takes rows hottest-first, and each
+    table's rows are already ordered by descending expected frequency,
+    so the set is a rank prefix by construction.  Replicated rows must
+    be resident on the fastest tier of their home device — replication
+    is a fastest-tier bandwidth optimization, not a placement change —
+    and every copy is charged against the hosting device's fastest-tier
+    capacity by :meth:`validate`.
+
+    The wrapper iterates/indexes like the base plan and shares its
+    ``metadata`` dict, so sweep stamping and cost-metadata consumers
+    work unchanged.
+    """
+
+    def __init__(
+        self,
+        plan: ShardingPlan,
+        replica_rows,
+        policy: ReplicationPolicy,
+    ):
+        replica_rows = np.asarray(replica_rows, dtype=np.int64)
+        if replica_rows.shape != (len(plan),):
+            raise PlanError(
+                f"replica_rows covers {replica_rows.shape} tables, plan "
+                f"has {len(plan)}"
+            )
+        if (replica_rows < 0).any():
+            raise PlanError("negative replica row count")
+        self.plan = plan
+        self.replica_rows = replica_rows
+        self.policy = policy
+
+    # -- base-plan delegation ------------------------------------------
+    def __len__(self) -> int:
+        return len(self.plan)
+
+    def __iter__(self):
+        return iter(self.plan)
+
+    def __getitem__(self, table_index: int):
+        return self.plan[table_index]
+
+    @property
+    def strategy(self) -> str:
+        return self.plan.strategy
+
+    @property
+    def metadata(self) -> dict:
+        return self.plan.metadata
+
+    def tier_rows_total(self, tier_index: int) -> int:
+        return self.plan.tier_rows_total(tier_index)
+
+    # -- replication accounting ----------------------------------------
+    @property
+    def num_replicated_rows(self) -> int:
+        """Distinct rows in the replica set (copies not counted)."""
+        return int(self.replica_rows.sum())
+
+    def replica_bytes_per_device(self, model, num_devices: int) -> np.ndarray:
+        """Replica bytes charged to each device's fastest tier.
+
+        A device hosts a copy of every selected row it does not home,
+        so its charge is the full replica footprint minus the bytes of
+        the selected rows of its own tables.
+        """
+        row_bytes = np.array(
+            [t.row_bytes for t in model.tables], dtype=np.int64
+        )
+        per_table = self.replica_rows * row_bytes
+        total = int(per_table.sum())
+        charged = np.full(num_devices, total, dtype=np.int64)
+        for placement, owned in zip(self.plan, per_table):
+            charged[placement.device] -= int(owned)
+        return charged
+
+    def validate(self, model, topology: SystemTopology) -> None:
+        """Raise :class:`PlanError` on any replication invariant breach.
+
+        Checks the base plan, then that every replicated row is
+        fastest-tier-resident on its home, that each device's replica
+        bytes stay within the policy budget, and that base fastest-tier
+        usage plus replicas fit the physical capacity.
+        """
+        self.plan.validate(model, topology)
+        for placement, rows in zip(self.plan, self.replica_rows):
+            if rows > placement.rows_per_tier[0]:
+                raise PlanError(
+                    f"table {placement.table_index}: {rows} replicated "
+                    f"rows exceed the {placement.rows_per_tier[0]} rows "
+                    f"resident on the fastest tier"
+                )
+        charged = self.replica_bytes_per_device(model, topology.num_devices)
+        cap = topology.tiers[0].capacity_bytes
+        for device in range(topology.num_devices):
+            if charged[device] > self.policy.capacity_bytes:
+                raise PlanError(
+                    f"device {device}: {charged[device]} replica bytes "
+                    f"exceed the {self.policy.capacity_bytes}-byte budget"
+                )
+            used = self.plan.tier_bytes(model, device, 0) + int(charged[device])
+            if used > cap:
+                raise PlanError(
+                    f"device {device} tier {topology.tiers[0].name}: "
+                    f"{used} bytes (base + replicas) exceeds capacity {cap}"
+                )
+
+    def summary(self, model, topology: SystemTopology) -> dict:
+        """Replication statistics for reports and the CLI."""
+        charged = self.replica_bytes_per_device(model, topology.num_devices)
+        return {
+            "replicated_rows": self.num_replicated_rows,
+            "replicated_tables": int(np.count_nonzero(self.replica_rows)),
+            "budget_bytes_per_device": int(self.policy.capacity_bytes),
+            "max_replica_bytes_per_device": int(charged.max(initial=0)),
+            "replica_bytes_per_device": [int(b) for b in charged],
+        }
+
+
+def carve_replica_budget(
+    topology: SystemTopology, policy: ReplicationPolicy
+) -> SystemTopology:
+    """``topology`` with the replica budget removed from the fastest tier.
+
+    Planning on the carved topology is what guarantees the emitted base
+    plan leaves exactly ``policy.capacity_bytes`` of fastest-tier
+    headroom per device for the replica copies.  With a single device
+    there is nowhere to route, so the policy is inert and nothing is
+    carved (selection returns an empty set for the same reason).
+    """
+    if policy.capacity_bytes <= 0 or topology.num_devices < 2:
+        return topology
+    fastest = topology.tiers[0]
+    remaining = fastest.capacity_bytes - policy.capacity_bytes
+    if remaining <= 0:
+        raise PlanError(
+            f"replica budget {policy.capacity_bytes} consumes the whole "
+            f"{fastest.capacity_bytes}-byte {fastest.name} tier"
+        )
+    carved = MemoryTier(
+        name=fastest.name,
+        capacity_bytes=remaining,
+        bandwidth=fastest.bandwidth,
+    )
+    return SystemTopology(
+        num_devices=topology.num_devices,
+        tiers=(carved,) + topology.tiers[1:],
+    )
+
+
+def _leading_counts_from_profile(profile, limits: np.ndarray):
+    """Per-table expected counts of the leading ranked rows (scalar path).
+
+    Same numbers the cache/staging selection reads
+    (``stats.counts[stats.cdf.row_order[:k]]``), returned flat with
+    table/rank coordinates like
+    :meth:`~repro.core.workspace.PlannerWorkspace.leading_expected_counts`.
+    """
+    counts_list, table_list, rank_list = [], [], []
+    for j, stats in enumerate(profile):
+        k = int(limits[j])
+        if k <= 0 or stats.total_accesses <= 0:
+            continue
+        ranked = np.asarray(stats.counts, dtype=np.float64)[
+            stats.cdf.row_order[:k]
+        ]
+        counts_list.append(ranked)
+        table_list.append(np.full(k, j, dtype=np.int64))
+        rank_list.append(np.arange(k, dtype=np.int64))
+    if not counts_list:
+        empty = np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=np.float64), empty, empty
+    return (
+        np.concatenate(counts_list),
+        np.concatenate(table_list),
+        np.concatenate(rank_list),
+    )
+
+
+def build_replication(
+    policy: ReplicationPolicy,
+    plan,
+    profile,
+    model,
+    topology: SystemTopology,
+    workspace=None,
+) -> ReplicatedPlan:
+    """Spend the replica budget on the globally hottest rows of ``plan``.
+
+    Candidates are every live row resident on its home's fastest tier;
+    they are ordered hottest-first by expected access count (ties broken
+    by (table, rank), making selection fully deterministic), and the
+    longest prefix whose per-device copy bytes fit the policy budget is
+    admitted.  The candidate set does not depend on the budget — which
+    is what makes the selected set *monotone* in ``capacity_bytes``
+    (the property test's invariant): a larger budget only ever extends
+    the admitted prefix.
+
+    Args:
+        policy: the per-device byte budget.
+        plan: base placement (a :class:`ReplicatedPlan` is unwrapped).
+        profile: statistics the expected counts are read from.
+        model: table geometry.
+        topology: the *physical* topology (uncarved capacities).
+        workspace: optional :class:`~repro.core.workspace.PlannerWorkspace`
+            — its bulk :meth:`leading_expected_counts` query replaces
+            the per-table profile gathers with one vectorized pass.
+    """
+    base = plan.plan if isinstance(plan, ReplicatedPlan) else plan
+    num_tables = len(base)
+    replica_rows = np.zeros(num_tables, dtype=np.int64)
+    if policy.capacity_bytes <= 0 or topology.num_devices < 2:
+        # Replication needs a second device to route to.
+        return ReplicatedPlan(base, replica_rows, policy)
+    row_bytes = np.array([t.row_bytes for t in model.tables], dtype=np.int64)
+    tier0_rows = np.array(
+        [p.rows_per_tier[0] for p in base], dtype=np.int64
+    )
+    home = np.array([p.device for p in base], dtype=np.int64)
+    if workspace is not None:
+        limits = np.minimum(tier0_rows, workspace.live_rows)
+        counts, tables, ranks = workspace.leading_expected_counts(limits)
+    else:
+        live = np.array([stats.live_rows for stats in profile], dtype=np.int64)
+        limits = np.minimum(tier0_rows, live)
+        counts, tables, ranks = _leading_counts_from_profile(profile, limits)
+    hot = counts > 0
+    counts, tables, ranks = counts[hot], tables[hot], ranks[hot]
+    if counts.size == 0:
+        return ReplicatedPlan(base, replica_rows, policy)
+    order = np.lexsort((ranks, tables, -counts))
+    sizes = row_bytes[tables[order]]
+    homes = home[tables[order]]
+    # Per-device copy charge of the prefix ending at candidate i:
+    # every device hosts every selected row except the ones it homes,
+    # so the binding device is the one owning the *least* selected
+    # bytes.  Both terms are prefix sums, so the admission check is one
+    # monotone comparison per candidate.
+    total_cum = np.cumsum(sizes)
+    min_home_cum = None
+    for device in range(topology.num_devices):
+        cum = np.cumsum(np.where(homes == device, sizes, 0))
+        min_home_cum = (
+            cum if min_home_cum is None else np.minimum(min_home_cum, cum)
+        )
+    ok = total_cum - min_home_cum <= policy.capacity_bytes
+    take = int(np.argmin(ok)) if not ok.all() else ok.size
+    if take:
+        replica_rows = np.bincount(
+            tables[order[:take]], minlength=num_tables
+        )
+    return ReplicatedPlan(base, replica_rows, policy)
+
+
+def plan_with_replication(
+    sharder,
+    model,
+    profile,
+    topology: SystemTopology,
+    policy: ReplicationPolicy,
+    workspace=None,
+    warm_start=None,
+) -> ReplicatedPlan:
+    """Carve the replica budget, shard the remainder, select replicas.
+
+    The base plan is built by ``sharder`` on a topology whose fastest
+    tier is shrunk by the replica budget (so the emitted plan provably
+    leaves room for the copies), then :func:`build_replication` spends
+    the carved bytes on the globally hottest rows.  ``workspace`` and
+    ``warm_start`` are forwarded when the sharder supports them — the
+    drift-replan path hands both in, which keeps a replicated replan as
+    incremental as a plain one.
+    """
+    carved = carve_replica_budget(topology, policy)
+    params = inspect.signature(sharder.shard).parameters
+    kwargs = {}
+    if workspace is not None and "workspace" in params:
+        kwargs["workspace"] = workspace
+    if warm_start is not None and "warm_start" in params:
+        if isinstance(warm_start, ReplicatedPlan):
+            warm_start = warm_start.plan
+        kwargs["warm_start"] = warm_start
+    base = sharder.shard(model, profile, carved, **kwargs)
+    replicated = build_replication(
+        policy, base, profile, model, topology, workspace=workspace
+    )
+    base.metadata["replication"] = {
+        "budget_bytes_per_device": int(policy.capacity_bytes),
+        "replicated_rows": replicated.num_replicated_rows,
+        "max_replica_bytes_per_device": int(
+            replicated.replica_bytes_per_device(
+                model, topology.num_devices
+            ).max(initial=0)
+        ),
+    }
+    return replicated

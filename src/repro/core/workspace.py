@@ -178,6 +178,45 @@ class PlannerWorkspace:
         return self._inputs
 
     # ------------------------------------------------------------------
+    def leading_expected_counts(
+        self, limits
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expected access counts of each table's leading ranked rows.
+
+        ``limits[j]`` asks for the ``limits[j]`` hottest rows of table
+        ``j`` (clipped to the hash size).  Expected counts are read as
+        adjacent differences of the coverage-prefix stack scaled by the
+        table's access total — one flat gather for all tables, the bulk
+        query replica selection (:mod:`repro.core.replicate`) runs
+        instead of a per-table ``counts[row_order[:k]]`` gather loop.
+
+        Returns:
+            ``(counts, tables, ranks)`` flat arrays: expected count,
+            owning table, and frequency rank of every requested row,
+            grouped by table in rank order.
+        """
+        limits = np.clip(np.asarray(limits, dtype=np.int64), 0, self.hash_sizes)
+        if limits.shape != (self.num_tables,):
+            raise ValueError(
+                f"limits must give one row count per table "
+                f"({self.num_tables}), got shape {limits.shape}"
+            )
+        total = int(limits.sum())
+        tables = np.repeat(np.arange(self.num_tables), limits)
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=np.float64), tables, empty
+        starts = np.zeros(self.num_tables, dtype=np.int64)
+        np.cumsum(limits[:-1], out=starts[1:])
+        ranks = np.arange(total, dtype=np.int64) - np.repeat(starts, limits)
+        idx = self.row_base[tables] + ranks
+        flat = self.cum_fraction_flat
+        cum = flat[idx]
+        prev = np.where(ranks > 0, flat[np.maximum(idx - 1, 0)], 0.0)
+        counts = (cum - prev) * self.total_accesses[tables]
+        return counts, tables, ranks
+
+    # ------------------------------------------------------------------
     def coverage_of_rows_grid(self, rows: np.ndarray) -> np.ndarray:
         """Batched ``coverage_of_rows`` over a ``(..., tables)`` grid.
 
@@ -220,10 +259,12 @@ def shard_sweep(
     sharder,
     topologies=None,
     budgets=None,
+    replicate_gib=None,
     base_topology: SystemTopology | None = None,
     labels=None,
+    replicate_scale: float = 1.0,
 ):
-    """Shard one profile across a grid of topologies or HBM budgets.
+    """Shard one profile across a grid of topologies or budgets.
 
     The grid reuses ``workspace`` for every point, so a sweep costs one
     statistics build plus one vectorized solve per point — the access
@@ -235,27 +276,67 @@ def shard_sweep(
             :class:`~repro.core.multitier.MultiTierSharder` (or any
             object exposing ``shard_from_workspace``).
         topologies: explicit grid of :class:`SystemTopology` points
-            (mutually exclusive with ``budgets``).  Points may differ
-            in tier count — the tier-count scaling study of Section 4.4.
+            (mutually exclusive with the other grids).  Points may
+            differ in tier count — the tier-count scaling study of
+            Section 4.4.
         budgets: HBM capacity scale factors applied to
             ``base_topology``'s first tier.
-        base_topology: required with ``budgets``.
+        replicate_gib: per-device hot-row replica budgets in GiB — each
+            point carves the budget from ``base_topology``'s fastest
+            tier, shards the remainder, and spends the carved bytes on
+            replicas (:func:`~repro.core.replicate.plan_with_replication`),
+            yielding :class:`~repro.core.replicate.ReplicatedPlan`\\ s.
+        base_topology: required with ``budgets`` / ``replicate_gib``.
         labels: optional explicit ``sweep_key`` per ``topologies`` point
             (e.g. ``tiers=3``); defaults to ``gpus=<n>``.
+        replicate_scale: capacity scale applied to the GiB budgets (the
+            same shrink factor every other capacity knob uses).
 
     Returns:
         One plan per grid point, each stamped with a ``sweep_key`` in
-        its metadata (``gpus=<n>`` / ``hbm_scale=<s>`` / a ``labels``
-        entry).
+        its metadata (``gpus=<n>`` / ``hbm_scale=<s>`` /
+        ``replicate_gib=<g>`` / a ``labels`` entry).
     """
-    if (topologies is None) == (budgets is None):
-        raise ValueError("provide exactly one of topologies= or budgets=")
+    grids = [g is not None for g in (topologies, budgets, replicate_gib)]
+    if sum(grids) != 1:
+        raise ValueError(
+            "provide exactly one of topologies=, budgets=, or "
+            "replicate_gib="
+        )
     sharder_steps = getattr(sharder, "steps", None)
     if sharder_steps is not None and sharder_steps != workspace.steps:
         raise ValueError(
             f"workspace sampled {workspace.steps} ICDF steps, sharder "
             f"expects {sharder_steps}"
         )
+    if replicate_gib is not None:
+        from repro.core.replicate import (
+            ReplicationPolicy,
+            plan_with_replication,
+        )
+        from repro.memory.presets import GIB
+
+        if base_topology is None:
+            raise ValueError("replicate_gib= requires base_topology=")
+        if labels is not None:
+            raise ValueError("labels= applies to topologies= grids")
+        plans = []
+        for gib in replicate_gib:
+            policy = ReplicationPolicy(
+                capacity_bytes=int(gib * GIB * replicate_scale)
+            )
+            try:
+                plan = plan_with_replication(
+                    sharder, workspace.model, workspace.profile,
+                    base_topology, policy, workspace=workspace,
+                )
+            except PlanError as error:
+                raise PlanError(
+                    f"sweep point replicate_gib={gib:g}: {error}"
+                ) from error
+            plan.metadata["sweep_key"] = f"replicate_gib={gib:g}"
+            plans.append(plan)
+        return plans
     if budgets is not None:
         if base_topology is None:
             raise ValueError("budgets= requires base_topology=")

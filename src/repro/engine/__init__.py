@@ -13,7 +13,11 @@ from repro.engine.cache import (
     cached_rows_per_table,
     staged_rows_per_table,
 )
-from repro.engine.executor import ShardedExecutor, replay_trace
+from repro.engine.executor import (
+    ShardedExecutor,
+    least_loaded_counts,
+    replay_trace,
+)
 from repro.engine.metrics import IterationStats, RunMetrics
 from repro.engine.ranked import RankedBatch, RankedFeature, RankRemapper
 from repro.engine.harness import (
@@ -35,6 +39,7 @@ __all__ = [
     "cached_rows_per_table",
     "staged_rows_per_table",
     "compare_strategies",
+    "least_loaded_counts",
     "replay_trace",
     "run_experiment",
 ]

@@ -43,6 +43,22 @@ be layered on top:
 
 Because the remapping packs hot rows first, both reduce to per-(table,
 tier) rank cutoffs that slot into the same classification passes.
+
+A third fast lane is *replication*
+(:class:`~repro.core.replicate.ReplicatedPlan`): each table's
+``replica_rows`` hottest rows exist on every device, and a lookup that
+resolves below that cutoff is routed to whichever device currently
+carries the least served bytes instead of the table's home.  Routing is
+greedy least-loaded over running per-device byte counters (ties to the
+lowest device id; the counters see each batch's home-lane bytes before
+its replicated lookups, in trace order).  The vectorized path computes
+each feature's routed counts in closed form
+(:func:`least_loaded_counts` — the greedy sequence is the ``n``
+smallest pops across per-device arithmetic progressions); the scalar
+path assigns lookup by lookup, and both produce bit-identical metrics.
+Routed accesses are counted on the *serving* device's fastest tier, so
+the per-device access totals (``RunMetrics.load_imbalance``) show the
+balancing effect directly.
 """
 
 from __future__ import annotations
@@ -51,6 +67,7 @@ import numpy as np
 
 from repro.core.plan import ShardingPlan
 from repro.core.remap import RemappingTable
+from repro.core.replicate import ReplicatedPlan
 from repro.data.batch import JaggedBatch
 from repro.data.model import ModelSpec
 from repro.engine.cache import (
@@ -86,6 +103,11 @@ class ShardedExecutor:
         ranker: a pre-built :class:`RankRemapper` for this profile, to
             share rank arrays across the executors of several
             strategies.  Built lazily from ``profile`` when omitted.
+        replication: optional
+            :class:`~repro.core.replicate.ReplicatedPlan` enabling the
+            replica lane; lookups below each table's replica cutoff are
+            routed least-loaded across all devices.  Passing the
+            replicated plan directly as ``plan`` is equivalent.
     """
 
     def __init__(
@@ -99,11 +121,26 @@ class ShardedExecutor:
         staging: TierStagingModel | None = None,
         vectorized: bool = True,
         ranker: RankRemapper | None = None,
+        replication: ReplicatedPlan | None = None,
     ):
+        if isinstance(plan, ReplicatedPlan):
+            if replication is not None and replication is not plan:
+                raise ValueError(
+                    "pass the ReplicatedPlan as plan= or replication=, "
+                    "not two different ones"
+                )
+            replication = plan
+            plan = plan.plan
+        elif replication is not None and replication.plan is not plan:
+            raise ValueError("replication= wraps a different plan")
         if validate:
-            plan.validate(model, topology)
+            if replication is not None:
+                replication.validate(model, topology)
+            else:
+                plan.validate(model, topology)
         self.model = model
         self.plan = plan
+        self.replication = replication
         self.profile = profile
         self.topology = topology
         self.vectorized = vectorized
@@ -154,6 +191,23 @@ class ShardedExecutor:
                 self._stage_rows += staged_rows_per_table(
                     staging, plan, profile, model, topology.num_tiers, device
                 )
+        # Replica lane: ranks below a table's replica cutoff exist on
+        # every device and are routed least-loaded instead of hitting
+        # the home device.  The cutoff is clamped to the fastest tier's
+        # boundary (validate() already guarantees containment) and the
+        # running byte counters start at zero per executor.
+        self._replica_cut = np.zeros(model.num_tables, dtype=np.int64)
+        if replication is not None:
+            self._replica_cut = np.minimum(
+                replication.replica_rows, self._tier_bounds[:, 0]
+            )
+        self._has_replicas = bool(self._replica_cut.any())
+        self._replica_cut_list = [int(c) for c in self._replica_cut]
+        self._row_bytes_int = np.array(
+            [t.row_bytes for t in model.tables], dtype=np.int64
+        )
+        self._replica_load = np.zeros(topology.num_devices, dtype=np.int64)
+        self._replica_edges: np.ndarray | None = None
         # Per-(table, tier) fast-lane cutoffs in cumulative rank space:
         # ranks in [bounds[t-1], cutoffs[t]) are served at the tier's
         # fast lane (cache bandwidth for tier 0, tier t-1's bandwidth
@@ -163,6 +217,10 @@ class ShardedExecutor:
         bounds = self._tier_bounds
         cutoffs = np.empty_like(bounds)
         cutoffs[:, 0] = np.minimum(self._cache_threshold, bounds[:, 0])
+        if cache is not None and self._has_replicas:
+            # The replica lane owns the leading ranks: cache hits only
+            # count ranks in [replica_cut, cutoff).
+            cutoffs[:, 0] = np.maximum(cutoffs[:, 0], self._replica_cut)
         if topology.num_tiers > 1:
             cutoffs[:, 1:] = np.minimum(
                 bounds[:, :-1] + self._stage_rows[:, 1:], bounds[:, 1:]
@@ -211,16 +269,21 @@ class ShardedExecutor:
     # ------------------------------------------------------------------
     def run_batch(
         self, batch: JaggedBatch | RankedBatch
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Execute one batch (jagged or pre-ranked).
 
         Returns:
             times_ms: per-device EMB time for this iteration (ms).
             accesses: (num_tiers, num_devices) access counts; cache and
-                staging hits are counted within their home tier.
+                staging hits are counted within their home tier, and
+                replica-routed lookups on the *serving* device's
+                fastest tier.
             tier_hits: (num_tiers, num_devices) accesses served from a
                 fast lane — row 0 is device-cache hits, row ``t >= 1``
                 is tier-``t`` rows staged at tier ``t - 1`` bandwidth.
+            replica_accesses: (num_devices,) lookups served from the
+                replica lane on each device (all zeros without a
+                :class:`~repro.core.replicate.ReplicatedPlan`).
         """
         if isinstance(batch, RankedBatch):
             if not self.vectorized:
@@ -246,6 +309,7 @@ class ShardedExecutor:
             dtype = self.ranker.fused_dtype
             self._bound_edges = (base[:, None] + self._tier_bounds).astype(dtype)
             self._cutoff_edges = (base[:, None] + self._tier_cutoffs).astype(dtype)
+            self._replica_edges = (base + self._replica_cut).astype(dtype)
         return self._bound_edges, self._cutoff_edges
 
     def run_jagged(
@@ -331,17 +395,28 @@ class ShardedExecutor:
             np.less(flat, np.repeat(edges_column[tables], sizes), out=mask)
             return np.add.reduceat(mask.view(np.int8), starts, dtype=np.int64)
 
+        replicas = None
+        rep_group = None
+        if self._has_replicas:
+            # One extra prefix pass classifies the replica lane; the
+            # replicated ranks are a prefix of tier 0's block, so tier
+            # membership below stays untouched and the lane is peeled
+            # off during reduction.
+            rep_group = prefix_below(self._replica_edges)
+            replicas = np.zeros(num_tables, dtype=np.int64)
+            replicas[tables] = rep_group
         prev = np.zeros(tables.size, dtype=np.int64)
         for t in range(num_tiers):
             if t in self._hit_tiers:
-                hits[tables, t] = prefix_below(cutoff_edges[:, t]) - prev
+                baseline = rep_group if t == 0 and rep_group is not None else prev
+                hits[tables, t] = prefix_below(cutoff_edges[:, t]) - baseline
             if t < num_tiers - 1:
                 below = prefix_below(bound_edges[:, t])
                 counts[tables, t] = below - prev
                 prev = below
             else:
                 counts[tables, t] = sizes - prev
-        return self._reduce_counts(counts, hits)
+        return self._reduce_counts(counts, hits, replicas)
 
     def run_ranked(
         self, ranked: RankedBatch
@@ -364,17 +439,22 @@ class ShardedExecutor:
         num_tiers = self.topology.num_tiers
         counts = np.zeros((num_tables, num_tiers), dtype=np.int64)
         hits = np.zeros((num_tables, num_tiers), dtype=np.int64)
+        replicas = (
+            np.zeros(num_tables, dtype=np.int64) if self._has_replicas else None
+        )
         max_lookups = max((f.ranks.size for f in ranked), default=0)
         if self._mask_scratch.size < max_lookups:
             self._mask_scratch = np.empty(max_lookups, dtype=bool)
         for j, feature in enumerate(ranked):
             ranks = feature.ranks
             if ranks.size:
-                self._scan_feature(
+                rep = self._scan_feature(
                     j, ranks, self._mask_scratch[: ranks.size],
                     counts[j], hits[j],
                 )
-        return self._reduce_counts(counts, hits)
+                if replicas is not None:
+                    replicas[j] = rep
+        return self._reduce_counts(counts, hits, replicas)
 
     def _scan_feature(
         self,
@@ -383,7 +463,7 @@ class ShardedExecutor:
         mask: np.ndarray,
         counts_row: np.ndarray,
         hits_row: np.ndarray,
-    ) -> None:
+    ) -> int:
         """Per-tier counts and fast-lane hits for one feature's ranks.
 
         ``mask`` is a caller-provided bool buffer of ``ranks.size`` that
@@ -392,10 +472,20 @@ class ShardedExecutor:
         materializing tier ids.  A tier's fast-lane cutoff (cache for
         tier 0, staging for cold tiers) adds one scan only when it sits
         strictly above the tier's lower boundary.
+
+        Returns the feature's replica-lane count (ranks below the
+        replica cutoff; 0 without replication).  Replicated ranks stay
+        *included* in the tier-0 count — the reduction peels them off —
+        but are excluded from the cache-hit baseline.
         """
         bounds = self._bounds_list[table_index]
         cutoffs = self._cutoff_list[table_index]
         scan_hits = self.cache is not None or self.staging is not None
+        replicated = 0
+        cut = self._replica_cut_list[table_index]
+        if cut:
+            np.less(ranks, cut, out=mask)
+            replicated = int(np.count_nonzero(mask))
         last = len(bounds) - 1
         prev = 0
         for t in range(len(bounds)):
@@ -403,7 +493,8 @@ class ShardedExecutor:
                 cutoff = cutoffs[t]
                 if cutoff > (bounds[t - 1] if t else 0):
                     np.less(ranks, cutoff, out=mask)
-                    hits_row[t] = int(np.count_nonzero(mask)) - prev
+                    baseline = replicated if t == 0 else prev
+                    hits_row[t] = int(np.count_nonzero(mask)) - baseline
             if t < last:
                 np.less(ranks, bounds[t], out=mask)
                 below = int(np.count_nonzero(mask))
@@ -411,10 +502,14 @@ class ShardedExecutor:
                 prev = below
             else:
                 counts_row[t] = ranks.size - prev
+        return replicated
 
     def _reduce_counts(
-        self, counts: np.ndarray, hits: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self,
+        counts: np.ndarray,
+        hits: np.ndarray,
+        replicas: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Pool per-(table, tier) counts into per-(tier, device) metrics.
 
         The pooling is a ``bincount`` over the plan's table → device
@@ -422,20 +517,44 @@ class ShardedExecutor:
         times follow from the additive bandwidth model.  ``hits`` are
         each tier's fast-lane counts: tier 0's move from the HBM lane
         to the cache lane, a cold tier's from its own lane to the
-        next-faster tier's.  Shared by the scalar and vectorized paths,
-        so identical classifications produce bit-identical times.
+        next-faster tier's.  ``replicas`` (per-table replica-lane
+        counts, included in the tier-0 column) are peeled off the home
+        device and routed least-loaded across all devices, charged at
+        the fastest tier's bandwidth on the device that serves them.
+        Shared by the scalar and vectorized paths, so identical
+        classifications produce bit-identical times.
         """
         num_devices = self.topology.num_devices
         num_tiers = self.topology.num_tiers
+        route = replicas is not None and self._has_replicas
+        counts0 = counts[:, 0] - replicas if route else counts[:, 0]
         accesses = np.zeros((num_tiers, num_devices), dtype=np.int64)
         traffic = np.zeros((num_tiers, num_devices), dtype=np.float64)
+        home_bytes = (
+            np.zeros(num_devices, dtype=np.int64) if route else None
+        )
         for t in range(num_tiers):
-            np.add.at(accesses[t], self.device_of, counts[:, t])
+            col = counts0 if t == 0 else counts[:, t]
+            np.add.at(accesses[t], self.device_of, col)
             traffic[t] = np.bincount(
                 self.device_of,
-                weights=counts[:, t] * self.row_bytes,
+                weights=col * self.row_bytes,
                 minlength=num_devices,
             )
+            if route:
+                np.add.at(
+                    home_bytes, self.device_of, col * self._row_bytes_int
+                )
+        replica_accesses = np.zeros(num_devices, dtype=np.int64)
+        if route:
+            # The routing counters see the batch's home-lane bytes
+            # first (so "least loaded" accounts for the traffic the
+            # placement already pins), then each feature's replicated
+            # lookups in trace order.
+            self._replica_load += home_bytes
+            replica_accesses, replica_bytes = self._route_replicas(replicas)
+            accesses[0] += replica_accesses
+            traffic[0] += replica_bytes
         times = (traffic * self._inv_bw[:, None]).sum(axis=0)
         tier_hits = np.zeros((num_tiers, num_devices), dtype=np.int64)
         if self.cache is not None or self.staging is not None:
@@ -454,7 +573,40 @@ class ShardedExecutor:
                 # Hit bytes move from the tier's lane to the fast lane.
                 times -= hit_bytes * self._inv_bw[t]
                 times += hit_bytes * fast_inv_bw
-        return times * 1e3, accesses, tier_hits
+        return times * 1e3, accesses, tier_hits, replica_accesses
+
+    def _route_replicas(
+        self, replicas: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Send each feature's replicated lookups to least-loaded devices.
+
+        Features are processed in trace (table) order; within a feature
+        every lookup weighs the table's ``row_bytes``, so the greedy
+        per-lookup assignment has the closed form
+        :func:`least_loaded_counts` the vectorized path uses.  The
+        scalar path runs the per-lookup argmin loop it summarizes —
+        the parity reference the replication bench pins.  Both mutate
+        the executor's running byte counters.
+        """
+        num_devices = self.topology.num_devices
+        acc = np.zeros(num_devices, dtype=np.int64)
+        routed_bytes = np.zeros(num_devices, dtype=np.int64)
+        for j in np.flatnonzero(replicas):
+            n = int(replicas[j])
+            w = int(self._row_bytes_int[j])
+            if self.vectorized:
+                taken = least_loaded_counts(self._replica_load, n, w)
+                self._replica_load += taken * w
+            else:
+                taken = np.zeros(num_devices, dtype=np.int64)
+                load = self._replica_load
+                for _ in range(n):
+                    device = int(np.argmin(load))
+                    taken[device] += 1
+                    load[device] += w
+            acc += taken
+            routed_bytes += taken * w
+        return acc, routed_bytes.astype(np.float64)
 
     def _run_batch_scalar(
         self, batch: JaggedBatch
@@ -471,17 +623,28 @@ class ShardedExecutor:
         num_tiers = self.topology.num_tiers
         counts = np.zeros((num_tables, num_tiers), dtype=np.int64)
         hits = np.zeros((num_tables, num_tiers), dtype=np.int64)
+        replicas = (
+            np.zeros(num_tables, dtype=np.int64) if self._has_replicas else None
+        )
         scan_hits = self.cache is not None or self.staging is not None
         for j, feature in enumerate(batch):
             if feature.values.size == 0:
                 continue
-            if scan_hits:
+            cut = self._replica_cut_list[j]
+            if scan_hits or cut:
                 tiers, offsets = self.remap_tables[j].apply(feature.values)
                 counts[j] = np.bincount(tiers, minlength=num_tiers)
+                if cut:
+                    # A tier-0 offset *is* the row's frequency rank
+                    # (the fastest tier holds the leading ranked rows),
+                    # so the replica lane is an offset threshold here.
+                    replicas[j] = np.count_nonzero(
+                        (tiers == 0) & (offsets < cut)
+                    )
                 threshold = self._cache_threshold[j]
                 if self.cache is not None and threshold > 0:
                     hits[j, 0] = np.count_nonzero(
-                        (tiers == 0) & (offsets < threshold)
+                        (tiers == 0) & (offsets >= cut) & (offsets < threshold)
                     )
                 for t in range(1, num_tiers):
                     staged = self._stage_rows[j, t]
@@ -491,7 +654,7 @@ class ShardedExecutor:
                         )
             else:
                 counts[j] = self.remap_tables[j].tier_counts(feature.values)
-        return self._reduce_counts(counts, hits)
+        return self._reduce_counts(counts, hits, replicas)
 
     def run(self, batches) -> RunMetrics:
         """Execute a sequence of batches and collect metrics.
@@ -505,6 +668,7 @@ class ShardedExecutor:
         return _collect_metrics(
             self.plan.strategy, self.topology, rows,
             self.cache is not None, self.staging is not None,
+            self.replication is not None,
         )
 
     def expected_device_costs_ms(self, batch_size: int) -> np.ndarray:
@@ -537,14 +701,67 @@ class ShardedExecutor:
         return costs * 1e3
 
 
+def least_loaded_counts(load: np.ndarray, n: int, w: int) -> np.ndarray:
+    """Per-device item counts of a greedy least-loaded assignment.
+
+    Models assigning ``n`` items of ``w`` bytes each, one at a time, to
+    the device with the smallest byte counter (ties to the lowest
+    device id), updating the counter after each item.  The assignment
+    sequence is exactly the ``n`` lexicographically smallest
+    ``(value, device)`` pairs popped from the per-device arithmetic
+    progressions ``load[d] + m * w`` — so one integer binary search for
+    the value of the ``n``-th pop replaces the per-item loop, and the
+    result is bit-identical to the scalar argmin loop the reference
+    executor runs.
+
+    Args:
+        load: current per-device byte counters (not modified).
+        n: items to assign.
+        w: bytes per item (must be positive).
+
+    Returns:
+        (num_devices,) int64 item counts summing to ``n``.
+    """
+    load = np.asarray(load, dtype=np.int64)
+    counts = np.zeros(load.size, dtype=np.int64)
+    if n <= 0:
+        return counts
+    if w <= 0:
+        raise ValueError(f"item weight must be positive, got {w}")
+
+    def pops_below(value: int) -> int:
+        """How many progression terms are strictly below ``value``."""
+        return int(np.maximum(0, (value - load + w - 1) // w).sum())
+
+    lo = int(load.min())
+    hi = lo + n * w  # the n-th pop is at most lo + (n - 1) * w
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if pops_below(mid + 1) >= n:
+            hi = mid
+        else:
+            lo = mid + 1
+    nth_value = lo
+    counts = np.maximum(0, (nth_value - load + w - 1) // w)
+    remaining = n - int(counts.sum())
+    if remaining > 0:
+        # Pops tied at the n-th value resolve by device id, lowest first.
+        tied = np.flatnonzero(
+            (nth_value >= load) & ((nth_value - load) % w == 0)
+        )
+        counts[tied[:remaining]] += 1
+    return counts
+
+
 def _collect_metrics(
     strategy: str,
     topology: SystemTopology,
-    rows: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    rows: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
     with_cache: bool,
     with_staging: bool = False,
+    with_replicas: bool = False,
 ) -> RunMetrics:
-    """Stack per-iteration (times, accesses, hits) rows into RunMetrics."""
+    """Stack per-iteration (times, accesses, hits, replicas) rows."""
     times_arr = np.array([r[0] for r in rows])
     stacked = np.array([r[1] for r in rows])  # (iters, tiers, devices)
     tier_accesses = {
@@ -553,12 +770,16 @@ def _collect_metrics(
     hits = None
     if rows and (with_cache or with_staging):
         hits = np.array([r[2] for r in rows])  # (iters, tiers, devices)
+    replica = None
+    if rows and with_replicas:
+        replica = np.array([r[3] for r in rows])  # (iters, devices)
     return RunMetrics(
         strategy=strategy,
         times_ms=times_arr,
         tier_accesses=tier_accesses,
         cache_hits=hits[:, 0, :] if with_cache and hits is not None else None,
         staged_hits=hits if with_staging and hits is not None else None,
+        replica_hits=replica,
     )
 
 
@@ -613,6 +834,7 @@ def replay_trace(
             )
         counts = np.zeros((num_plans, num_tables, num_tiers), dtype=np.int64)
         hits = np.zeros((num_plans, num_tables, num_tiers), dtype=np.int64)
+        replicas = np.zeros((num_plans, num_tables), dtype=np.int64)
         for j, feature in enumerate(batch):
             if pre_ranked:
                 ranks = feature.ranks
@@ -631,13 +853,18 @@ def replay_trace(
             if mask.size < n:
                 mask = np.empty(n, dtype=bool)
             for s, ex in enumerate(executors):
-                ex._scan_feature(j, ranks, mask[:n], counts[s, j], hits[s, j])
+                replicas[s, j] = ex._scan_feature(
+                    j, ranks, mask[:n], counts[s, j], hits[s, j]
+                )
         for s, ex in enumerate(executors):
-            rows[s].append(ex._reduce_counts(counts[s], hits[s]))
+            rows[s].append(
+                ex._reduce_counts(counts[s], hits[s], replicas[s])
+            )
     return [
         _collect_metrics(
             ex.plan.strategy, ex.topology, rows[s],
             ex.cache is not None, ex.staging is not None,
+            ex.replication is not None,
         )
         for s, ex in enumerate(executors)
     ]

@@ -41,6 +41,11 @@ class RunMetrics:
             fast lane when a staging model was enabled — slice ``t >= 1``
             counts tier-``t`` rows served at tier ``t - 1`` bandwidth
             (a subset of the tier's counts, never additional traffic).
+        replica_hits: (iterations, devices) accesses served from the
+            hot-row replica lane when the plan carried a replica set —
+            routed least-loaded, counted on the *serving* device's
+            fastest tier (so they are included in, not additional to,
+            the fastest tier's access counts).
     """
 
     strategy: str
@@ -48,6 +53,7 @@ class RunMetrics:
     tier_accesses: dict[str, np.ndarray] = field(default_factory=dict)
     cache_hits: np.ndarray | None = None
     staged_hits: np.ndarray | None = None
+    replica_hits: np.ndarray | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -106,6 +112,33 @@ class RunMetrics:
         if total == 0:
             return 0.0
         return float(self.staged_hits[:, tier_index, :].sum() / total)
+
+    def replica_fraction(self) -> float:
+        """Fraction of all accesses served from the replica lane
+        (0 without a replicated plan)."""
+        if self.replica_hits is None:
+            return 0.0
+        total = sum(counts.sum() for counts in self.tier_accesses.values())
+        if total == 0:
+            return 0.0
+        return float(self.replica_hits.sum() / total)
+
+    def device_access_totals(self) -> np.ndarray:
+        """Accesses served per device, summed over tiers and iterations."""
+        totals = np.zeros(self.num_devices, dtype=np.int64)
+        for counts in self.tier_accesses.values():
+            totals += counts.sum(axis=0).astype(np.int64)
+        return totals
+
+    def load_imbalance(self) -> float:
+        """Max/mean per-device access counts — the skew replication
+        attacks (1.0 is perfectly balanced; 0.0 when nothing was
+        served)."""
+        totals = self.device_access_totals()
+        mean = totals.mean()
+        if mean <= 0:
+            return 0.0
+        return float(totals.max() / mean)
 
     def table5_row(self) -> dict[str, float]:
         """Per-tier average accesses per GPU-iteration (a Table 5 row)."""

@@ -58,6 +58,10 @@ class ServingMetrics:
         # populated only when record_batch receives tier matrices.
         self._tier_access_chunks: list[np.ndarray] = []
         self._tier_access_total: np.ndarray | None = None
+        # Per-batch replica-lane access vectors (devices,), when the
+        # executor routes a hot-row replica set.
+        self._replica_chunks: list[np.ndarray] = []
+        self._replica_total: np.ndarray | None = None
         self._num_requests = 0
 
     # ------------------------------------------------------------------
@@ -71,6 +75,7 @@ class ServingMetrics:
         device_times_ms: np.ndarray,
         total_lookups: int,
         tier_accesses: np.ndarray | None = None,
+        replica_accesses: np.ndarray | None = None,
     ) -> None:
         """Record one executed microbatch.
 
@@ -86,6 +91,10 @@ class ServingMetrics:
             tier_accesses: optional ``(tiers, devices)`` access-count
                 matrix of this batch (copied; accumulated into the
                 per-tier serving totals).
+            replica_accesses: optional ``(devices,)`` count of lookups
+                this batch served from the hot-row replica lane (a
+                subset of the fastest tier's counts; copied and
+                accumulated like the tier matrices).
         """
         arrivals = np.array(arrivals_ms, dtype=np.float64)
         self._arrival_chunks.append(arrivals)
@@ -101,6 +110,13 @@ class ServingMetrics:
                 self._tier_access_total = chunk.copy()
             else:
                 self._tier_access_total += chunk
+        if replica_accesses is not None:
+            replica = np.array(replica_accesses, dtype=np.int64)
+            self._replica_chunks.append(replica)
+            if self._replica_total is None:
+                self._replica_total = replica.copy()
+            else:
+                self._replica_total += replica
         self._num_requests += arrivals.size
 
     def record_replan(self, now_ms: float, build_wall_ms: float = 0.0) -> None:
@@ -164,6 +180,34 @@ class ServingMetrics:
             return 0.0
         index = self.tier_names.index(tier) if isinstance(tier, str) else tier
         return float(totals[index].sum() / total)
+
+    @property
+    def replica_access_chunks(self) -> list[np.ndarray]:
+        """Per-batch ``(devices,)`` replica-lane vectors, recording order."""
+        return self._replica_chunks
+
+    @property
+    def replica_access_totals(self) -> np.ndarray:
+        """Replica-lane accesses served per device over the whole run."""
+        if self._replica_total is None:
+            return np.zeros(self.num_devices, dtype=np.int64)
+        return self._replica_total
+
+    @property
+    def device_access_totals(self) -> np.ndarray:
+        """Accesses served per device, summed over tiers."""
+        return self.tier_access_totals.sum(axis=0)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean per-device access counts — the serving-side skew the
+        hot-row replica lane attacks (1.0 is perfectly balanced; 0.0
+        when no batch carried tier matrices)."""
+        totals = self.device_access_totals
+        mean = totals.mean() if totals.size else 0.0
+        if mean <= 0:
+            return 0.0
+        return float(totals.max() / mean)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -281,6 +325,9 @@ class ServingMetrics:
                 name: int(self._tier_access_total[t].sum())
                 for t, name in enumerate(names)
             }
+            out["load_imbalance"] = self.load_imbalance
+        if self._replica_total is not None:
+            out["replica_hits"] = int(self._replica_total.sum())
         if not deterministic_only:
             out["replan_build_total_ms"] = self.replan_build_total_ms
         return out
@@ -306,6 +353,17 @@ class ServingMetrics:
                 for name, count in s["tier_accesses"].items()
             )
             lines.append(f"tier accesses:     {shares}")
+            lines.append(
+                f"device imbalance:  {s['load_imbalance']:.2f}x max/mean "
+                f"accesses"
+            )
+        if "replica_hits" in s:
+            total = sum(s.get("tier_accesses", {}).values())
+            share = s["replica_hits"] / total if total else 0.0
+            lines.append(
+                f"replica lane:      {s['replica_hits']} lookups "
+                f"({share:.2%}) routed least-loaded"
+            )
         if self.num_replans:
             at = ", ".join(f"{t:.0f}" for t in self.replan_ms)
             lines.append(f"drift replans:     {self.num_replans} (at ms: {at})")

@@ -47,6 +47,12 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.core.replicate import (
+    ReplicatedPlan,
+    ReplicationPolicy,
+    build_replication,
+    carve_replica_budget,
+)
 from repro.core.workspace import PlannerWorkspace
 from repro.data.batch import JaggedBatch
 from repro.data.drift import DriftModel
@@ -211,6 +217,18 @@ class LookupServer:
             — each cold tier's statically-hottest resident rows are
             served at the next-faster tier's bandwidth; the staging set
             is recomputed from the observed profile on every replan.
+        replication: optional
+            :class:`~repro.core.replicate.ReplicationPolicy` — a
+            per-device byte budget carved out of the fastest tier and
+            spent on replicas of the globally hottest rows, which the
+            executor routes least-loaded across devices.  With a
+            ``sharder`` the budget is carved *before* every (re)plan
+            and the replica set recomputed from the refreshed
+            workspace/profile; with a fixed ``plan`` the plan must
+            leave the budget's worth of fastest-tier headroom.  A
+            ``plan`` that already is a
+            :class:`~repro.core.replicate.ReplicatedPlan` is served
+            as-is.
         vectorized: executor mode; ``False`` serves on the per-lookup
             scalar reference engine (the multi-tier serving bench's
             baseline).
@@ -226,15 +244,29 @@ class LookupServer:
         config: ServingConfig | None = None,
         cache: CacheModel | None = None,
         staging: TierStagingModel | None = None,
+        replication: ReplicationPolicy | None = None,
         vectorized: bool = True,
     ):
         if (plan is None) == (sharder is None):
             raise ValueError("provide exactly one of plan= or sharder=")
+        if isinstance(plan, ReplicatedPlan) and replication is not None:
+            raise ValueError(
+                "a ReplicatedPlan already carries its policy; do not "
+                "also pass replication="
+            )
         self.model = model
         self.topology = topology
         self.config = config or ServingConfig()
         self.cache = cache
         self.staging = staging
+        self.replication = replication
+        # Sharders plan against the carved topology so every (re)plan
+        # leaves the replica budget free on the fastest tier.
+        self._plan_topology = (
+            carve_replica_budget(topology, replication)
+            if replication is not None
+            else topology
+        )
         self.vectorized = bool(vectorized)
         self.sharder = sharder
         sharder_params = (
@@ -261,6 +293,13 @@ class LookupServer:
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
         self._num_installs = 0
+        if plan is not None and self.replication is not None:
+            # Fixed plan + policy: select the replica set once.  The
+            # plan must leave the budget's worth of headroom (validated
+            # when the executor installs it).
+            plan = build_replication(
+                self.replication, plan, profile, self.model, self.topology
+            )
         self._install(
             plan if plan is not None else self._build_plan(profile), profile
         )
@@ -272,6 +311,10 @@ class LookupServer:
         in-place-refreshed :class:`PlannerWorkspace` are both handed to
         sharders that support them — together they are what keeps
         ``replan_build_ms`` a repair cost rather than a rebuild cost.
+        With replication enabled the sharder plans against the carved
+        topology and the replica set is recomputed from the same
+        refreshed workspace, so drift replans rebalance the replica
+        lane along with the placement.
         """
         kwargs = {}
         if self._sharder_takes_workspace:
@@ -284,8 +327,18 @@ class LookupServer:
                 self._workspace.refresh(profile)
             kwargs["workspace"] = self._workspace
         if warm_start is not None and self._sharder_warm_starts:
+            if isinstance(warm_start, ReplicatedPlan):
+                warm_start = warm_start.plan
             kwargs["warm_start"] = warm_start
-        return self.sharder.shard(self.model, profile, self.topology, **kwargs)
+        plan = self.sharder.shard(
+            self.model, profile, self._plan_topology, **kwargs
+        )
+        if self.replication is not None:
+            plan = build_replication(
+                self.replication, plan, profile, self.model, self.topology,
+                workspace=kwargs.get("workspace"),
+            )
+        return plan
 
     def _install(self, plan, profile) -> None:
         """Activate ``plan`` (initial install or drift replan swap)."""
@@ -485,7 +538,7 @@ class LookupServer:
     ) -> None:
         """Execute one released microbatch and account it."""
         start = max(trigger_ms, self._busy_until_ms)
-        device_times, accesses, _ = self.executor.run_batch(batch)
+        device_times, accesses, _, replicas = self.executor.run_batch(batch)
         service = float(device_times.max()) + self.config.overhead_ms_per_batch
         finish = start + service
         self._busy_until_ms = finish
@@ -498,6 +551,9 @@ class LookupServer:
             # the access matrix already totals the batch's lookups.
             total_lookups=int(accesses.sum()),
             tier_accesses=accesses,
+            replica_accesses=(
+                replicas if self.executor.replication is not None else None
+            ),
         )
         if self.sharder is None:
             return

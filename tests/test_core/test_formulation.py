@@ -1,6 +1,5 @@
 """Tests for the RecShard MILP formulation (Section 4.2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.formulation import RecShardInputs, build_milp

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core.plan import ShardingPlan, TablePlacement
 from repro.core.remap import RemappingLayer, RemappingTable
 from repro.data.batch import JaggedBatch, JaggedFeature
-from repro.stats import analytic_profile
 
 
 def ranking(hash_size, seed=0):

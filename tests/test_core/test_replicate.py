@@ -1,0 +1,296 @@
+"""Hot-row replication: selection, capacity accounting, golden pin.
+
+Covers the planner side of the replication subsystem
+(:mod:`repro.core.replicate`): budget carving, hottest-first selection
+(including the workspace bulk-query path), the monotone-in-budget and
+never-over-capacity invariants as randomized property tests, and one
+golden fixture pinning absolute selection output.
+
+Regenerate the golden fixture (after an intentional selection change)::
+
+    PYTHONPATH=src python -m tests.test_core.test_replicate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PlanError,
+    PlannerWorkspace,
+    RecShardFastSharder,
+    ReplicatedPlan,
+    ReplicationPolicy,
+    build_replication,
+    carve_replica_budget,
+    plan_with_replication,
+)
+from repro.memory.topology import SystemTopology
+from repro.stats import analytic_profile
+from tests.test_core.conftest import build_model
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+
+
+def two_tier(total: int, num_devices: int = 4, hbm_share: float = 0.45):
+    return SystemTopology.two_tier(
+        num_devices=num_devices,
+        hbm_capacity=int(total * hbm_share / num_devices),
+        hbm_bandwidth=200e9,
+        uvm_capacity=total,
+        uvm_bandwidth=10e9,
+    )
+
+
+def build_world(seed: int, num_tables: int = 8, num_devices: int = 4):
+    model = build_model(num_tables=num_tables, seed=seed)
+    profile = analytic_profile(model)
+    topology = two_tier(model.total_bytes, num_devices=num_devices)
+    return model, profile, topology
+
+
+def replicate(seed: int, budget_fraction: float, workspace=True):
+    model, profile, topology = build_world(seed)
+    policy = ReplicationPolicy(
+        capacity_bytes=int(
+            model.total_bytes * budget_fraction / topology.num_devices
+        )
+    )
+    sharder = RecShardFastSharder(batch_size=64, steps=40)
+    ws = PlannerWorkspace(model, profile, steps=40) if workspace else None
+    plan = plan_with_replication(
+        sharder, model, profile, topology, policy, workspace=ws
+    )
+    return model, profile, topology, plan
+
+
+class TestCarving:
+    def test_carve_shrinks_fastest_tier_only(self):
+        model, _, topology = build_world(0)
+        policy = ReplicationPolicy(
+            capacity_bytes=topology.tiers[0].capacity_bytes // 8
+        )
+        carved = carve_replica_budget(topology, policy)
+        assert carved.tiers[0].capacity_bytes == (
+            topology.tiers[0].capacity_bytes - policy.capacity_bytes
+        )
+        assert carved.tiers[1:] == topology.tiers[1:]
+        assert carved.num_devices == topology.num_devices
+
+    def test_zero_budget_is_identity(self):
+        _, _, topology = build_world(0)
+        assert carve_replica_budget(
+            topology, ReplicationPolicy(capacity_bytes=0)
+        ) is topology
+
+    def test_budget_swallowing_the_tier_is_an_error(self):
+        _, _, topology = build_world(0)
+        policy = ReplicationPolicy(
+            capacity_bytes=topology.tiers[0].capacity_bytes
+        )
+        with pytest.raises(PlanError):
+            carve_replica_budget(topology, policy)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationPolicy(capacity_bytes=-1)
+
+
+class TestSelection:
+    def test_end_to_end_validates_and_replicates(self):
+        model, _, topology, plan = replicate(0, budget_fraction=0.05)
+        assert isinstance(plan, ReplicatedPlan)
+        plan.validate(model, topology)
+        assert plan.num_replicated_rows > 0
+        assert "replication" in plan.metadata
+
+    def test_replicas_are_fastest_tier_prefixes(self):
+        model, _, topology, plan = replicate(1, budget_fraction=0.05)
+        for placement, rows in zip(plan, plan.replica_rows):
+            assert 0 <= rows <= placement.rows_per_tier[0]
+
+    def test_selection_is_globally_hottest_first(self):
+        """No unselected candidate row is hotter than a selected one."""
+        model, profile, topology, plan = replicate(2, budget_fraction=0.04)
+        selected_min = np.inf
+        unselected_max = 0.0
+        for j, stats in enumerate(profile):
+            tier0 = plan[j].rows_per_tier[0]
+            take = int(plan.replica_rows[j])
+            ranked = stats.counts[stats.cdf.row_order[:tier0]]
+            if take:
+                selected_min = min(selected_min, float(ranked[:take].min()))
+            if take < tier0:
+                live = ranked[take:]
+                live = live[live > 0]
+                if live.size:
+                    unselected_max = max(unselected_max, float(live.max()))
+        assert plan.num_replicated_rows > 0
+        assert selected_min >= unselected_max - 1e-9
+
+    def test_workspace_and_profile_paths_agree(self):
+        model, profile, topology, plan = replicate(3, budget_fraction=0.05)
+        from_profile = build_replication(
+            plan.policy, plan.plan, profile, model, topology
+        )
+        np.testing.assert_array_equal(
+            plan.replica_rows, from_profile.replica_rows
+        )
+
+    def test_single_device_policy_is_inert(self):
+        """One device means nowhere to route: nothing is carved (the
+        budget must not shrink the plannable HBM) and nothing selected."""
+        model = build_model(num_tables=4, seed=4)
+        profile = analytic_profile(model)
+        topology = two_tier(model.total_bytes, num_devices=1, hbm_share=0.9)
+        policy = ReplicationPolicy(capacity_bytes=1 << 12)
+        assert carve_replica_budget(topology, policy) is topology
+        plan = RecShardFastSharder(batch_size=64, steps=40).shard(
+            model, profile, topology
+        )
+        replicated = build_replication(
+            policy, plan, profile, model, topology
+        )
+        assert replicated.num_replicated_rows == 0
+
+    def test_leading_expected_counts_matches_profile(self):
+        model, profile, _ = build_world(5)
+        ws = PlannerWorkspace(model, profile, steps=40)
+        limits = np.minimum(ws.live_rows, 64)
+        counts, tables, ranks = ws.leading_expected_counts(limits)
+        assert counts.size == int(limits.sum())
+        for j, stats in enumerate(profile):
+            mine = counts[tables == j]
+            theirs = stats.counts[stats.cdf.row_order[: limits[j]]]
+            np.testing.assert_allclose(mine, theirs, rtol=1e-9, atol=1e-9)
+            np.testing.assert_array_equal(
+                ranks[tables == j], np.arange(limits[j])
+            )
+
+
+class TestProperties:
+    """Randomized invariants: monotone in budget, never over capacity."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_monotone_in_budget_and_within_capacity(self, seed):
+        model, profile, topology = build_world(seed)
+        plan = RecShardFastSharder(batch_size=64, steps=40).shard(
+            model, profile, topology,
+        )
+        rng = np.random.default_rng(seed)
+        hbm_cap = topology.tiers[0].capacity_bytes
+        budgets = np.sort(
+            rng.integers(0, hbm_cap // 2, size=6)
+        )
+        previous = None
+        for budget in budgets:
+            policy = ReplicationPolicy(capacity_bytes=int(budget))
+            replicated = build_replication(
+                policy, plan, profile, model, topology
+            )
+            # Never violates the budget (and the budget is the only
+            # thing that can be violated here: the base plan was built
+            # on the full topology, so the physical check is run on a
+            # roomier-than-carved world and must use the budget bound).
+            charged = replicated.replica_bytes_per_device(
+                model, topology.num_devices
+            )
+            assert (charged <= budget).all()
+            for placement, rows in zip(plan, replicated.replica_rows):
+                assert rows <= placement.rows_per_tier[0]
+            if previous is not None:
+                assert (replicated.replica_rows >= previous).all(), (
+                    "selection must be monotone in the budget"
+                )
+            previous = replicated.replica_rows
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_planned_replication_validates_on_physical_topology(self, seed):
+        """The carve-then-select pipeline always emits a plan whose
+        base + replica bytes fit the physical fastest tier."""
+        model, _, topology, plan = replicate(seed, budget_fraction=0.06)
+        plan.validate(model, topology)
+        charged = plan.replica_bytes_per_device(model, topology.num_devices)
+        for device in range(topology.num_devices):
+            used = plan.plan.tier_bytes(model, device, 0) + charged[device]
+            assert used <= topology.tiers[0].capacity_bytes
+
+    def test_validate_rejects_over_budget_replicas(self):
+        model, profile, topology, plan = replicate(0, budget_fraction=0.03)
+        rows = plan.replica_rows.copy()
+        fat = int(np.argmax(
+            [p.rows_per_tier[0] - r for p, r in zip(plan, rows)]
+        ))
+        rows[fat] = plan[fat].rows_per_tier[0]
+        bloated = ReplicatedPlan(plan.plan, rows, plan.policy)
+        with pytest.raises(PlanError):
+            bloated.validate(model, topology)
+
+    def test_validate_rejects_non_resident_replicas(self):
+        model, _, topology, plan = replicate(1, budget_fraction=0.03)
+        rows = plan.replica_rows.copy()
+        rows[0] = plan[0].rows_per_tier[0] + 1
+        with pytest.raises(PlanError):
+            ReplicatedPlan(plan.plan, rows, plan.policy).validate(
+                model, topology
+            )
+
+
+# ---------------------------------------------------------------------
+# Golden fixture: absolute selection output pinned for a fixed world.
+# ---------------------------------------------------------------------
+GOLDEN_NAME = "replicated_plan_seed0"
+
+
+def build_golden() -> ReplicatedPlan:
+    _, _, _, plan = replicate(0, budget_fraction=0.05)
+    return plan
+
+
+def serialize(plan: ReplicatedPlan) -> dict:
+    return {
+        "strategy": plan.strategy,
+        "budget_bytes_per_device": int(plan.policy.capacity_bytes),
+        "replica_rows": [int(r) for r in plan.replica_rows],
+        "placements": [
+            {
+                "table": p.table_index,
+                "device": p.device,
+                "rows_per_tier": list(p.rows_per_tier),
+            }
+            for p in plan
+        ],
+    }
+
+
+def test_replicated_plan_matches_golden_fixture():
+    path = FIXTURES / f"plan_{GOLDEN_NAME}.json"
+    assert path.exists(), (
+        f"missing fixture {path}; regenerate with "
+        "`PYTHONPATH=src python -m tests.test_core.test_replicate`"
+    )
+    golden = json.loads(path.read_text())
+    current = serialize(build_golden())
+    assert current == golden, (
+        "replica selection drifted from the pinned fixture — if "
+        "intentional, regenerate and review the diff"
+    )
+
+
+def test_golden_builder_is_deterministic():
+    assert serialize(build_golden()) == serialize(build_golden())
+
+
+def main() -> None:
+    FIXTURES.mkdir(exist_ok=True)
+    path = FIXTURES / f"plan_{GOLDEN_NAME}.json"
+    path.write_text(json.dumps(serialize(build_golden()), indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import RecShardFastSharder, RecShardSharder, MultiTierSharder
 from repro.core.evaluate import expected_device_costs_ms, expected_max_cost_ms
-from repro.memory import three_tier_node
 from repro.memory.topology import SystemTopology
 
 BATCH = 256

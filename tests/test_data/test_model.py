@@ -6,7 +6,6 @@ from repro.data.feature import SparseFeatureSpec
 from repro.data.model import (
     PAPER_TOTAL_HASH_SIZE,
     EmbeddingTableSpec,
-    ModelSpec,
     generate_feature_population,
     rm1,
     rm2,

@@ -1,6 +1,5 @@
 """Tests for the optional GPU cache model."""
 
-import numpy as np
 import pytest
 
 from repro.core import RecShardFastSharder

@@ -37,7 +37,7 @@ class TestShardedExecutor:
         executor = ShardedExecutor(model, plan, profile, topology)
         gen = TraceGenerator(model, batch_size=BATCH, seed=5)
         batch = gen.next_batch()
-        times, accesses, _ = executor.run_batch(batch)
+        times, accesses, _, _ = executor.run_batch(batch)
         assert accesses.sum() == batch.total_lookups
         assert times.shape == (2,)
         assert np.all(times >= 0)
@@ -47,7 +47,7 @@ class TestShardedExecutor:
         executor = ShardedExecutor(model, plan, profile, topology)
         gen = TraceGenerator(model, batch_size=BATCH, seed=6)
         batch = gen.next_batch()
-        times, accesses, _ = executor.run_batch(batch)
+        times, accesses, _, _ = executor.run_batch(batch)
         # Recompute manually per device.
         for device in range(topology.num_devices):
             expected = 0.0
@@ -94,7 +94,7 @@ class TestShardedExecutor:
         )
         executor = ShardedExecutor(model, bad, profile, topology, validate=False)
         gen = TraceGenerator(model, batch_size=BATCH, seed=8)
-        times, _, _ = executor.run_batch(gen.next_batch())
+        times, _, _, _ = executor.run_batch(gen.next_batch())
         assert times[1] == 0.0  # everything on device 0
 
     def test_expected_costs_close_to_measured(self, world):

@@ -55,11 +55,12 @@ def build_world(num_tiers: int, seed: int, batch_size: int):
 
 def assert_exact_parity(vectorized, scalar, batch):
     """Times, per-tier accesses, and fast-lane hits all bit-identical."""
-    tv, av, hv = vectorized.run_batch(batch)
-    ts, as_, hs = scalar.run_batch(batch)
+    tv, av, hv, rv = vectorized.run_batch(batch)
+    ts, as_, hs, rs = scalar.run_batch(batch)
     np.testing.assert_array_equal(tv, ts)
     np.testing.assert_array_equal(av, as_)
     np.testing.assert_array_equal(hv, hs)
+    np.testing.assert_array_equal(rv, rs)
     return tv, av, hv
 
 
@@ -108,7 +109,7 @@ class TestMultiTierParity:
         staged_hits = 0
         for batch in TraceGenerator(model, batch_size, seed=9).batches(3):
             tv, av, hv = assert_exact_parity(vectorized, scalar, batch)
-            tp, ap, _ = plain.run_batch(batch)
+            tp, ap, _, _ = plain.run_batch(batch)
             # Staging is a bandwidth effect only: access counts match
             # the unstaged executor's exactly.
             np.testing.assert_array_equal(av, ap)
@@ -162,11 +163,12 @@ class TestMultiTierParity:
         )
         batches = list(TraceGenerator(model, 64, seed=13).batches(2))
         for batch, ranked in zip(batches, executor.prepare(batches)):
-            tj, aj, hj = executor.run_jagged(batch)
-            tr, ar, hr = executor.run_ranked(ranked)
+            tj, aj, hj, rj = executor.run_jagged(batch)
+            tr, ar, hr, rr = executor.run_ranked(ranked)
             np.testing.assert_array_equal(tj, tr)
             np.testing.assert_array_equal(aj, ar)
             np.testing.assert_array_equal(hj, hr)
+            np.testing.assert_array_equal(rj, rr)
 
     def test_fused_replay_matches_individual_runs(self):
         model, profile, topology, _ = build_world(3, 2, 64)[:4]

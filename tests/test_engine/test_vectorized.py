@@ -54,11 +54,12 @@ def _pair(world, cache=None):
 
 
 def assert_batch_parity(vectorized, scalar, batch):
-    tv, av, hv = vectorized.run_batch(batch)
-    ts, as_, hs = scalar.run_batch(batch)
+    tv, av, hv, rv = vectorized.run_batch(batch)
+    ts, as_, hs, rs = scalar.run_batch(batch)
     np.testing.assert_allclose(tv, ts, rtol=1e-9)
     assert np.array_equal(av, as_)
     assert np.array_equal(hv, hs)
+    assert np.array_equal(rv, rs)
 
 
 class TestVectorizedParity:
@@ -114,7 +115,7 @@ class TestVectorizedParity:
             )
         batch = JaggedBatch(features)
         assert_batch_parity(vectorized, scalar, batch)
-        times, accesses, hits = vectorized.run_batch(batch)
+        times, accesses, hits, _ = vectorized.run_batch(batch)
         assert accesses.sum() == 0
         assert np.all(times == 0)
 
@@ -133,8 +134,8 @@ class TestVectorizedParity:
         batches = list(TraceGenerator(model, BATCH, seed=36).batches(2))
         ranked = vectorized.prepare(batches)
         for batch, ranked_batch in zip(batches, ranked):
-            tv, av, _ = vectorized.run_batch(ranked_batch)
-            ts, as_, _ = scalar.run_batch(batch)
+            tv, av, _, _ = vectorized.run_batch(ranked_batch)
+            ts, as_, _, _ = scalar.run_batch(batch)
             np.testing.assert_allclose(tv, ts, rtol=1e-9)
             assert np.array_equal(av, as_)
 

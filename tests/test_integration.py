@@ -5,7 +5,6 @@ and placement, remapping — and execute the result, asserting the paper's
 qualitative claims at small scale.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

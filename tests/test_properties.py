@@ -5,7 +5,6 @@ topologies, asserting the system-level invariants from DESIGN.md §6.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -143,7 +142,7 @@ def test_executor_conservation_random(world, seed):
     )
     executor = ShardedExecutor(model, plan, profile, topology)
     batch = TraceGenerator(model, batch_size=BATCH, seed=seed).next_batch()
-    _, accesses, _ = executor.run_batch(batch)
+    _, accesses, _, _ = executor.run_batch(batch)
     assert accesses.sum() == batch.total_lookups
 
 
