@@ -61,7 +61,9 @@ def _cache_ablation(models, profiles, topology) -> tuple[str, dict]:
         rows,
     )
     gap_plain = maxima[("Size-Based", "no cache")] / maxima[("RecShard", "no cache")]
-    gap_cache = maxima[("Size-Based", "with cache")] / maxima[("RecShard", "with cache")]
+    gap_cache = (
+        maxima[("Size-Based", "with cache")] / maxima[("RecShard", "with cache")]
+    )
     note = (
         "RM1 RecShard advantage over Size-Based (max per-GPU time):\n"
         f"  additive bandwidth model: {gap_plain:.2f}x\n"

@@ -22,7 +22,10 @@ def _figure4_summary() -> str:
     quartiles = np.quantile(ratio, [0.05, 0.25, 0.5, 0.75, 0.95])
     rows = [
         ("features", len(model.tables)),
-        ("cardinality range", f"{cardinalities.min():.0f} .. {cardinalities.max():.0f}"),
+        (
+            "cardinality range",
+            f"{cardinalities.min():.0f} .. {cardinalities.max():.0f}",
+        ),
         ("hash size range", f"{hash_sizes.min():.0f} .. {hash_sizes.max():.0f}"),
         ("log-log correlation", f"{corr:.3f}"),
         ("hash/cardinality p05", f"{quartiles[0]:.2f}"),

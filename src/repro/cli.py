@@ -15,6 +15,9 @@ Examples::
     python -m repro serve --model rm2 --reference --requests 4000
     python -m repro serve --model rm3 --tiers hbm,dram:8,ssd --staging-gib 2
     python -m repro serve --model rm2 --replicate-gib 1
+    python -m repro serve --model rm2 --workers 4 --requests 20000
+    python -m repro serve --model rm2 --workers 2 --paced --burst \
+        --arrival-rate 30000 --queue-depth 2
 """
 
 from __future__ import annotations
@@ -47,10 +50,12 @@ from repro.memory import (
     tier_ladder_node,
 )
 from repro.serving import (
+    BurstyArrivals,
     LookupServer,
+    MultiProcessServer,
     ServingConfig,
+    generate_request_arenas,
     synthetic_request_arenas,
-    synthetic_request_stream,
 )
 from repro.stats import analytic_profile
 from repro.stats.summary import characterization_summary, format_summary
@@ -341,11 +346,33 @@ def _cmd_replay(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run a seeded synthetic serving workload and report QPS/latency."""
+    if args.arrival_rate is not None:
+        args.qps = args.arrival_rate
     if args.qps <= 0:
         print("error: --qps must be > 0", file=sys.stderr)
         return 2
     if args.requests < 1:
         print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.workers and args.drift_months > 0:
+        print("error: --workers serves a fixed plan; --drift-months "
+              "requires the single-process runtime (--workers 0)",
+              file=sys.stderr)
+        return 2
+    if args.burst and args.drift_months > 0:
+        print("error: --burst streams have no drift model; drop "
+              "--drift-months", file=sys.stderr)
+        return 2
+    if args.paced and not args.workers:
+        print("error: --paced (wall-clock pacing + shedding) requires "
+              "--workers N", file=sys.stderr)
+        return 2
+    if args.workers and not args.fast_serving:
+        print("error: --reference is single-process only; the "
+              "multi-process runtime is columnar", file=sys.stderr)
         return 2
     if args.batch_requests < 1:
         print("error: --batch-requests must be >= 1", file=sys.stderr)
@@ -390,36 +417,79 @@ def _cmd_serve(args) -> int:
         replication = ReplicationPolicy(
             capacity_bytes=int(args.replicate_gib * GIB * topo_scale)
         )
+    # Stream: inline Poisson by default; an explicit arrival process
+    # (bursty on/off) through the loadgen when --burst is given.
+    if args.burst:
+        process = BurstyArrivals(
+            burst_qps=(
+                args.burst_qps if args.burst_qps is not None
+                else 4.0 * args.qps
+            ),
+            idle_qps=(
+                args.idle_qps if args.idle_qps is not None
+                else 0.1 * args.qps
+            ),
+            burst_ms=args.burst_ms,
+            idle_ms=args.idle_ms,
+        )
+        arenas = generate_request_arenas(
+            model, args.requests, process, seed=args.seed
+        )
+        offered = (f"bursty {process.burst_qps:.0f}/{process.idle_qps:.0f} "
+                   f"QPS over {process.burst_ms:g}/{process.idle_ms:g} ms "
+                   f"(mean {process.mean_qps:.0f})")
+    else:
+        drift = None
+        if args.drift_months > 0:
+            drift = DriftModel(feature_noise=4.0, alpha_noise=4.0)
+        arenas = synthetic_request_arenas(
+            model,
+            num_requests=args.requests,
+            qps=args.qps,
+            seed=args.seed,
+            drift=drift,
+            months_per_request=(
+                args.drift_months / args.requests if args.requests else 0.0
+            ),
+        )
+        offered = f"offered load {args.qps:.0f} QPS"
+    tiers = "/".join(topology.tier_names)
+    if args.workers:
+        server = MultiProcessServer(
+            model, profile, topology, sharder=sharder, config=config,
+            staging=staging, replication=replication,
+            workers=args.workers, queue_depth=args.queue_depth,
+        )
+        start = time.perf_counter()
+        with server:
+            if args.paced:
+                metrics = server.serve_paced(arenas)
+            else:
+                metrics = server.serve_arenas(arenas)
+        elapsed = time.perf_counter() - start
+        mode = "open-loop paced" if args.paced else "closed-loop"
+        print(f"served {model.name} on {args.gpus} GPUs over {tiers} "
+              f"({offered}, microbatch <= {args.batch_requests} reqs / "
+              f"{args.max_delay_ms:g} ms, {args.workers} worker "
+              f"processes, {mode}):")
+        print(metrics.format_report())
+        print(f"wall-clock: {elapsed:.2f} s "
+              f"({metrics.num_requests / max(elapsed, 1e-9):.0f} "
+              f"sustained QPS)")
+        return 0
     server = LookupServer(
         model, profile, topology, sharder=sharder, config=config,
         staging=staging, replication=replication,
     )
-    drift = None
-    if args.drift_months > 0:
-        drift = DriftModel(feature_noise=4.0, alpha_noise=4.0)
-    stream_kwargs = dict(
-        num_requests=args.requests,
-        qps=args.qps,
-        seed=args.seed,
-        drift=drift,
-        months_per_request=(
-            args.drift_months / args.requests if args.requests else 0.0
-        ),
-    )
     start = time.perf_counter()
     if args.fast_serving:
-        metrics = server.serve_arenas(
-            synthetic_request_arenas(model, **stream_kwargs)
-        )
+        metrics = server.serve_arenas(arenas)
     else:
-        metrics = server.serve(
-            synthetic_request_stream(model, **stream_kwargs)
-        )
+        metrics = server.serve(r for arena in arenas for r in arena)
     elapsed = time.perf_counter() - start
     path = "columnar fast path" if args.fast_serving else "reference object path"
-    tiers = "/".join(topology.tier_names)
     print(f"served {model.name} on {args.gpus} GPUs over {tiers} "
-          f"(offered load {args.qps:.0f} QPS, "
+          f"({offered}, "
           f"microbatch <= {args.batch_requests} reqs / "
           f"{args.max_delay_ms:g} ms, {path}):")
     print(metrics.format_report())
@@ -535,6 +605,37 @@ def build_parser() -> argparse.ArgumentParser:
                            help="microbatch size cap (default: 256)")
             p.add_argument("--max-delay-ms", type=float, default=2.0,
                            help="microbatching delay budget (default: 2 ms)")
+            p.add_argument("--workers", type=int, default=0,
+                           help="worker processes for the multi-process "
+                                "runtime (0 = single-process simulation; "
+                                "N >= 1 serves a fixed plan with real "
+                                "concurrency and wall-clock QPS)")
+            p.add_argument("--queue-depth", type=int, default=None,
+                           help="task-queue bound of the worker pool "
+                                "(default: 2 x workers); what paced "
+                                "overload sheds against")
+            p.add_argument("--paced", action="store_true",
+                           help="offer batches on the wall clock at their "
+                                "simulated release times and shed on a "
+                                "full queue (requires --workers)")
+            p.add_argument("--arrival-rate", type=float, default=None,
+                           metavar="QPS",
+                           help="alias for --qps (open-loop mean arrival "
+                                "rate, requests/s)")
+            p.add_argument("--burst", action="store_true",
+                           help="bursty on/off arrivals instead of steady "
+                                "Poisson (burst/idle rates default to "
+                                "4x / 0.1x the mean rate)")
+            p.add_argument("--burst-qps", type=float, default=None,
+                           help="arrival rate inside bursts "
+                                "(default: 4 x --qps)")
+            p.add_argument("--idle-qps", type=float, default=None,
+                           help="arrival rate between bursts "
+                                "(default: 0.1 x --qps)")
+            p.add_argument("--burst-ms", type=float, default=50.0,
+                           help="burst window length (default: 50 ms)")
+            p.add_argument("--idle-ms", type=float, default=50.0,
+                           help="idle window length (default: 50 ms)")
             p.add_argument("--drift-months", type=float, default=0.0,
                            help="months of statistics drift to fast-forward "
                                 "across the stream (0 = stationary)")

@@ -797,7 +797,9 @@ class RecShardFastSharder:
             busiest = max(range(len(loads)), key=lambda m: loads[m])
             if not (
                 self._try_move(states, device_of, loads, hbm_free, host_free, busiest)
-                or self._try_swap(states, device_of, loads, hbm_free, host_free, busiest)
+                or self._try_swap(
+                    states, device_of, loads, hbm_free, host_free, busiest
+                )
             ):
                 break
 
@@ -872,7 +874,8 @@ class RecShardFastSharder:
                     )
                     host_ok = (
                         host_free[target] + theirs.host_bytes() >= mine.host_bytes()
-                        and host_free[busiest] + mine.host_bytes() >= theirs.host_bytes()
+                        and host_free[busiest] + mine.host_bytes()
+                        >= theirs.host_bytes()
                     )
                     if not (hbm_ok and host_ok):
                         continue

@@ -284,12 +284,19 @@ class MultiTierSharder:
             placements.append(
                 TablePlacement(table_index=j, device=0, rows_per_tier=tuple(rows))
             )
-            fracs = [float(icdf.fractions[boundary_steps[j][t]]) for t in range(num_tiers - 1)]
+            fracs = [
+                float(icdf.fractions[boundary_steps[j][t]])
+                for t in range(num_tiers - 1)
+            ]
             fracs.append(1.0)
             cost = 0.0
             prev_frac = 0.0
             for t in range(num_tiers):
-                cost += weights[j] * (fracs[t] - prev_frac) * inv_bw[t] if t < len(fracs) else 0.0
+                cost += (
+                    weights[j] * (fracs[t] - prev_frac) * inv_bw[t]
+                    if t < len(fracs)
+                    else 0.0
+                )
                 prev_frac = fracs[t] if t < len(fracs) else prev_frac
             costs.append(cost if table.total_accesses > 0 else 0.0)
         return placements, costs
@@ -436,7 +443,9 @@ class MultiTierSharder:
                 for t in range(num_tiers):
                     if t < num_boundaries:
                         mem_expr = (
-                            r_vars[j][t] - prev_r if prev_r is not None else r_vars[j][t]
+                            r_vars[j][t] - prev_r
+                            if prev_r is not None
+                            else r_vars[j][t]
                         )
                         ub = live_mib
                         u = milp.continuous_var(lb=0.0, ub=ub, name=f"u[{m}][{j}][{t}]")
@@ -461,7 +470,9 @@ class MultiTierSharder:
                 if table.total_accesses > 0:
                     # cost = weight * [sum_b w_b (1/bw_b - 1/bw_{b+1}) + p/bw_last]
                     for b in range(num_boundaries):
-                        w = milp.continuous_var(lb=0.0, ub=1.0, name=f"w[{m}][{j}][{b}]")
+                        w = milp.continuous_var(
+                            lb=0.0, ub=1.0, name=f"w[{m}][{j}][{b}]"
+                        )
                         milp.add(w <= p_mj + 0.0)
                         milp.add(w <= q_vars[j][b] + 0.0)
                         milp.add(w >= q_vars[j][b] + p_mj - 1.0)

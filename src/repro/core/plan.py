@@ -196,6 +196,8 @@ class ShardingPlan:
             "devices": topology.num_devices,
             "total_rows": total_rows,
             "uvm_row_fraction": uvm_rows / total_rows if total_rows else 0.0,
-            "mean_table_uvm_fraction": float(np.mean(per_table_uvm)) if per_table_uvm else 0.0,
+            "mean_table_uvm_fraction": (
+                float(np.mean(per_table_uvm)) if per_table_uvm else 0.0
+            ),
             "tables_per_device": tables_per_device,
         }

@@ -237,7 +237,9 @@ class RecShardSharder:
             steps = {}
             for i, p in members:
                 icdf = inputs.tables[p.table_index].icdf
-                step = int(np.searchsorted(icdf.rows, p.hbm_rows + 1e-9, side="right")) - 1
+                step = (
+                    int(np.searchsorted(icdf.rows, p.hbm_rows + 1e-9, side="right")) - 1
+                )
                 steps[i] = max(0, step)
 
             heap = []

@@ -66,7 +66,9 @@ class DriftModel:
         """Figure 9 series: percent change at months ``1..months``."""
         return [self.percent_change(kind, m) for m in range(1, months + 1)]
 
-    def drift_feature(self, feature: SparseFeatureSpec, month: float) -> SparseFeatureSpec:
+    def drift_feature(
+        self, feature: SparseFeatureSpec, month: float
+    ) -> SparseFeatureSpec:
         """Feature spec with its statistics drifted to ``month``."""
         from dataclasses import replace
 
@@ -82,7 +84,9 @@ class DriftModel:
         drifted_pooling = max(1.0, feature.avg_pooling * (1.0 + pct / 100.0))
         return replace(feature, avg_pooling=drifted_pooling, alpha=alpha)
 
-    def drift_model(self, model: ModelSpec, month: float, name: str | None = None) -> ModelSpec:
+    def drift_model(
+        self, model: ModelSpec, month: float, name: str | None = None
+    ) -> ModelSpec:
         """Model spec with every feature drifted to ``month``."""
         from dataclasses import replace
 

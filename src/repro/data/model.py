@@ -231,7 +231,9 @@ def _build_rm(
     seed: int,
 ) -> ModelSpec:
     features = generate_feature_population(num_features=num_features, seed=seed)
-    target_total = max(num_features, int(round(PAPER_TOTAL_HASH_SIZE[name] * row_scale)))
+    target_total = max(
+        num_features, int(round(PAPER_TOTAL_HASH_SIZE[name] * row_scale))
+    )
     features = _normalize_total_hash_size(features, target_total)
     tables = tuple(EmbeddingTableSpec(feature=f, dim=dim) for f in features)
     return ModelSpec(name=name, tables=tables)
@@ -255,8 +257,12 @@ def rm2(
 ) -> ModelSpec:
     """RM2: same features as RM1 with hash sizes ~doubled (Table 2)."""
     base = rm1(row_scale, num_features, dim, seed)
-    target_total = max(num_features, int(round(PAPER_TOTAL_HASH_SIZE["RM2"] * row_scale)))
-    features = _normalize_total_hash_size([t.feature for t in base.tables], target_total)
+    target_total = max(
+        num_features, int(round(PAPER_TOTAL_HASH_SIZE["RM2"] * row_scale))
+    )
+    features = _normalize_total_hash_size(
+        [t.feature for t in base.tables], target_total
+    )
     return ModelSpec(
         name="RM2",
         tables=tuple(replace(t, feature=f) for t, f in zip(base.tables, features)),
@@ -271,8 +277,12 @@ def rm3(
 ) -> ModelSpec:
     """RM3: same features as RM1 with hash sizes ~quadrupled (Table 2)."""
     base = rm1(row_scale, num_features, dim, seed)
-    target_total = max(num_features, int(round(PAPER_TOTAL_HASH_SIZE["RM3"] * row_scale)))
-    features = _normalize_total_hash_size([t.feature for t in base.tables], target_total)
+    target_total = max(
+        num_features, int(round(PAPER_TOTAL_HASH_SIZE["RM3"] * row_scale))
+    )
+    features = _normalize_total_hash_size(
+        [t.feature for t in base.tables], target_total
+    )
     return ModelSpec(
         name="RM3",
         tables=tuple(replace(t, feature=f) for t, f in zip(base.tables, features)),

@@ -80,7 +80,9 @@ class _FeatureSampler:
             cdf[-1] = 1.0
             self.post_hash_cdf = cdf
 
-    def sample_feature(self, batch_size: int, rng: np.random.Generator) -> JaggedFeature:
+    def sample_feature(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> JaggedFeature:
         present = rng.random(batch_size) < self.coverage
         lengths = np.zeros(batch_size, dtype=np.int64)
         num_present = int(present.sum())

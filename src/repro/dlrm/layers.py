@@ -112,7 +112,9 @@ class EmbeddingBag:
         np.subtract.at(self.weight, feature.values, lr * per_lookup)
 
 
-def _segment_sum(values: np.ndarray, offsets: np.ndarray, batch_size: int) -> np.ndarray:
+def _segment_sum(
+    values: np.ndarray, offsets: np.ndarray, batch_size: int
+) -> np.ndarray:
     """Sum-pool flat gathered rows into per-sample vectors."""
     out = np.zeros((batch_size, values.shape[1]))
     segment_ids = np.repeat(np.arange(batch_size), np.diff(offsets))

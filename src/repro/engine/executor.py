@@ -296,6 +296,59 @@ class ShardedExecutor:
             return self.run_jagged(batch)
         return self._run_batch_scalar(batch)
 
+    # ------------------------------------------------------------------
+    # Classification / reduction split (multi-process serving seam)
+    # ------------------------------------------------------------------
+    def classify_batch(
+        self, batch: JaggedBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Run only the (stateless) classification lanes on one batch.
+
+        Returns the per-``(table, tier)`` access counts, the per-tier
+        fast-lane hit counts, and the per-table replica-lane counts
+        (``None`` without replication) — everything
+        :meth:`reduce_classified` needs to produce the batch's metrics.
+
+        This is the multi-process serving seam: classification touches
+        every lookup but no cross-batch state, so worker processes can
+        run it in parallel, while the *stateful* reduction (the replica
+        router's running least-loaded byte counters) is replayed by the
+        front-end aggregator in batch order — keeping merged metrics
+        bit-identical to a single-process run.
+        """
+        if self.vectorized:
+            return self._classify_jagged(batch)
+        return self._classify_scalar(batch)
+
+    def reduce_classified(
+        self,
+        counts: np.ndarray,
+        hits: np.ndarray,
+        replicas: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pool classified counts into per-device metrics (stateful).
+
+        The public face of :meth:`_reduce_counts` for callers that split
+        classification from reduction (the multi-process aggregator).
+        With replication enabled this advances the executor's running
+        routing counters, so call it exactly once per batch, in batch
+        order.
+        """
+        return self._reduce_counts(
+            np.asarray(counts, dtype=np.int64),
+            np.asarray(hits, dtype=np.int64),
+            None if replicas is None else np.asarray(replicas, dtype=np.int64),
+        )
+
+    def reset_routing(self) -> None:
+        """Zero the replica router's running load counters.
+
+        Starts an independent routing history on the same plan — what a
+        server reset needs to replay a second stream as if the executor
+        were freshly built (a no-op without replication).
+        """
+        self._replica_load[:] = 0
+
     def _fused_lane_edges(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-(table, tier) boundary and cutoff edges, base-shifted.
 
@@ -328,6 +381,12 @@ class ShardedExecutor:
         instead of several numpy calls per feature or a binary search
         per lookup.
         """
+        return self._reduce_counts(*self._classify_jagged(batch))
+
+    def _classify_jagged(
+        self, batch: JaggedBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Gather + fused classification of one jagged batch (no reduce)."""
         num_tables = len(self.plan)
         if batch.num_features != num_tables:
             raise ValueError(
@@ -338,9 +397,17 @@ class ShardedExecutor:
         total = batch.total_lookups
         if total == 0:
             zeros = np.zeros((num_tables, num_tiers), dtype=np.int64)
-            return self._reduce_counts(zeros, zeros)
+            replicas = (
+                np.zeros(num_tables, dtype=np.int64)
+                if self._has_replicas
+                else None
+            )
+            return zeros, zeros.copy(), replicas
         dtype = self.ranker.fused_dtype
-        if self._flat_rank_scratch.dtype != dtype or self._flat_rank_scratch.size < total:
+        if (
+            self._flat_rank_scratch.dtype != dtype
+            or self._flat_rank_scratch.size < total
+        ):
             self._flat_rank_scratch = np.empty(total, dtype=dtype)
         flat = self._flat_rank_scratch[:total]
         tables, starts, pos = [], [], 0
@@ -360,7 +427,7 @@ class ShardedExecutor:
 
     def _classify_fused(
         self, flat: np.ndarray, tables: np.ndarray, starts: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """Multi-boundary linear classification of the flat rank buffer.
 
         Tier membership needs one prefix count per tier boundary:
@@ -416,7 +483,7 @@ class ShardedExecutor:
                 prev = below
             else:
                 counts[tables, t] = sizes - prev
-        return self._reduce_counts(counts, hits, replicas)
+        return counts, hits, replicas
 
     def run_ranked(
         self, ranked: RankedBatch
@@ -619,6 +686,12 @@ class ShardedExecutor:
         feed the same :meth:`_reduce_counts` as the vectorized paths,
         so agreement on classification means bit-identical metrics.
         """
+        return self._reduce_counts(*self._classify_scalar(batch))
+
+    def _classify_scalar(
+        self, batch: JaggedBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Per-lookup remap-table classification of one batch (no reduce)."""
         num_tables = len(self.plan)
         num_tiers = self.topology.num_tiers
         counts = np.zeros((num_tables, num_tiers), dtype=np.int64)
@@ -654,7 +727,7 @@ class ShardedExecutor:
                         )
             else:
                 counts[j] = self.remap_tables[j].tier_counts(feature.values)
-        return self._reduce_counts(counts, hits, replicas)
+        return counts, hits, replicas
 
     def run(self, batches) -> RunMetrics:
         """Execute a sequence of batches and collect metrics.

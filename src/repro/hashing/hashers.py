@@ -53,7 +53,10 @@ class MultiplyShiftHasher:
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._a = np.uint64(self._MULTIPLIERS[self.seed % 2] | 1)
-        self._b = np.uint64((self.seed * 0x5851F42D4C957F2D + 0x14057B7EF767814F) & 0xFFFFFFFFFFFFFFFF)
+        self._b = np.uint64(
+            (self.seed * 0x5851F42D4C957F2D + 0x14057B7EF767814F)
+            & 0xFFFFFFFFFFFFFFFF
+        )
 
     def hash64(self, values: np.ndarray) -> np.ndarray:
         x = values.astype(np.uint64, copy=False)

@@ -149,8 +149,12 @@ def three_tier_node(
     return SystemTopology(
         num_devices=num_gpus,
         tiers=(
-            MemoryTier("hbm", int(PAPER_HBM_RESERVED_BYTES * scale), HBM_GATHER_BANDWIDTH),
+            MemoryTier(
+                "hbm", int(PAPER_HBM_RESERVED_BYTES * scale), HBM_GATHER_BANDWIDTH
+            ),
             MemoryTier("uvm", int(PAPER_HOST_DRAM_BYTES * scale), UVM_GATHER_BANDWIDTH),
-            MemoryTier("ssd", int(ssd_capacity_gib * GIB * scale), SSD_GATHER_BANDWIDTH),
+            MemoryTier(
+                "ssd", int(ssd_capacity_gib * GIB * scale), SSD_GATHER_BANDWIDTH
+            ),
         ),
     )

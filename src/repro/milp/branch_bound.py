@@ -116,7 +116,9 @@ def solve_branch_bound(
     a_eq, b_eq = eq.build()
 
     counter = itertools.count()
-    root_obj, root_x = _solve_lp(objective, a_ub, b_ub, a_eq, b_eq, base_lower, base_upper)
+    root_obj, root_x = _solve_lp(
+        objective, a_ub, b_ub, a_eq, b_eq, base_lower, base_upper
+    )
     if root_x is None:
         return SolveResult(
             status=SolveStatus.INFEASIBLE,
@@ -149,7 +151,9 @@ def solve_branch_bound(
         node = heapq.heappop(heap)
         if node.bound >= best_obj - abs(best_obj) * gap_target:
             continue  # pruned by incumbent
-        lp_obj, lp_x = _solve_lp(objective, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper)
+        lp_obj, lp_x = _solve_lp(
+            objective, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper
+        )
         explored += 1
         if lp_x is None or lp_obj >= best_obj:
             continue
@@ -188,7 +192,9 @@ def solve_branch_bound(
 
     remaining_bound = min((n.bound for n in heap), default=best_obj)
     gap = abs(best_obj - remaining_bound) / max(1e-12, abs(best_obj))
-    status = SolveStatus.OPTIMAL if not heap or gap <= gap_target else SolveStatus.FEASIBLE
+    status = (
+        SolveStatus.OPTIMAL if not heap or gap <= gap_target else SolveStatus.FEASIBLE
+    )
     return SolveResult(
         status=status,
         objective=best_obj,

@@ -236,7 +236,9 @@ class Model:
     def _add_var(self, lb: float, ub: float, integer: bool, name: str) -> Var:
         if lb > ub:
             raise ValueError(f"variable {name!r} has lb {lb} > ub {ub}")
-        var = Var(name or f"x{len(self.variables)}", lb, ub, integer, len(self.variables))
+        var = Var(
+            name or f"x{len(self.variables)}", lb, ub, integer, len(self.variables)
+        )
         self.variables.append(var)
         return var
 

@@ -20,7 +20,9 @@ _STATUS_MAP = {
 }
 
 
-def _build_constraint_matrix(compiled) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+def _build_constraint_matrix(
+    compiled,
+) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
     """Assemble the sparse row-major constraint matrix and its bounds."""
     data: list[float] = []
     row_idx: list[int] = []

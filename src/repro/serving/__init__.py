@@ -31,6 +31,16 @@ Components:
 * :class:`~repro.serving.server.DriftMonitor` — online per-feature
   pooling statistics compared against the profile the current plan was
   built from (Section 3.5's drift, detected rather than assumed).
+* :class:`~repro.serving.mp.MultiProcessServer` — the wall-clock
+  runtime: a pool of worker processes classifying microbatches handed
+  over zero-copy in shared memory
+  (:meth:`~repro.serving.arena.RequestArena.to_shm`), with a
+  sequential front-end aggregator whose merged metrics are
+  bit-identical to a single-process ``serve_arenas`` run.
+* :mod:`~repro.serving.loadgen` — first-class arrival processes
+  (:class:`~repro.serving.loadgen.PoissonArrivals`,
+  :class:`~repro.serving.loadgen.BurstyArrivals`) for open-loop load
+  generation under arbitrary traffic shapes.
 
 Quickstart::
 
@@ -51,9 +61,20 @@ Quickstart::
     print(metrics.format_report())
 """
 
-from repro.serving.arena import RequestArena
+from repro.serving.arena import RequestArena, ShmArena, ShmArenaHandle
+from repro.serving.loadgen import (
+    BurstyArrivals,
+    PoissonArrivals,
+    generate_request_arenas,
+)
 from repro.serving.metrics import ServingMetrics
-from repro.serving.queue import LookupRequest, MicroBatchQueue, coalesce_requests
+from repro.serving.mp import MultiProcessServer, WorkerCrashError
+from repro.serving.queue import (
+    LookupRequest,
+    MicroBatchQueue,
+    coalesce_requests,
+    iter_microbatch_arenas,
+)
 from repro.serving.server import (
     DriftMonitor,
     LookupServer,
@@ -63,14 +84,22 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "BurstyArrivals",
     "DriftMonitor",
     "LookupRequest",
     "LookupServer",
     "MicroBatchQueue",
+    "MultiProcessServer",
+    "PoissonArrivals",
     "RequestArena",
     "ServingConfig",
     "ServingMetrics",
+    "ShmArena",
+    "ShmArenaHandle",
+    "WorkerCrashError",
     "coalesce_requests",
+    "generate_request_arenas",
+    "iter_microbatch_arenas",
     "synthetic_request_arenas",
     "synthetic_request_stream",
 ]

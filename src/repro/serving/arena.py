@@ -24,12 +24,22 @@ arena-backed generation.
 
 from __future__ import annotations
 
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Iterator
 
 import numpy as np
 
 from repro.data.batch import JaggedBatch, JaggedFeature
 from repro.serving.queue import LookupRequest, coalesce_requests
+
+#: per-process counter for default shared-memory segment names.
+_SHM_SEQ = itertools.count()
+
+#: prefix of every segment this module creates (leak checks scan for it).
+SHM_NAME_PREFIX = "recshard-arena"
 
 
 class RequestArena:
@@ -172,3 +182,184 @@ class RequestArena:
             np.array([r.arrival_ms for r in requests], dtype=np.float64),
             base_id=requests[0].request_id,
         )
+
+    # ------------------------------------------------------------------
+    # Shared-memory handoff (multi-process serving)
+    # ------------------------------------------------------------------
+    def to_shm(self, name: str | None = None) -> "ShmArena":
+        """Pack this arena into one shared-memory segment.
+
+        Returns the owning :class:`ShmArena`; ship its picklable
+        :attr:`ShmArena.handle` across the process boundary and rebuild
+        a zero-copy view with :meth:`from_shm`.  The caller owns the
+        segment's lifetime (:meth:`ShmArena.unlink`).
+        """
+        return ShmArena.create(self, name=name)
+
+    @classmethod
+    def from_shm(cls, handle: "ShmArenaHandle") -> "ShmArena":
+        """Attach to a segment created by :meth:`to_shm`.
+
+        The returned :class:`ShmArena`'s :attr:`ShmArena.arena` exposes
+        this arena's arrays as zero-copy views over the shared buffer;
+        call :meth:`ShmArena.close` (after dropping the views) when done.
+        """
+        return ShmArena.attach(handle)
+
+
+@dataclass(frozen=True)
+class ShmArenaHandle:
+    """Picklable description of one arena's shared-memory layout.
+
+    The segment holds, 8-byte aligned and in order: the ``arrival_ms``
+    array (float64), every feature's ``offsets`` array (int64, length
+    ``num_requests + 1`` each), then every feature's ``values`` array
+    (int64).  Everything needed to rebuild the views travels in this
+    handle, so the buffer itself carries no header.
+    """
+
+    name: str
+    num_requests: int
+    base_id: int
+    feature_lookups: tuple[int, ...]
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_lookups)
+
+    @property
+    def total_bytes(self) -> int:
+        return 8 * (
+            self.num_requests
+            + self.num_features * (self.num_requests + 1)
+            + sum(self.feature_lookups)
+        )
+
+
+class ShmArena:
+    """One :class:`RequestArena` materialized in a shared-memory segment.
+
+    Two roles, one class: the *owner* side (:meth:`create`) packs an
+    arena into a fresh segment and is responsible for :meth:`unlink`;
+    the *attached* side (:meth:`attach`, usually a worker process)
+    rebuilds the arena as zero-copy views over the same physical pages
+    and only ever :meth:`close`\\ s its mapping.  This is the handoff
+    that lets the columnar fast path survive the process boundary: a
+    microbatch crosses as one segment name plus layout metadata, not as
+    a pickle of its arrays.
+    """
+
+    __slots__ = ("handle", "owner", "_shm", "_arena")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        handle: ShmArenaHandle,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.handle = handle
+        self.owner = owner
+        self._arena: RequestArena | None = None
+
+    @classmethod
+    def create(cls, arena: RequestArena, name: str | None = None) -> "ShmArena":
+        """Pack ``arena`` into a new segment (owner side)."""
+        handle = ShmArenaHandle(
+            name=(
+                name
+                if name is not None
+                else f"{SHM_NAME_PREFIX}-{os.getpid()}-{next(_SHM_SEQ)}"
+            ),
+            num_requests=arena.num_requests,
+            base_id=arena.base_id,
+            feature_lookups=tuple(
+                int(f.values.size) for f in arena.batch
+            ),
+        )
+        # A segment must be at least one byte even for an empty arena.
+        shm = shared_memory.SharedMemory(
+            name=handle.name, create=True, size=max(handle.total_bytes, 1)
+        )
+        raw = np.frombuffer(shm.buf, dtype=np.uint8)
+        n = handle.num_requests
+        pos = 8 * n
+        raw[:pos].view(np.float64)[:] = arena.arrival_ms
+        for feature in arena.batch:
+            raw[pos: pos + 8 * (n + 1)].view(np.int64)[:] = feature.offsets
+            pos += 8 * (n + 1)
+        for feature in arena.batch:
+            end = pos + 8 * feature.values.size
+            raw[pos:end].view(np.int64)[:] = feature.values
+            pos = end
+        del raw  # release the buffer export so close() stays possible
+        return cls(shm, handle, owner=True)
+
+    @classmethod
+    def attach(cls, handle: ShmArenaHandle) -> "ShmArena":
+        """Attach to an existing segment (worker side)."""
+        return cls(
+            shared_memory.SharedMemory(name=handle.name), handle, owner=False
+        )
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    @property
+    def arena(self) -> RequestArena:
+        """The arena as zero-copy views over the shared buffer.
+
+        Built once per attachment; all feature arrays and ``arrival_ms``
+        alias the segment's pages (no duplication), so writes through
+        one process's views are visible to every other attachment.
+        """
+        if self._arena is None:
+            handle = self.handle
+            n = handle.num_requests
+            raw = np.frombuffer(self._shm.buf, dtype=np.uint8)
+            arrival = raw[: 8 * n].view(np.float64)
+            pos = 8 * n
+            offsets = []
+            for _ in range(handle.num_features):
+                offsets.append(raw[pos: pos + 8 * (n + 1)].view(np.int64))
+                pos += 8 * (n + 1)
+            features = []
+            for j, lookups in enumerate(handle.feature_lookups):
+                end = pos + 8 * lookups
+                features.append(
+                    JaggedFeature.from_validated(
+                        raw[pos:end].view(np.int64), offsets[j]
+                    )
+                )
+                pos = end
+            self._arena = RequestArena(
+                JaggedBatch(features), arrival, base_id=handle.base_id
+            )
+        return self._arena
+
+    def close(self) -> None:
+        """Drop this process's mapping (owner and attached sides).
+
+        The cached arena views are released first; if the caller still
+        holds live views into the buffer the unmap is deferred to
+        process exit rather than raised — the segment's *lifetime* is
+        governed by :meth:`unlink`, not by mappings.
+        """
+        self._arena = None
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; idempotent).
+
+        Safe while other processes still hold mappings — POSIX keeps
+        the pages alive until the last mapping drops — and after a
+        prior :meth:`close` of the owner's own mapping.
+        """
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass

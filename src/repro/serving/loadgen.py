@@ -1,0 +1,198 @@
+"""Open-loop load generation for the serving runtimes.
+
+The single-process simulator draws Poisson arrivals inline
+(:func:`~repro.serving.server.synthetic_request_arenas`); the
+multi-process runtime needs the arrival *process* as a first-class
+object so the same request stream can be generated under different
+traffic shapes — steady Poisson for scaling measurements, bursty
+on/off cycles for overload and shedding tests.
+
+Both processes here are frozen dataclasses whose arrival draws are pure
+functions of ``(rng, now_ms, count)``: streams replay bit-for-bit per
+seed, and :class:`PoissonArrivals` reproduces the inline generator's
+gap sequence exactly (same ``rng.exponential`` call, same prepended
+cumulative sum), so swapping a ``qps`` float for
+``PoissonArrivals(qps)`` changes nothing downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from repro.data.model import ModelSpec
+from repro.data.synthetic import SamplerBank
+from repro.serving.arena import RequestArena
+
+
+class ArrivalProcess(Protocol):
+    """A traffic shape: draws absolute arrival times for a chunk."""
+
+    @property
+    def mean_qps(self) -> float:
+        """Long-run mean offered load (requests/second)."""
+        ...
+
+    def arrivals(
+        self, rng: np.random.Generator, now_ms: float, count: int
+    ) -> np.ndarray:
+        """Draw ``count`` non-decreasing arrival times after ``now_ms``."""
+        ...
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Steady open-loop traffic: exponential gaps at a fixed rate.
+
+    Bit-reproduces the gap sequence of
+    :func:`~repro.serving.server.synthetic_request_arenas` for the same
+    generator state, so single- and multi-process runs of the same
+    seeded stream see identical timestamps.
+
+    Attributes:
+        qps: mean arrival rate (requests/second, > 0).
+    """
+
+    qps: float
+
+    def __post_init__(self):
+        if self.qps <= 0:
+            raise ValueError("qps must be > 0")
+
+    @property
+    def mean_qps(self) -> float:
+        return self.qps
+
+    def arrivals(
+        self, rng: np.random.Generator, now_ms: float, count: int
+    ) -> np.ndarray:
+        gaps = rng.exponential(1e3 / self.qps, size=count)
+        # Prepending ``now`` keeps float associativity identical to a
+        # scalar ``now += gap`` loop (see synthetic_request_arenas).
+        return np.cumsum(np.concatenate(([now_ms], gaps)))[1:]
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """On/off traffic: Poisson bursts separated by (near-)idle windows.
+
+    Time is tiled into ``burst_ms + idle_ms`` cycles anchored at
+    ``t = 0``: inside the first ``burst_ms`` of each cycle requests
+    arrive at ``burst_qps``, in the remainder at ``idle_qps`` (which
+    may be 0 for true silence).  Exponential gaps are memoryless, so
+    restarting the draw at each phase boundary yields an exact
+    piecewise-constant-rate Poisson process; phase membership depends
+    only on absolute simulated time, never on generator history.
+
+    Attributes:
+        burst_qps: arrival rate inside a burst (> 0).
+        idle_qps: arrival rate between bursts (>= 0).
+        burst_ms: burst window length (> 0).
+        idle_ms: idle window length (> 0).
+    """
+
+    burst_qps: float
+    idle_qps: float = 0.0
+    burst_ms: float = 50.0
+    idle_ms: float = 50.0
+
+    def __post_init__(self):
+        if self.burst_qps <= 0:
+            raise ValueError("burst_qps must be > 0")
+        if self.idle_qps < 0:
+            raise ValueError("idle_qps must be >= 0")
+        if self.burst_ms <= 0 or self.idle_ms <= 0:
+            raise ValueError("burst_ms and idle_ms must be > 0")
+
+    @property
+    def period_ms(self) -> float:
+        return self.burst_ms + self.idle_ms
+
+    @property
+    def mean_qps(self) -> float:
+        return (
+            self.burst_qps * self.burst_ms + self.idle_qps * self.idle_ms
+        ) / self.period_ms
+
+    def arrivals(
+        self, rng: np.random.Generator, now_ms: float, count: int
+    ) -> np.ndarray:
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        t = float(now_ms)
+        while filled < count:
+            phase = t % self.period_ms
+            in_burst = phase < self.burst_ms
+            rate = self.burst_qps if in_burst else self.idle_qps
+            phase_end = t - phase + (
+                self.burst_ms if in_burst else self.period_ms
+            )
+            if rate <= 0:
+                t = phase_end
+                continue
+            need = count - filled
+            gaps = rng.exponential(1e3 / rate, size=need)
+            times = np.cumsum(np.concatenate(([t], gaps)))[1:]
+            # Arrivals past the phase boundary are discarded and the
+            # draw restarts at the boundary (exact by memorylessness).
+            in_phase = int(np.searchsorted(times, phase_end, side="left"))
+            if in_phase >= need:
+                out[filled:] = times
+                filled = count
+                t = float(times[-1])
+            else:
+                out[filled : filled + in_phase] = times[:in_phase]
+                filled += in_phase
+                t = phase_end
+        return out
+
+
+def generate_request_arenas(
+    model: ModelSpec,
+    num_requests: int,
+    process: ArrivalProcess,
+    seed: int = 0,
+    start_ms: float = 0.0,
+    chunk_size: int = 512,
+) -> Iterator[RequestArena]:
+    """Seeded open-loop arena stream under an arbitrary arrival process.
+
+    The traffic-shape-generic twin of
+    :func:`~repro.serving.server.synthetic_request_arenas`: sample
+    content is drawn identically (same per-chunk child seeds from the
+    same parent generator), only the timestamps come from ``process``.
+    With ``PoissonArrivals(qps)`` the two functions yield bit-identical
+    streams per seed — pinned by the loadgen tests and relied on by the
+    mp-vs-single-process parity suite.
+
+    Args:
+        model: workload spec.
+        num_requests: stream length.
+        process: arrival process (Poisson, bursty, ...).
+        seed: RNG seed; streams replay identically per seed.
+        start_ms: timestamp of the stream's start.
+        chunk_size: samples drawn per arena chunk (efficiency knob).
+
+    Yields:
+        :class:`~repro.serving.arena.RequestArena` chunks in arrival
+        order.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    bank = SamplerBank()
+    bank.refresh(model)
+    now = float(start_ms)
+    emitted = 0
+    while emitted < num_requests:
+        count = min(chunk_size, num_requests - emitted)
+        chunk_rng = np.random.default_rng(int(rng.integers(2**31)))
+        batch = bank.sample_batch(count, chunk_rng)
+        arrivals = process.arrivals(rng, now, count)
+        now = float(arrivals[-1])
+        yield RequestArena(batch, arrivals, base_id=emitted)
+        emitted += count

@@ -63,6 +63,10 @@ class ServingMetrics:
         self._replica_chunks: list[np.ndarray] = []
         self._replica_total: np.ndarray | None = None
         self._num_requests = 0
+        # Requests rejected by overload shedding (multi-process paced
+        # mode); 0 in every closed-loop/parity run, and surfaced in the
+        # summary only when nonzero so those schemas are unchanged.
+        self.shed_requests = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -118,6 +122,18 @@ class ServingMetrics:
             else:
                 self._replica_total += replica
         self._num_requests += arrivals.size
+
+    def record_shed(self, count: int) -> None:
+        """Record ``count`` requests rejected by overload shedding.
+
+        Shed requests never execute: they appear in no latency, QPS, or
+        access figure, only in this counter — so
+        ``offered == num_requests + shed_requests`` holds exactly for a
+        paced run (the accounting the overload stress test pins).
+        """
+        if count < 0:
+            raise ValueError("shed count must be >= 0")
+        self.shed_requests += int(count)
 
     def record_replan(self, now_ms: float, build_wall_ms: float = 0.0) -> None:
         """Record a drift-triggered re-shard at simulated ``now_ms``.
@@ -314,7 +330,9 @@ class ServingMetrics:
                 float(self.queue_waits_ms().mean()) if self._num_requests else 0.0
             ),
             "max_device_utilization": float(utilization.max(initial=0.0)),
-            "mean_device_utilization": float(utilization.mean()) if utilization.size else 0.0,
+            "mean_device_utilization": (
+                float(utilization.mean()) if utilization.size else 0.0
+            ),
             "replans": self.num_replans,
         }
         if self._tier_access_total is not None:
@@ -328,6 +346,8 @@ class ServingMetrics:
             out["load_imbalance"] = self.load_imbalance
         if self._replica_total is not None:
             out["replica_hits"] = int(self._replica_total.sum())
+        if self.shed_requests:
+            out["shed_requests"] = self.shed_requests
         if not deterministic_only:
             out["replan_build_total_ms"] = self.replan_build_total_ms
         return out
@@ -363,6 +383,13 @@ class ServingMetrics:
             lines.append(
                 f"replica lane:      {s['replica_hits']} lookups "
                 f"({share:.2%}) routed least-loaded"
+            )
+        if self.shed_requests:
+            offered = self.num_requests + self.shed_requests
+            lines.append(
+                f"overload shedding: {self.shed_requests} of {offered} "
+                f"offered requests rejected "
+                f"({self.shed_requests / offered:.2%})"
             )
         if self.num_replans:
             at = ", ".join(f"{t:.0f}" for t in self.replan_ms)

@@ -1,0 +1,532 @@
+"""Multi-process serving runtime: worker pool over shared-memory arenas.
+
+Everything the repo measured before this module ran in one Python
+process, so every QPS figure was simulated-clock only.  This runtime
+puts the columnar fast path under *real* concurrency, in the shape
+production stacks use (TorchRec inference: a batching queue feeding a
+pool of executor workers):
+
+* the **front-end** (one process) runs the shared admission pass
+  (:func:`~repro.serving.queue.iter_microbatch_arenas`), packs each
+  released microbatch into a shared-memory segment
+  (:meth:`~repro.serving.arena.RequestArena.to_shm`), and dispatches
+  ``(seq, handle)`` tasks on a bounded MPMC queue;
+* each **worker** process attaches the segment zero-copy, runs the
+  executor's stateless *classification* lanes (tier binning, cache and
+  staging fast lanes, replica-cut membership) on the batch, and ships
+  the small per-table count matrices back on a results queue;
+* the front-end **aggregator** replays the stateful *reduction* — count
+  pooling, least-loaded replica routing, the single simulated engine
+  clock — strictly in release (``seq``) order.
+
+That classification/reduction split is what makes worker count a pure
+throughput knob: replica routing and the busy-clock are sequential
+cross-batch state, so they stay in one place, and the merged
+:class:`~repro.serving.metrics.ServingMetrics` are **bit-identical** to
+a single-process :meth:`~repro.serving.server.LookupServer.serve_arenas`
+run of the same stream at any worker count — the parity the
+cross-process test suite pins.  The processes parallelize the physical
+CPU work (the per-lookup classification, which dominates), not the
+simulated topology.
+
+Two serving modes:
+
+* :meth:`MultiProcessServer.serve_arenas` — closed-loop/throughput
+  mode: dispatch as fast as the bounded queue admits.  Wall-clock QPS
+  of this mode is what ``bench_serving_mp`` gates on.
+* :meth:`MultiProcessServer.serve_paced` — open-loop mode: each
+  microbatch is offered at the wall-clock time its simulated release
+  dictates; when the task queue is full the batch is **shed** (rejected
+  newest-first, at batch granularity) instead of queued, so overload
+  keeps the queue bounded by construction and
+  ``offered == served + shed`` exactly.
+
+The plan is fixed for the lifetime of the pool (drift-triggered
+replanning remains a single-process feature; a replan would invalidate
+every worker's executor mid-stream).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.engine.executor import ShardedExecutor
+from repro.engine.ranked import RankRemapper
+from repro.serving.arena import RequestArena, ShmArena
+from repro.serving.metrics import ServingMetrics
+from repro.serving.queue import iter_microbatch_arenas
+from repro.serving.server import LookupServer, ServingConfig
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while the front-end still owed it work.
+
+    Raised by the front-end instead of blocking forever on the results
+    queue — the hang-free failure mode the stress suite asserts.  The
+    chaos drill that *recovers* from this (reroute the dead worker's
+    share via the PR-5 replicas) is ROADMAP item 5; surfacing the crash
+    promptly is its prerequisite.
+    """
+
+
+def _worker_main(worker_id, spec, task_queue, result_queue):
+    """Worker process body: classify microbatches until told to stop.
+
+    Builds its own :class:`~repro.engine.executor.ShardedExecutor` from
+    the picklable ``spec`` (spawn-safe; under fork this is cheap and
+    keeps the code path identical), then loops: attach the task's
+    shared-memory arena, run the stateless classification lanes, close
+    the mapping, ship the count matrices back.  A ``None`` task is the
+    shutdown sentinel.  Per-task exceptions are reported as ``err``
+    results rather than killing the worker; only queue-level failures
+    end the loop.
+    """
+    model, plan, profile, topology, cache, staging, vectorized = spec
+    executor = ShardedExecutor(
+        model, plan, profile, topology,
+        cache=cache, staging=staging,
+        vectorized=vectorized, ranker=RankRemapper(profile),
+    )
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        seq, handle = task
+        try:
+            shm = ShmArena.attach(handle)
+            try:
+                counts, hits, replicas = executor.classify_batch(
+                    shm.arena.batch
+                )
+            finally:
+                shm.close()
+            result_queue.put(("ok", seq, worker_id, counts, hits, replicas))
+        except Exception as exc:  # surfaced, never swallowed into a hang
+            result_queue.put(
+                ("err", seq, worker_id, f"{type(exc).__name__}: {exc}")
+            )
+
+
+class MultiProcessServer:
+    """Serve a fixed sharding plan with a pool of worker processes.
+
+    Construction mirrors :class:`~repro.serving.server.LookupServer`
+    (same ``plan=``/``sharder=`` choice, cache/staging/replication
+    lanes, :class:`~repro.serving.server.ServingConfig` tunables) — a
+    ``sharder`` is used once to build the initial plan and then
+    dropped, because the pool serves a frozen plan.  The front-end
+    keeps an in-process :class:`LookupServer` as the aggregation spine:
+    its executor performs the sequential reductions and its metrics
+    object accumulates the merged results, so summaries and reports
+    come out in exactly the single-process schema.
+
+    Args:
+        model, profile, topology, plan, sharder, config, cache,
+        staging, replication, vectorized: as for ``LookupServer``.
+        workers: worker process count (>= 1).
+        queue_depth: task-queue bound (default ``2 * workers``) — the
+            backpressure knob; also what overload shedding pushes
+            against in paced mode.
+        start_method: multiprocessing start method (``"fork"``,
+            ``"spawn"``, ...); ``None`` uses the platform default.
+        result_timeout_s: longest the front-end will wait on the
+            results queue with work outstanding before declaring the
+            pool wedged (:class:`WorkerCrashError`).
+    """
+
+    #: poll granularity for result waits and crash checks (seconds).
+    _POLL_S = 0.05
+
+    def __init__(
+        self,
+        model,
+        profile,
+        topology,
+        plan=None,
+        sharder=None,
+        config: ServingConfig | None = None,
+        cache=None,
+        staging=None,
+        replication=None,
+        vectorized: bool = True,
+        workers: int = 2,
+        queue_depth: int | None = None,
+        start_method: str | None = None,
+        result_timeout_s: float = 30.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        spine = LookupServer(
+            model, profile, topology,
+            plan=plan, sharder=sharder, config=config,
+            cache=cache, staging=staging, replication=replication,
+            vectorized=vectorized,
+        )
+        # Freeze the plan: the pool never replans, so the spine's drift
+        # machinery (monitor, profiler, sharder) is dropped and its
+        # _execute-equivalent below skips the observation branch.
+        spine.sharder = None
+        spine.monitor = None
+        spine._profiler = None
+        self._spine = spine
+        self.workers = int(workers)
+        self.queue_depth = (
+            int(queue_depth) if queue_depth is not None else 2 * self.workers
+        )
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.result_timeout_s = float(result_timeout_s)
+        self._ctx = (
+            mp.get_context(start_method)
+            if start_method is not None
+            else mp.get_context()
+        )
+        self._spec = (
+            model, spine.plan, spine.profile, topology,
+            cache, staging, bool(vectorized),
+        )
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    @property
+    def config(self) -> ServingConfig:
+        return self._spine.config
+
+    @property
+    def plan(self):
+        return self._spine.plan
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        return self._spine.metrics
+
+    def reset_serving_state(self) -> None:
+        """Start an independent stream on the same plan and worker pool.
+
+        Resets the aggregator spine (metrics, simulated clock, replica
+        routing history) without restarting workers — their classify
+        pass is stateless, so only the front-end carries stream state.
+        """
+        self._spine.reset_serving_state()
+
+    def start(self) -> "MultiProcessServer":
+        """Spawn the worker pool (idempotent)."""
+        if self.started:
+            return self
+        # Start the parent's shared-memory resource tracker *before*
+        # forking, so workers inherit it instead of lazily spawning
+        # their own: attach-side registrations then collapse (set
+        # semantics) with the owner's, and the owner's unlink clears
+        # the single entry — no spurious "leaked shared_memory object"
+        # warnings at worker exit, while the tracker's crash-cleanup
+        # net stays intact.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        self._task_q = self._ctx.Queue(maxsize=self.queue_depth)
+        self._result_q = self._ctx.Queue()
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(i, self._spec, self._task_q, self._result_q),
+                daemon=True,
+                name=f"recshard-worker-{i}",
+            )
+            for i in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        return self
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Shut the pool down cleanly (idempotent).
+
+        Live workers get one ``None`` sentinel each and a join window;
+        stragglers (and already-crashed workers) are terminated.  Queues
+        are drained and closed so their feeder threads exit.
+        """
+        if not self.started:
+            return
+        deadline = time.perf_counter() + timeout_s
+        # One sentinel per live worker.  The task queue may be shallower
+        # than the pool (queue_depth < workers), so retry as workers
+        # drain it rather than dropping sentinels on a Full queue —
+        # a dropped sentinel would leave a worker blocked in get() for
+        # the whole join window.
+        sentinels = sum(1 for p in self._procs if p.is_alive())
+        while sentinels and time.perf_counter() < deadline:
+            try:
+                self._task_q.put(None, timeout=0.05)
+                sentinels -= 1
+            except queue_mod.Full:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.perf_counter()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (self._task_q, self._result_q):
+            try:
+                while True:
+                    q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                pass
+            q.close()
+            q.join_thread()
+        self._procs = []
+        self._task_q = None
+        self._result_q = None
+
+    def kill_worker(self, index: int) -> None:
+        """Chaos hook: hard-kill one worker (SIGKILL, no cleanup)."""
+        if not self.started:
+            raise ValueError("pool is not started")
+        self._procs[index].kill()
+        self._procs[index].join(timeout=5.0)
+
+    def __enter__(self) -> "MultiProcessServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving modes
+    # ------------------------------------------------------------------
+    def serve_arenas(self, arenas: Iterable[RequestArena]) -> ServingMetrics:
+        """Closed-loop mode: dispatch as fast as the queue admits.
+
+        Batch formation, execution semantics, and merged metrics are
+        bit-identical to the single-process
+        :meth:`~repro.serving.server.LookupServer.serve_arenas` on the
+        same stream; only the wall-clock cost of classification is
+        spread across the pool.  Raises :class:`WorkerCrashError` if a
+        worker dies (or the pool hangs) with work outstanding.
+        """
+        self.start()
+        released = iter_microbatch_arenas(
+            arenas, self.config.max_batch_size, self.config.max_delay_ms
+        )
+        return self._run(released, paced=False, speed=1.0)
+
+    def serve_paced(
+        self, arenas: Iterable[RequestArena], speed: float = 1.0
+    ) -> ServingMetrics:
+        """Open-loop mode: offer batches on the simulated release clock.
+
+        Each microbatch is offered at the wall-clock time its simulated
+        ``trigger_ms`` maps to (``speed`` simulated ms per wall ms; 2.0
+        replays a stream twice as fast).  A full task queue sheds the
+        offered batch — reject-newest, batch granularity, counted via
+        :meth:`~repro.serving.metrics.ServingMetrics.record_shed` — so
+        sustained overload keeps queueing bounded instead of unbounded.
+        Shed batches never execute; accounting stays exact:
+        ``offered == metrics.num_requests + metrics.shed_requests``.
+        """
+        if speed <= 0:
+            raise ValueError("speed must be > 0")
+        self.start()
+        released = iter_microbatch_arenas(
+            arenas, self.config.max_batch_size, self.config.max_delay_ms
+        )
+        return self._run(released, paced=True, speed=speed)
+
+    # ------------------------------------------------------------------
+    # Front-end event loop
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        released: Iterator[tuple[RequestArena, float]],
+        paced: bool,
+        speed: float,
+    ) -> ServingMetrics:
+        """Dispatch released microbatches, merge results in seq order.
+
+        ``pending`` holds each in-flight batch's owner-side segment plus
+        the accounting inputs (arrivals, trigger); ``results`` holds
+        classified counts that arrived out of order.  The aggregation
+        cursor advances over consecutive sequence numbers only, so
+        reductions replay in release order no matter which worker
+        finishes first.  All exits — normal, worker crash, worker error
+        — unlink every in-flight segment before returning or raising
+        (the no-orphaned-``/dev/shm`` invariant the leak tests scan
+        for).
+        """
+        pending: dict[int, tuple[ShmArena, np.ndarray, float]] = {}
+        results: dict[int, tuple] = {}
+        cursor = 0  # next seq to account
+        seq = 0
+        wall_start = None
+        first_trigger = None
+        try:
+            for arena, trigger in released:
+                if paced:
+                    if wall_start is None:
+                        wall_start = time.perf_counter()
+                        first_trigger = trigger
+                    due = wall_start + (trigger - first_trigger) / (
+                        1e3 * speed
+                    )
+                    while True:
+                        now = time.perf_counter()
+                        if now >= due:
+                            break
+                        cursor = self._drain(pending, results, cursor)
+                        self._check_workers(pending)
+                        time.sleep(min(self._POLL_S, due - now))
+                owner = arena.to_shm()
+                entry = (owner, np.array(arena.arrival_ms), trigger)
+                task = (seq, owner.handle)
+                if paced:
+                    try:
+                        self._task_q.put_nowait(task)
+                    except queue_mod.Full:
+                        # Overload: reject the newest batch outright.
+                        # Its seq is reused by the next dispatched batch
+                        # (shed batches never enter the in-order
+                        # accounting stream).
+                        owner.close()
+                        owner.unlink()
+                        self.metrics.record_shed(arena.num_requests)
+                        continue
+                    pending[seq] = entry
+                else:
+                    pending[seq] = entry
+                    while True:
+                        try:
+                            self._task_q.put(task, timeout=self._POLL_S)
+                            break
+                        except queue_mod.Full:
+                            cursor = self._drain(pending, results, cursor)
+                            self._check_workers(pending)
+                seq += 1
+                cursor = self._drain(pending, results, cursor)
+            # Stream exhausted: wait out the in-flight tail.
+            waited = 0.0
+            while pending or results:
+                advanced = self._drain(
+                    pending, results, cursor, block_s=self._POLL_S
+                )
+                waited = 0.0 if advanced != cursor else waited + self._POLL_S
+                cursor = advanced
+                self._check_workers(pending)
+                if waited >= self.result_timeout_s:
+                    raise WorkerCrashError(
+                        f"no results for {self.result_timeout_s:.1f} s with "
+                        f"{len(pending)} batches outstanding"
+                    )
+        except BaseException:
+            self._abort(pending)
+            raise
+        return self.metrics
+
+    def _drain(
+        self,
+        pending: dict,
+        results: dict,
+        cursor: int,
+        block_s: float = 0.0,
+    ) -> int:
+        """Pull available results, release their segments, account in order.
+
+        Returns the advanced sequence cursor.  A worker-reported ``err``
+        result aborts the run (after segment cleanup, via the caller's
+        except path).
+        """
+        while True:
+            try:
+                if block_s > 0:
+                    item = self._result_q.get(timeout=block_s)
+                    block_s = 0.0  # only the first get blocks
+                else:
+                    item = self._result_q.get_nowait()
+            except queue_mod.Empty:
+                break
+            if item[0] == "err":
+                _, err_seq, worker_id, message = item
+                raise RuntimeError(
+                    f"worker {worker_id} failed on batch {err_seq}: {message}"
+                )
+            _, got_seq, _, counts, hits, replicas = item
+            # The worker is done with the segment; the owner retires it.
+            owner, _, _ = pending[got_seq]
+            owner.close()
+            owner.unlink()
+            results[got_seq] = (counts, hits, replicas)
+        while cursor in results:
+            counts, hits, replicas = results.pop(cursor)
+            _, arrivals, trigger = pending.pop(cursor)
+            self._account(counts, hits, replicas, trigger, arrivals)
+            cursor += 1
+        return cursor
+
+    def _account(self, counts, hits, replicas, trigger_ms, arrivals_ms):
+        """Reduce one classified batch on the spine (sequential state).
+
+        Mirrors ``LookupServer._execute`` exactly, with the executor's
+        :meth:`~repro.engine.executor.ShardedExecutor.reduce_classified`
+        standing in for ``run_batch`` — same busy-clock advance, same
+        ``record_batch`` call — which is why the merged metrics match
+        the single-process run bit for bit.
+        """
+        spine = self._spine
+        start = max(trigger_ms, spine._busy_until_ms)
+        device_times, accesses, _, reps = spine.executor.reduce_classified(
+            counts, hits, replicas
+        )
+        service = (
+            float(device_times.max()) + spine.config.overhead_ms_per_batch
+        )
+        finish = start + service
+        spine._busy_until_ms = finish
+        spine.metrics.record_batch(
+            arrivals_ms,
+            start_ms=start,
+            finish_ms=finish,
+            device_times_ms=device_times,
+            total_lookups=int(accesses.sum()),
+            tier_accesses=accesses,
+            replica_accesses=(
+                reps if spine.executor.replication is not None else None
+            ),
+        )
+
+    def _check_workers(self, pending: dict) -> None:
+        """Raise :class:`WorkerCrashError` if a worker died mid-stream."""
+        dead = [
+            (proc.name, proc.exitcode)
+            for proc in self._procs
+            if not proc.is_alive()
+        ]
+        if dead:
+            detail = ", ".join(
+                f"{name} (exit {code})" for name, code in dead
+            )
+            raise WorkerCrashError(
+                f"worker(s) died with {len(pending)} batches in flight: "
+                f"{detail}"
+            )
+
+    def _abort(self, pending: dict) -> None:
+        """Error-path cleanup: no orphaned segments, no wedged pool."""
+        for owner, _, _ in pending.values():
+            owner.close()
+            owner.unlink()
+        pending.clear()
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        self.close(timeout_s=1.0)

@@ -86,6 +86,93 @@ def coalesce_requests(requests: list[LookupRequest]) -> JaggedBatch:
     return JaggedBatch(features)
 
 
+def iter_microbatch_arenas(arenas, max_batch_size: int, max_delay_ms: float):
+    """Vectorized admission over arena chunks: yield released microbatches.
+
+    The batch-formation core of the columnar serving fast path, shared
+    by the in-process :meth:`~repro.serving.server.LookupServer.serve_arenas`
+    loop and the multi-process front-end
+    (:class:`~repro.serving.mp.MultiProcessServer`), so both runtimes
+    release *identical* microbatches for a given stream — the structural
+    basis of their metrics parity.
+
+    Admission decisions depend only on arrival times, the size cap, and
+    the delay budget — never on execution — so release points are
+    computed directly on each chunk's arrival array: a batch starting at
+    request ``i`` either fills to the cap (released at the cap-th
+    arrival) or is flushed at ``arrival[i] + max_delay_ms`` by the first
+    later arrival past that deadline.  An undecided tail is carried as a
+    list of zero-copy slices (total size below the cap, every arrival
+    before the head's deadline) and only stitched when its batch
+    releases.  Release semantics match :class:`MicroBatchQueue` bit for
+    bit (``deadline <= now`` flushes before the newcomer is submitted).
+
+    Args:
+        arenas: :class:`~repro.serving.arena.RequestArena` chunks in
+            arrival order.
+        max_batch_size: microbatch release threshold in requests.
+        max_delay_ms: longest a request may wait for batchmates.
+
+    Yields:
+        ``(arena, trigger_ms)`` pairs — one zero-copy (or
+        tail-stitched) :class:`~repro.serving.arena.RequestArena` per
+        released microbatch, with the simulated release time.
+    """
+    from repro.serving.arena import RequestArena
+
+    cap = int(max_batch_size)
+    delay = float(max_delay_ms)
+    pending: list = []
+    pending_count = 0
+    for arena in arenas:
+        n = arena.num_requests
+        if n == 0:
+            continue
+        i = 0
+        if pending_count:
+            deadline = float(pending[0].arrival_ms[0]) + delay
+            flush = int(
+                np.searchsorted(arena.arrival_ms, deadline, side="left")
+            )
+            need = cap - pending_count
+            if need <= n and need <= flush:
+                i, trigger = need, float(arena.arrival_ms[need - 1])
+            elif flush < n:
+                i, trigger = flush, deadline
+            else:
+                pending.append(arena)
+                pending_count += n
+                continue
+            parts = pending + ([arena.slice(0, i)] if i else [])
+            yield RequestArena.concat(parts), trigger
+            pending, pending_count = [], 0
+        arrivals = arena.arrival_ms
+        while i < n:
+            deadline = float(arrivals[i]) + delay
+            # First later arrival at/past the deadline forces a flush
+            # *before* that request is admitted (queue semantics:
+            # deadline <= now flushes, then the newcomer is submitted).
+            flush = int(np.searchsorted(arrivals, deadline, side="left"))
+            if flush <= i:
+                flush = i + 1
+            if i + cap <= n and i + cap <= flush:
+                # Cap fills first: released at the cap-th arrival.
+                end, trigger = i + cap, float(arrivals[i + cap - 1])
+            elif flush < n:
+                end, trigger = flush, deadline
+            else:
+                pending, pending_count = [arena.slice(i, n)], n - i
+                break
+            yield arena.slice(i, end), trigger
+            i = end
+    if pending_count:
+        # Stream over: the tail waits out its delay budget (all of it
+        # arrived before the head's deadline, so it releases as one
+        # batch — mirroring the reference drain loop).
+        merged = RequestArena.concat(pending)
+        yield merged, float(merged.arrival_ms[0]) + delay
+
+
 @dataclass
 class MicroBatchQueue:
     """Admission queue releasing microbatches by size or delay bound.

@@ -64,7 +64,12 @@ from repro.engine.ranked import RankRemapper
 from repro.memory.topology import SystemTopology
 from repro.serving.arena import RequestArena
 from repro.serving.metrics import ServingMetrics
-from repro.serving.queue import LookupRequest, MicroBatchQueue, coalesce_requests
+from repro.serving.queue import (
+    LookupRequest,
+    MicroBatchQueue,
+    coalesce_requests,
+    iter_microbatch_arenas,
+)
 from repro.stats.profiler import TraceProfiler
 
 
@@ -369,6 +374,27 @@ class LookupServer:
             )
         self._num_installs += 1
 
+    def reset_serving_state(self) -> None:
+        """Start an independent run on the same installed plan.
+
+        Fresh metrics, admission queue, simulated clock, and replica
+        routing history — everything a *stream* accumulates, nothing a
+        *plan* owns.  Lets one server (or one multi-process pool, which
+        delegates here) serve several streams back to back with
+        per-stream metrics, e.g. repeated benchmark rounds.
+        """
+        self.queue = MicroBatchQueue(
+            max_batch_size=self.config.max_batch_size,
+            max_delay_ms=self.config.max_delay_ms,
+        )
+        self.metrics = ServingMetrics(
+            num_devices=self.topology.num_devices,
+            tier_names=self.topology.tier_names,
+        )
+        self._busy_until_ms = 0.0
+        self._batches_since_check = 0
+        self.executor.reset_routing()
+
     # ------------------------------------------------------------------
     # Reference event loop (per-request object path)
     # ------------------------------------------------------------------
@@ -422,14 +448,13 @@ class LookupServer:
     ) -> ServingMetrics:
         """Run the event loop columnar over arena chunks.
 
-        Admission decisions depend only on arrival times, the size cap,
-        and the delay budget — never on execution — so release points
-        are computed directly on the arrival array: a batch starting at
-        request ``i`` either fills to the cap (released at the cap-th
-        arrival) or is flushed at ``arrival[i] + max_delay_ms`` by the
-        first later arrival past that deadline.  Each released batch is
-        an offset slice of the arena.  Produces metrics bit-identical
-        to :meth:`serve` on the same request content (the parity the
+        Batch formation is the shared
+        :func:`~repro.serving.queue.iter_microbatch_arenas` admission
+        pass (release points computed vectorized on the arrival arrays;
+        each released batch an offset slice of the arena), also used by
+        the multi-process front-end — so the two runtimes release
+        identical microbatches.  Produces metrics bit-identical to
+        :meth:`serve` on the same request content (the parity the
         serving tests pin down).
 
         Args:
@@ -437,94 +462,11 @@ class LookupServer:
                 :func:`synthetic_request_arenas`).
             on_replan: optional callback, as in :meth:`serve`.
         """
-        cap = self.config.max_batch_size
-        delay = self.config.max_delay_ms
-        # An undecided tail is carried as a list of zero-copy slices
-        # (invariants: total size < cap, every arrival before the
-        # head's deadline) and only stitched when its batch releases —
-        # never by re-copying whole incoming chunks.
-        pending: list[RequestArena] = []
-        pending_count = 0
-        for arena in arenas:
-            n = arena.num_requests
-            if n == 0:
-                continue
-            i = 0
-            if pending_count:
-                deadline = float(pending[0].arrival_ms[0]) + delay
-                flush = int(
-                    np.searchsorted(arena.arrival_ms, deadline, side="left")
-                )
-                need = cap - pending_count
-                if need <= n and need <= flush:
-                    i, trigger = need, float(arena.arrival_ms[need - 1])
-                elif flush < n:
-                    i, trigger = flush, deadline
-                else:
-                    pending.append(arena)
-                    pending_count += n
-                    continue
-                parts = pending + ([arena.slice(0, i)] if i else [])
-                merged = RequestArena.concat(parts)
-                self._execute(
-                    merged.batch, trigger, merged.arrival_ms, on_replan
-                )
-                pending, pending_count = [], 0
-            tail = self._admit_chunk(arena, i, on_replan)
-            if tail is not None:
-                pending = [tail]
-                pending_count = tail.num_requests
-        if pending_count:
-            # Stream over: the tail waits out its delay budget (all of
-            # it arrived before the head's deadline, so it releases as
-            # one batch — mirroring the reference drain loop).
-            merged = RequestArena.concat(pending)
-            deadline = float(merged.arrival_ms[0]) + delay
-            self._execute(merged.batch, deadline, merged.arrival_ms, on_replan)
+        for arena, trigger in iter_microbatch_arenas(
+            arenas, self.config.max_batch_size, self.config.max_delay_ms
+        ):
+            self._execute(arena.batch, trigger, arena.arrival_ms, on_replan)
         return self.metrics
-
-    def _admit_chunk(
-        self,
-        arena: RequestArena,
-        start: int,
-        on_replan: Callable[[float], None] | None,
-    ) -> RequestArena | None:
-        """Release every batch decidable within ``arena[start:]``.
-
-        Returns the undecidable tail (a run that neither fills the cap
-        nor meets a flushing arrival before the chunk ends, always
-        shorter than the cap) as a zero-copy slice for the caller to
-        carry into the next chunk, or ``None`` when the chunk closes
-        cleanly.
-        """
-        arrivals = arena.arrival_ms
-        n = arena.num_requests
-        cap = self.config.max_batch_size
-        delay = self.config.max_delay_ms
-        i = start
-        while i < n:
-            deadline = float(arrivals[i]) + delay
-            # First later arrival at/past the deadline forces a flush
-            # *before* that request is admitted (queue semantics:
-            # deadline <= now flushes, then the newcomer is submitted).
-            flush = int(np.searchsorted(arrivals, deadline, side="left"))
-            if flush <= i:
-                flush = i + 1
-            if i + cap <= n and i + cap <= flush:
-                # Cap fills first: released at the cap-th arrival.
-                end, trigger = i + cap, float(arrivals[i + cap - 1])
-            elif flush < n:
-                end, trigger = flush, deadline
-            else:
-                return arena.slice(i, n)
-            self._execute(
-                arena.batch_view(i, end),
-                trigger,
-                arrivals[i:end],
-                on_replan,
-            )
-            i = end
-        return None
 
     # ------------------------------------------------------------------
     # Shared batch execution and replanning

@@ -210,7 +210,9 @@ def profile_trace(
     return profiler.finish()
 
 
-def analytic_profile(model: ModelSpec, virtual_samples: int = 1_000_000) -> ModelProfile:
+def analytic_profile(
+    model: ModelSpec, virtual_samples: int = 1_000_000
+) -> ModelProfile:
     """Exact expected profile straight from the model spec.
 
     Equivalent to profiling an infinitely long trace: per-row expected

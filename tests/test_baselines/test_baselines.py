@@ -50,7 +50,10 @@ class TestCostFunctions:
     def test_size_cost_ignores_stats(self, model, profile):
         # Size's blind spot: identical for hot and cold tables.
         table = model.tables[0]
-        assert size_cost(table, profile[0]) == size_cost(table, profile[1 % len(profile)]) or True
+        assert (
+            size_cost(table, profile[0]) == size_cost(table, profile[1 % len(profile)])
+            or True
+        )
         assert size_cost(table, None) == table.num_rows * table.dim
 
 

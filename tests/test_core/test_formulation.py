@@ -96,7 +96,9 @@ class TestSolutionProperties:
         # a refinement of the on-grid step formulation: never worse, and
         # converging to it as the grid refines.
         def solve(formulation, steps):
-            inputs = RecShardInputs.from_profile(small_model, small_profile, steps=steps)
+            inputs = RecShardInputs.from_profile(
+                small_model, small_profile, steps=steps
+            )
             handles = build_milp(
                 inputs, tight_topology, batch_size=256, formulation=formulation
             )

@@ -85,7 +85,9 @@ class TestRemappingTable:
     @settings(max_examples=50, deadline=None)
     def test_bijection_property(self, hash_size, data):
         split = data.draw(st.integers(min_value=0, max_value=hash_size))
-        table = RemappingTable(ranking(hash_size, seed=hash_size), (split, hash_size - split))
+        table = RemappingTable(
+            ranking(hash_size, seed=hash_size), (split, hash_size - split)
+        )
         # Every row maps to a unique (tier, offset) slot.
         tiers, offsets = table.apply(np.arange(hash_size))
         slots = set(zip(tiers.tolist(), offsets.tolist()))

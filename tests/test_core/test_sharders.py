@@ -31,7 +31,9 @@ class TestRecShardSharder:
     def test_tight_plan_splits_tables(self, small_model, small_profile, tight_topology):
         plan = self.shard(small_model, small_profile, tight_topology)
         split_tables = [
-            p for p in plan if 0 < p.hbm_rows < small_model.tables[p.table_index].num_rows
+            p
+            for p in plan
+            if 0 < p.hbm_rows < small_model.tables[p.table_index].num_rows
         ]
         assert split_tables, "expected fine-grained splits under memory pressure"
 
@@ -192,7 +194,9 @@ class TestMultiTierSharder:
         ).shard(small_model, small_profile, topo3)
         plan.validate(small_model, topo3)
 
-    def test_two_tier_reduces_to_recshard_shape(self, small_model, small_profile, tight_topology):
+    def test_two_tier_reduces_to_recshard_shape(
+        self, small_model, small_profile, tight_topology
+    ):
         plan = MultiTierSharder(batch_size=BATCH, steps=10).shard(
             small_model, small_profile, tight_topology
         )
@@ -205,7 +209,9 @@ class TestMultiTierSharder:
 
 
 class TestEvaluate:
-    def test_expected_costs_sum_conserved(self, small_model, small_profile, tight_topology):
+    def test_expected_costs_sum_conserved(
+        self, small_model, small_profile, tight_topology
+    ):
         plan = RecShardFastSharder(batch_size=BATCH).shard(
             small_model, small_profile, tight_topology
         )
@@ -218,7 +224,9 @@ class TestEvaluate:
             plan, small_model, small_profile, tight_topology, BATCH
         ) == pytest.approx(costs.max())
 
-    def test_all_hbm_cheaper_than_all_uvm(self, small_model, small_profile, roomy_topology):
+    def test_all_hbm_cheaper_than_all_uvm(
+        self, small_model, small_profile, roomy_topology
+    ):
         from repro.core.plan import ShardingPlan, TablePlacement
 
         all_hbm = ShardingPlan(

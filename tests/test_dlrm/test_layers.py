@@ -47,7 +47,9 @@ class TestLinear:
 
         out = layer.forward(x)
         grad_x = layer.backward(out - target)
-        assert np.allclose(layer.grad_weight, numerical_grad(loss, layer.weight), atol=1e-5)
+        assert np.allclose(
+            layer.grad_weight, numerical_grad(loss, layer.weight), atol=1e-5
+        )
         assert np.allclose(layer.grad_bias, numerical_grad(loss, layer.bias), atol=1e-5)
         assert np.allclose(grad_x, numerical_grad(loss, x), atol=1e-5)
 

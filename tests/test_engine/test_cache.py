@@ -144,7 +144,9 @@ class TestExecutorWithCache:
         concentrated = ShardingPlan(
             strategy="conc",
             placements=[
-                TablePlacement(j, 0 if j in order[:2] else 1, (model.tables[j].num_rows, 0))
+                TablePlacement(
+                    j, 0 if j in order[:2] else 1, (model.tables[j].num_rows, 0)
+                )
                 for j in range(model.num_tables)
             ],
         )

@@ -1,0 +1,192 @@
+"""Cross-process serving parity: mp merged metrics == single-process.
+
+The multi-process runtime splits each batch into parallel worker-side
+classification and sequential front-end reduction; these tests pin the
+contract that makes that split safe — the merged
+:class:`~repro.serving.metrics.ServingMetrics` of a
+:class:`~repro.serving.mp.MultiProcessServer` run must equal a
+single-process :meth:`~repro.serving.server.LookupServer.serve_arenas`
+run of the same seeded stream **bit for bit**: per-tier/per-device
+access totals, replica-lane hits, batch counts, and every latency
+figure, on 2- and 3-tier topologies with the staging cache and hot-row
+replication lanes enabled, at multiple worker counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultiTierSharder,
+    RecShardFastSharder,
+    ReplicationPolicy,
+    plan_with_replication,
+)
+from repro.data.model import rm2, rm3
+from repro.engine.cache import TierStagingModel
+from repro.memory import node_from_tier_names, paper_node, paper_scales
+from repro.serving import (
+    LookupServer,
+    MultiProcessServer,
+    ServingConfig,
+    synthetic_request_arenas,
+)
+from repro.stats import analytic_profile
+
+FEATURES = 49
+GPUS = 4
+TOPO_SCALE, ROW_SCALE = paper_scales(FEATURES, GPUS)
+REQUESTS = 640
+GIB = 2**30
+
+CONFIG = ServingConfig(max_batch_size=128, max_delay_ms=2.0)
+
+
+def two_tier_world():
+    model = rm2(num_features=FEATURES, row_scale=ROW_SCALE)
+    profile = analytic_profile(model)
+    topology = paper_node(num_gpus=GPUS, scale=TOPO_SCALE)
+    sharder = RecShardFastSharder(batch_size=256)
+    return model, profile, topology, sharder
+
+
+def three_tier_world():
+    model = rm3(num_features=FEATURES, row_scale=ROW_SCALE)
+    profile = analytic_profile(model)
+    topology = node_from_tier_names(
+        ["hbm:8", "dram:24", "ssd"], num_gpus=GPUS, scale=TOPO_SCALE
+    )
+    sharder = MultiTierSharder(batch_size=256)
+    return model, profile, topology, sharder
+
+
+def replicated_world(world_builder):
+    """A fixed plan with staging + replication on, plus its stream."""
+    model, profile, topology, sharder = world_builder()
+    policy = ReplicationPolicy(capacity_bytes=int(GIB * TOPO_SCALE))
+    plan = plan_with_replication(sharder, model, profile, topology, policy)
+    staging = TierStagingModel(capacity_bytes=model.total_bytes // 24)
+    arenas = list(
+        synthetic_request_arenas(model, REQUESTS, qps=1e9, seed=29)
+    )
+    return model, profile, topology, plan, staging, arenas
+
+
+def assert_metrics_bit_identical(ref, got):
+    assert ref.summary(deterministic_only=True) == got.summary(
+        deterministic_only=True
+    )
+    assert ref.num_batches == got.num_batches
+    assert ref.batch_sizes == got.batch_sizes
+    np.testing.assert_array_equal(ref.arrival_ms, got.arrival_ms)
+    np.testing.assert_array_equal(ref.latencies_ms(), got.latencies_ms())
+    np.testing.assert_array_equal(
+        ref.queue_waits_ms(), got.queue_waits_ms()
+    )
+    np.testing.assert_array_equal(ref.device_busy_ms, got.device_busy_ms)
+    np.testing.assert_array_equal(
+        ref.tier_access_totals, got.tier_access_totals
+    )
+    np.testing.assert_array_equal(
+        ref.replica_access_totals, got.replica_access_totals
+    )
+    for a, b in zip(ref.tier_access_chunks, got.tier_access_chunks):
+        np.testing.assert_array_equal(a, b)
+
+
+@pytest.mark.parametrize(
+    "world_builder", [two_tier_world, three_tier_world],
+    ids=["two-tier", "three-tier"],
+)
+@pytest.mark.parametrize("workers", [1, 3])
+def test_mp_matches_single_process(world_builder, workers):
+    """Merged mp metrics == single-process serve_arenas, staging +
+    replication on — the issue's headline parity, at a worker count
+    that exercises out-of-order result merging."""
+    model, profile, topology, plan, staging, arenas = replicated_world(
+        world_builder
+    )
+    single = LookupServer(
+        model, profile, topology, plan=plan, config=CONFIG, staging=staging
+    )
+    ref = single.serve_arenas(arenas)
+    with MultiProcessServer(
+        model, profile, topology, plan=plan, config=CONFIG,
+        staging=staging, workers=workers,
+    ) as pool:
+        got = pool.serve_arenas(arenas)
+    assert ref.replica_access_totals.sum() > 0
+    assert_metrics_bit_identical(ref, got)
+
+
+def test_mp_worker_count_does_not_change_results():
+    """The pool size is a throughput knob only: 1 and 3 workers merge
+    to identical metrics (reduction order is pinned by seq)."""
+    model, profile, topology, plan, staging, arenas = replicated_world(
+        two_tier_world
+    )
+    merged = []
+    for workers in (1, 3):
+        with MultiProcessServer(
+            model, profile, topology, plan=plan, config=CONFIG,
+            staging=staging, workers=workers,
+        ) as pool:
+            merged.append(pool.serve_arenas(arenas))
+    assert_metrics_bit_identical(merged[0], merged[1])
+
+
+def test_mp_builds_initial_plan_from_sharder():
+    """sharder= works like LookupServer's, but the plan is frozen: the
+    pool serves the initial plan and never replans."""
+    model, profile, topology, sharder = two_tier_world()
+    arenas = list(synthetic_request_arenas(model, REQUESTS, qps=1e9, seed=7))
+    single = LookupServer(
+        model, profile, topology,
+        plan=sharder.shard(model, profile, topology), config=CONFIG,
+    )
+    ref = single.serve_arenas(arenas)
+    with MultiProcessServer(
+        model, profile, topology, sharder=sharder, config=CONFIG, workers=2
+    ) as pool:
+        got = pool.serve_arenas(arenas)
+    assert got.num_replans == 0
+    assert_metrics_bit_identical(ref, got)
+
+
+def test_mp_report_schema_matches_single_process():
+    """Summaries and text reports come out in the single-process
+    schema — same keys, same formatting — so downstream consumers
+    cannot tell which runtime produced them."""
+    model, profile, topology, plan, staging, arenas = replicated_world(
+        two_tier_world
+    )
+    single = LookupServer(
+        model, profile, topology, plan=plan, config=CONFIG, staging=staging
+    )
+    ref = single.serve_arenas(arenas)
+    with MultiProcessServer(
+        model, profile, topology, plan=plan, config=CONFIG,
+        staging=staging, workers=2,
+    ) as pool:
+        got = pool.serve_arenas(arenas)
+    assert set(ref.summary().keys()) == set(got.summary().keys())
+    assert ref.format_report() == got.format_report()
+
+
+def test_mp_validates_arguments():
+    model, profile, topology, sharder = two_tier_world()
+    plan = sharder.shard(model, profile, topology)
+    with pytest.raises(ValueError, match="workers"):
+        MultiProcessServer(model, profile, topology, plan=plan, workers=0)
+    with pytest.raises(ValueError, match="queue_depth"):
+        MultiProcessServer(
+            model, profile, topology, plan=plan, workers=1, queue_depth=0
+        )
+    with pytest.raises(ValueError, match="exactly one"):
+        MultiProcessServer(model, profile, topology)
+    pool = MultiProcessServer(
+        model, profile, topology, plan=plan, workers=1
+    )
+    with pytest.raises(ValueError, match="speed"):
+        pool.serve_paced([], speed=0.0)
