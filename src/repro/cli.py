@@ -18,6 +18,9 @@ Examples::
     python -m repro serve --model rm2 --workers 4 --requests 20000
     python -m repro serve --model rm2 --workers 2 --paced --burst \
         --arrival-rate 30000 --queue-depth 2
+    python -m repro serve --model rm2 --replicate-gib 1 \
+        --chaos fail@250:1,recover@900:1
+    python -m repro serve --model rm2 --workers 2 --chaos kill@100:0
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ from repro.serving import (
     MultiProcessServer,
     ServingConfig,
     generate_request_arenas,
+    parse_chaos_spec,
     synthetic_request_arenas,
 )
 from repro.stats import analytic_profile
@@ -347,6 +351,9 @@ def _cmd_replay(args) -> int:
 def _cmd_serve(args) -> int:
     """Run a seeded synthetic serving workload and report QPS/latency."""
     if args.arrival_rate is not None:
+        if args.arrival_rate <= 0:
+            print("error: --arrival-rate must be > 0", file=sys.stderr)
+            return 2
         args.qps = args.arrival_rate
     if args.qps <= 0:
         print("error: --qps must be > 0", file=sys.stderr)
@@ -357,6 +364,16 @@ def _cmd_serve(args) -> int:
     if args.workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)
         return 2
+    if args.queue_depth is not None and args.queue_depth < 1:
+        print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos_spec(args.chaos)
+        except ValueError as exc:
+            print(f"error: --chaos: {exc}", file=sys.stderr)
+            return 2
     if args.workers and args.drift_months > 0:
         print("error: --workers serves a fixed plan; --drift-months "
               "requires the single-process runtime (--workers 0)",
@@ -387,6 +404,14 @@ def _cmd_serve(args) -> int:
         print("error: --replicate-gib must be >= 0", file=sys.stderr)
         return 2
     model, topology = _build_world(args)
+    if chaos is not None:
+        try:
+            chaos.validate_targets(
+                topology.num_devices, num_workers=args.workers
+            )
+        except ValueError as exc:
+            print(f"error: --chaos: {exc}", file=sys.stderr)
+            return 2
     profile = analytic_profile(model)
     config = ServingConfig(
         max_batch_size=args.batch_requests,
@@ -459,6 +484,7 @@ def _cmd_serve(args) -> int:
             model, profile, topology, sharder=sharder, config=config,
             staging=staging, replication=replication,
             workers=args.workers, queue_depth=args.queue_depth,
+            chaos=chaos,
         )
         start = time.perf_counter()
         with server:
@@ -472,6 +498,8 @@ def _cmd_serve(args) -> int:
               f"({offered}, microbatch <= {args.batch_requests} reqs / "
               f"{args.max_delay_ms:g} ms, {args.workers} worker "
               f"processes, {mode}):")
+        for line in server.worker_fault_log:
+            print(f"  [supervisor] {line}")
         print(metrics.format_report())
         print(f"wall-clock: {elapsed:.2f} s "
               f"({metrics.num_requests / max(elapsed, 1e-9):.0f} "
@@ -479,7 +507,7 @@ def _cmd_serve(args) -> int:
         return 0
     server = LookupServer(
         model, profile, topology, sharder=sharder, config=config,
-        staging=staging, replication=replication,
+        staging=staging, replication=replication, chaos=chaos,
     )
     start = time.perf_counter()
     if args.fast_serving:
@@ -636,6 +664,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="burst window length (default: 50 ms)")
             p.add_argument("--idle-ms", type=float, default=50.0,
                            help="idle window length (default: 50 ms)")
+            p.add_argument("--chaos", default=None, metavar="SPEC",
+                           help="scripted fault drill: comma-separated "
+                                "kind@ms:target terms with kinds "
+                                "fail/degrade/recover/kill, e.g. "
+                                "'fail@250:1,recover@900:1' or "
+                                "'degrade@100:0x4' (device 0, 4x "
+                                "slower); kill targets a worker and "
+                                "requires --workers")
             p.add_argument("--drift-months", type=float, default=0.0,
                            help="months of statistics drift to fast-forward "
                                 "across the stream (0 = stationary)")

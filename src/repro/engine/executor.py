@@ -208,6 +208,14 @@ class ShardedExecutor:
         )
         self._replica_load = np.zeros(topology.num_devices, dtype=np.int64)
         self._replica_edges: np.ndarray | None = None
+        # Device fault state (chaos drills): dead devices serve nothing
+        # — their home-lane lookups are *dropped* (tallied per batch in
+        # ``last_dropped``) and the replica router masks them out of the
+        # least-loaded lane; degraded devices keep serving with their
+        # batch times multiplied by a slowdown factor.
+        self._device_alive = np.ones(topology.num_devices, dtype=bool)
+        self._device_slowdown = np.ones(topology.num_devices, dtype=np.float64)
+        self.last_dropped = np.zeros(topology.num_devices, dtype=np.int64)
         # Per-(table, tier) fast-lane cutoffs in cumulative rank space:
         # ranks in [bounds[t-1], cutoffs[t]) are served at the tier's
         # fast lane (cache bandwidth for tier 0, tier t-1's bandwidth
@@ -348,6 +356,57 @@ class ShardedExecutor:
         were freshly built (a no-op without replication).
         """
         self._replica_load[:] = 0
+
+    # ------------------------------------------------------------------
+    # Device fault state (chaos drills)
+    # ------------------------------------------------------------------
+    @property
+    def dead_devices(self) -> tuple[int, ...]:
+        """Devices currently marked failed, ascending."""
+        return tuple(int(d) for d in np.flatnonzero(~self._device_alive))
+
+    @property
+    def has_faults(self) -> bool:
+        """True if any device is failed or degraded."""
+        return bool(
+            (~self._device_alive).any() or (self._device_slowdown != 1.0).any()
+        )
+
+    def fail_device(self, device: int) -> None:
+        """Mark a device failed: home-lane lookups on it are dropped
+        (counted in ``last_dropped``), replicated lookups are rerouted
+        to surviving devices, and its slowdown factor is cleared."""
+        self._check_device(device)
+        self._device_alive[device] = False
+        self._device_slowdown[device] = 1.0
+
+    def recover_device(self, device: int) -> None:
+        """Clear a device's failed/degraded state."""
+        self._check_device(device)
+        self._device_alive[device] = True
+        self._device_slowdown[device] = 1.0
+
+    def degrade_device(self, device: int, slowdown: float) -> None:
+        """Multiply the device's batch service times by ``slowdown``."""
+        self._check_device(device)
+        if slowdown <= 0:
+            raise ValueError(f"slowdown must be > 0, got {slowdown}")
+        if not self._device_alive[device]:
+            raise ValueError(f"device {device} is failed, not degradable")
+        self._device_slowdown[device] = slowdown
+
+    def clear_faults(self) -> None:
+        """Return every device to healthy (alive, no slowdown)."""
+        self._device_alive[:] = True
+        self._device_slowdown[:] = 1.0
+        self.last_dropped[:] = 0
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < self.topology.num_devices:
+            raise ValueError(
+                f"device {device} out of range for "
+                f"{self.topology.num_devices}-device topology"
+            )
 
     def _fused_lane_edges(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-(table, tier) boundary and cutoff edges, base-shifted.
@@ -593,7 +652,13 @@ class ShardedExecutor:
         """
         num_devices = self.topology.num_devices
         num_tiers = self.topology.num_tiers
+        alive = self._device_alive
+        faulty = not alive.all()
         route = replicas is not None and self._has_replicas
+        if faulty and not alive.any():
+            # Nothing survives: the replica lane has nowhere to reroute,
+            # so replicated lookups drop with their home lane.
+            route = False
         counts0 = counts[:, 0] - replicas if route else counts[:, 0]
         accesses = np.zeros((num_tiers, num_devices), dtype=np.int64)
         traffic = np.zeros((num_tiers, num_devices), dtype=np.float64)
@@ -612,6 +677,18 @@ class ShardedExecutor:
                 np.add.at(
                     home_bytes, self.device_of, col * self._row_bytes_int
                 )
+        self.last_dropped[:] = 0
+        if faulty:
+            # Dead devices serve nothing: their home-lane lookups are
+            # dropped (tallied for the recovery metrics), their traffic
+            # disappears from the time model, and their pinned bytes
+            # stop feeding the replica router's load counters.
+            dead = ~alive
+            self.last_dropped[dead] = accesses[:, dead].sum(axis=0)
+            accesses[:, dead] = 0
+            traffic[:, dead] = 0.0
+            if route:
+                home_bytes[dead] = 0
         replica_accesses = np.zeros(num_devices, dtype=np.int64)
         if route:
             # The routing counters see the batch's home-lane bytes
@@ -633,6 +710,11 @@ class ShardedExecutor:
                     self.device_of, weights=hits[:, t] * self.row_bytes,
                     minlength=num_devices,
                 )
+                if faulty:
+                    # A dead device's hits dropped with its accesses —
+                    # no fast-lane discount on traffic already zeroed.
+                    tier_hits[t][dead] = 0
+                    hit_bytes[dead] = 0.0
                 fast_inv_bw = (
                     1.0 / self.cache.bandwidth if t == 0
                     else self._inv_bw[t - 1]
@@ -640,6 +722,8 @@ class ShardedExecutor:
                 # Hit bytes move from the tier's lane to the fast lane.
                 times -= hit_bytes * self._inv_bw[t]
                 times += hit_bytes * fast_inv_bw
+        if (self._device_slowdown != 1.0).any():
+            times = times * self._device_slowdown
         return times * 1e3, accesses, tier_hits, replica_accesses
 
     def _route_replicas(
@@ -654,23 +738,44 @@ class ShardedExecutor:
         scalar path runs the per-lookup argmin loop it summarizes —
         the parity reference the replication bench pins.  Both mutate
         the executor's running byte counters.
+
+        Failed devices are masked out of the lane: the closed form runs
+        on the compacted surviving load vector and scatters back (the
+        ascending survivor order preserves the lowest-device-id tie
+        break), and the scalar loop takes its argmin over survivors —
+        bit-parity holds under any fail set.
         """
         num_devices = self.topology.num_devices
+        alive = self._device_alive
+        masked = not alive.all()
+        alive_idx = np.flatnonzero(alive) if masked else None
         acc = np.zeros(num_devices, dtype=np.int64)
         routed_bytes = np.zeros(num_devices, dtype=np.int64)
         for j in np.flatnonzero(replicas):
             n = int(replicas[j])
             w = int(self._row_bytes_int[j])
             if self.vectorized:
-                taken = least_loaded_counts(self._replica_load, n, w)
+                if masked:
+                    taken = np.zeros(num_devices, dtype=np.int64)
+                    taken[alive_idx] = least_loaded_counts(
+                        self._replica_load[alive_idx], n, w
+                    )
+                else:
+                    taken = least_loaded_counts(self._replica_load, n, w)
                 self._replica_load += taken * w
             else:
                 taken = np.zeros(num_devices, dtype=np.int64)
                 load = self._replica_load
-                for _ in range(n):
-                    device = int(np.argmin(load))
-                    taken[device] += 1
-                    load[device] += w
+                if masked:
+                    for _ in range(n):
+                        device = int(alive_idx[np.argmin(load[alive_idx])])
+                        taken[device] += 1
+                        load[device] += w
+                else:
+                    for _ in range(n):
+                        device = int(np.argmin(load))
+                        taken[device] += 1
+                        load[device] += w
             acc += taken
             routed_bytes += taken * w
         return acc, routed_bytes.astype(np.float64)

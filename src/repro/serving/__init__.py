@@ -37,6 +37,11 @@ Components:
   (:meth:`~repro.serving.arena.RequestArena.to_shm`), with a
   sequential front-end aggregator whose merged metrics are
   bit-identical to a single-process ``serve_arenas`` run.
+* :mod:`~repro.serving.faults` — scripted device/worker chaos
+  (:class:`~repro.serving.faults.FaultSchedule`,
+  :func:`~repro.serving.faults.parse_chaos_spec`) replayed on the
+  serving clock; drives the degraded-mode failover, emergency replan,
+  and self-healing worker-pool drills.
 * :mod:`~repro.serving.loadgen` — first-class arrival processes
   (:class:`~repro.serving.loadgen.PoissonArrivals`,
   :class:`~repro.serving.loadgen.BurstyArrivals`) for open-loop load
@@ -62,6 +67,16 @@ Quickstart::
 """
 
 from repro.serving.arena import RequestArena, ShmArena, ShmArenaHandle
+from repro.serving.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    device_degrade,
+    device_fail,
+    device_recover,
+    parse_chaos_spec,
+    worker_kill,
+)
 from repro.serving.loadgen import (
     BurstyArrivals,
     PoissonArrivals,
@@ -86,6 +101,9 @@ from repro.serving.server import (
 __all__ = [
     "BurstyArrivals",
     "DriftMonitor",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "LookupRequest",
     "LookupServer",
     "MicroBatchQueue",
@@ -98,8 +116,13 @@ __all__ = [
     "ShmArenaHandle",
     "WorkerCrashError",
     "coalesce_requests",
+    "device_degrade",
+    "device_fail",
+    "device_recover",
     "generate_request_arenas",
     "iter_microbatch_arenas",
+    "parse_chaos_spec",
     "synthetic_request_arenas",
     "synthetic_request_stream",
+    "worker_kill",
 ]

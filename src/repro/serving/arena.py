@@ -297,10 +297,25 @@ class ShmArena:
 
     @classmethod
     def attach(cls, handle: ShmArenaHandle) -> "ShmArena":
-        """Attach to an existing segment (worker side)."""
-        return cls(
-            shared_memory.SharedMemory(name=handle.name), handle, owner=False
-        )
+        """Attach to an existing segment (worker side).
+
+        Attach-side resource-tracker registration is suppressed: the
+        owner's registration is the segment's single cleanup entry.
+        Before Python 3.13 ``SharedMemory`` registers on attach too,
+        and with duplicate-tolerant requeue (crash recovery) a late
+        attach can re-register a name *after* the owner's unlink
+        unregistered it — a stale tracker entry that shows up as a
+        spurious "leaked shared_memory" warning at shutdown.
+        """
+        from multiprocessing import resource_tracker
+
+        real_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name)
+        finally:
+            resource_tracker.register = real_register
+        return cls(shm, handle, owner=False)
 
     @property
     def name(self) -> str:

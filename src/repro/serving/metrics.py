@@ -67,6 +67,14 @@ class ServingMetrics:
         # mode); 0 in every closed-loop/parity run, and surfaced in the
         # summary only when nonzero so those schemas are unchanged.
         self.shed_requests = 0
+        # Fault/recovery timeline (chaos drills).  All empty/None on a
+        # healthy run, and every derived summary key is conditional on
+        # faults having fired — so no-fault schemas are unchanged.
+        self._fault_events: list[dict] = []
+        self._recoveries: list[dict] = []
+        # [start_ms, end_ms] per failure window; end is None while open.
+        self.fault_windows: list[list] = []
+        self._dropped_total: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -80,6 +88,7 @@ class ServingMetrics:
         total_lookups: int,
         tier_accesses: np.ndarray | None = None,
         replica_accesses: np.ndarray | None = None,
+        dropped_lookups: np.ndarray | None = None,
     ) -> None:
         """Record one executed microbatch.
 
@@ -99,6 +108,10 @@ class ServingMetrics:
                 this batch served from the hot-row replica lane (a
                 subset of the fastest tier's counts; copied and
                 accumulated like the tier matrices).
+            dropped_lookups: optional ``(devices,)`` count of lookups
+                this batch *dropped* on failed devices (chaos drills;
+                accumulated per device — callers pass it only while a
+                device fault is active).
         """
         arrivals = np.array(arrivals_ms, dtype=np.float64)
         self._arrival_chunks.append(arrivals)
@@ -121,6 +134,12 @@ class ServingMetrics:
                 self._replica_total = replica.copy()
             else:
                 self._replica_total += replica
+        if dropped_lookups is not None:
+            dropped = np.array(dropped_lookups, dtype=np.int64)
+            if self._dropped_total is None:
+                self._dropped_total = dropped.copy()
+            else:
+                self._dropped_total += dropped
         self._num_requests += arrivals.size
 
     def record_shed(self, count: int) -> None:
@@ -143,6 +162,142 @@ class ServingMetrics:
         """
         self.replan_ms.append(float(now_ms))
         self.replan_build_ms.append(float(build_wall_ms))
+
+    # ------------------------------------------------------------------
+    # Fault/recovery timeline (chaos drills)
+    # ------------------------------------------------------------------
+    def record_fault(
+        self, at_ms: float, kind: str, target: int, description: str = ""
+    ) -> None:
+        """Record a fault event observed at simulated ``at_ms``."""
+        self._fault_events.append(
+            {
+                "at_ms": float(at_ms),
+                "kind": str(kind),
+                "target": int(target),
+                "description": str(description),
+            }
+        )
+
+    def record_recovery(
+        self,
+        kind: str,
+        fault_ms: float,
+        done_ms: float,
+        wall_ms: float = 0.0,
+    ) -> None:
+        """Record one recovery milestone after a fault.
+
+        ``kind`` names the milestone (``"reroute"`` — replicated
+        lookups steered off the dead device; ``"replan"`` — emergency
+        warm-start plan committed; ``"respawn"`` — worker process
+        replaced).  ``fault_ms``/``done_ms`` are simulated timestamps;
+        ``wall_ms`` the off-path wall-clock cost, when measured.
+        """
+        self._recoveries.append(
+            {
+                "kind": str(kind),
+                "fault_ms": float(fault_ms),
+                "done_ms": float(done_ms),
+                "elapsed_ms": float(done_ms) - float(fault_ms),
+                "wall_ms": float(wall_ms),
+            }
+        )
+
+    def open_fault_window(self, start_ms: float) -> None:
+        """Mark the start of a degraded-service window."""
+        self.fault_windows.append([float(start_ms), None])
+
+    def close_fault_window(self, end_ms: float) -> None:
+        """Close the most recent open degraded-service window."""
+        for window in reversed(self.fault_windows):
+            if window[1] is None:
+                window[1] = float(end_ms)
+                return
+        raise ValueError("no open fault window to close")
+
+    @property
+    def fault_events(self) -> tuple[dict, ...]:
+        return tuple(self._fault_events)
+
+    @property
+    def recoveries(self) -> tuple[dict, ...]:
+        return tuple(self._recoveries)
+
+    def _recovery_elapsed(self, kind: str) -> float | None:
+        for entry in self._recoveries:
+            if entry["kind"] == kind:
+                return entry["elapsed_ms"]
+        return None
+
+    @property
+    def time_to_reroute_ms(self) -> float | None:
+        """Fault → first batch with the dead device masked out of the
+        replica routing lane (simulated; ``None`` until recorded)."""
+        return self._recovery_elapsed("reroute")
+
+    @property
+    def time_to_replan_ms(self) -> float | None:
+        """Fault → emergency warm-start replan committed (simulated
+        clock, but derived from the build's wall cost unless the server
+        pins a commit delay; ``None`` until recorded)."""
+        return self._recovery_elapsed("replan")
+
+    @property
+    def dropped_lookups(self) -> int:
+        """Lookups dropped on failed devices over the whole run."""
+        if self._dropped_total is None:
+            return 0
+        return int(self._dropped_total.sum())
+
+    @property
+    def dropped_per_device(self) -> np.ndarray:
+        if self._dropped_total is None:
+            return np.zeros(self.num_devices, dtype=np.int64)
+        return self._dropped_total
+
+    def windowed_latency(self) -> dict:
+        """p50/p99 by failure phase: before / during / after.
+
+        A batch is *during* if it started inside any fault window
+        (open windows extend to the end of the run), *before* if it
+        started ahead of the first window, *after* otherwise.  Phases
+        with no batches report zero requests and zero percentiles.
+        """
+        phases = {
+            name: {"requests": 0, "p50_ms": 0.0, "p99_ms": 0.0}
+            for name in ("before", "during", "after")
+        }
+        if not self.batch_sizes:
+            return phases
+        starts = np.asarray(self._batch_start, dtype=np.float64)
+        during = np.zeros(starts.size, dtype=bool)
+        for begin, end in self.fault_windows:
+            upper = np.inf if end is None else end
+            during |= (starts >= begin) & (starts < upper)
+        first = (
+            min(w[0] for w in self.fault_windows)
+            if self.fault_windows
+            else np.inf
+        )
+        before = ~during & (starts < first)
+        after = ~during & ~before
+        latencies = self.latencies_ms()
+        request_phase = np.repeat(
+            np.where(during, 1, np.where(before, 0, 2)), self.batch_sizes
+        )
+        for code, name in enumerate(("before", "during", "after")):
+            values = latencies[request_phase == code]
+            phases[name] = {
+                "requests": int(values.size),
+                "p50_ms": (
+                    float(np.percentile(values, 50)) if values.size else 0.0
+                ),
+                "p99_ms": (
+                    float(np.percentile(values, 99)) if values.size else 0.0
+                ),
+            }
+        return phases
 
     # ------------------------------------------------------------------
     # Columnar views
@@ -348,8 +503,16 @@ class ServingMetrics:
             out["replica_hits"] = int(self._replica_total.sum())
         if self.shed_requests:
             out["shed_requests"] = self.shed_requests
+        if self._fault_events:
+            out["faults"] = len(self._fault_events)
+            out["dropped_lookups"] = self.dropped_lookups
+            out["latency_phases"] = self.windowed_latency()
+            if self.time_to_reroute_ms is not None:
+                out["time_to_reroute_ms"] = self.time_to_reroute_ms
         if not deterministic_only:
             out["replan_build_total_ms"] = self.replan_build_total_ms
+            if self.time_to_replan_ms is not None:
+                out["time_to_replan_ms"] = self.time_to_replan_ms
         return out
 
     def format_report(self) -> str:
@@ -397,5 +560,35 @@ class ServingMetrics:
             lines.append(
                 f"replan build cost: {self.replan_build_total_ms:.1f} ms "
                 f"wall-clock, off the serving critical path"
+            )
+        if self._fault_events:
+            timeline = "; ".join(
+                e["description"]
+                or f"t={e['at_ms']:g}ms {e['kind']} -> {e['target']}"
+                for e in self._fault_events
+            )
+            lines.append(f"faults injected:   {timeline}")
+            lines.append(
+                f"dropped lookups:   {self.dropped_lookups} on failed "
+                f"devices"
+            )
+            for entry in self._recoveries:
+                lines.append(
+                    f"recovery:          {entry['kind']} "
+                    f"{entry['elapsed_ms']:.3f} ms after fault"
+                    + (
+                        f" ({entry['wall_ms']:.1f} ms wall off-path)"
+                        if entry["wall_ms"]
+                        else ""
+                    )
+                )
+            phases = self.windowed_latency()
+            lines.append(
+                "latency by phase:  "
+                + ", ".join(
+                    f"{name} p99 {phase['p99_ms']:.3f} ms "
+                    f"({phase['requests']} reqs)"
+                    for name, phase in phases.items()
+                )
             )
         return "\n".join(lines)

@@ -10,7 +10,11 @@ pool of executor workers):
   (:func:`~repro.serving.queue.iter_microbatch_arenas`), packs each
   released microbatch into a shared-memory segment
   (:meth:`~repro.serving.arena.RequestArena.to_shm`), and dispatches
-  ``(seq, handle)`` tasks on a bounded MPMC queue;
+  ``(seq, handle)`` tasks round-robin over bounded *per-worker* task
+  queues (single producer, single consumer each — a worker that dies
+  holding its queue's reader lock poisons only its own queue, which
+  the self-healing supervisor discards and replaces at respawn;
+  a shared MPMC queue would deadlock the whole pool);
 * each **worker** process attaches the segment zero-copy, runs the
   executor's stateless *classification* lanes (tier binning, cache and
   staging fast lanes, replica-cut membership) on the batch, and ships
@@ -49,6 +53,7 @@ every worker's executor mid-stream).
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 from typing import Iterable, Iterator
@@ -58,19 +63,22 @@ import numpy as np
 from repro.engine.executor import ShardedExecutor
 from repro.engine.ranked import RankRemapper
 from repro.serving.arena import RequestArena, ShmArena
+from repro.serving.faults import FaultInjector, FaultSchedule
 from repro.serving.metrics import ServingMetrics
 from repro.serving.queue import iter_microbatch_arenas
 from repro.serving.server import LookupServer, ServingConfig
 
 
 class WorkerCrashError(RuntimeError):
-    """A worker process died while the front-end still owed it work.
+    """The worker pool is beyond self-healing.
 
-    Raised by the front-end instead of blocking forever on the results
-    queue — the hang-free failure mode the stress suite asserts.  The
-    chaos drill that *recovers* from this (reroute the dead worker's
-    share via the PR-5 replicas) is ROADMAP item 5; surfacing the crash
-    promptly is its prerequisite.
+    The supervisor replaces crashed workers (bounded retries with
+    exponential backoff, in-flight batches requeued); this error means
+    the respawn budget is exhausted — or the pool hung with work
+    outstanding — so the front-end aborts instead of blocking forever
+    on the results queue, the hang-free failure mode the stress suite
+    asserts.  Construct the pool with ``max_respawns=0`` to make any
+    crash fatal immediately (the pre-self-healing behavior).
     """
 
 
@@ -82,9 +90,16 @@ def _worker_main(worker_id, spec, task_queue, result_queue):
     keeps the code path identical), then loops: attach the task's
     shared-memory arena, run the stateless classification lanes, close
     the mapping, ship the count matrices back.  A ``None`` task is the
-    shutdown sentinel.  Per-task exceptions are reported as ``err``
-    results rather than killing the worker; only queue-level failures
-    end the loop.
+    shutdown sentinel; a negative seq is the scripted-crash sentinel
+    (``worker_kill`` drills — hard ``os._exit(1)``, no cleanup).
+    Per-task exceptions are reported as ``err`` results rather than
+    killing the worker; only queue-level failures end the loop.
+
+    A vanished segment (``FileNotFoundError`` on attach) is reported as
+    a ``gone`` result instead of an error: after a crash-triggered
+    requeue the same seq can sit in the task queue twice, and whichever
+    copy loses the race attaches a segment the front-end has already
+    retired.  The front-end drops ``gone`` results for satisfied seqs.
     """
     model, plan, profile, topology, cache, staging, vectorized = spec
     executor = ShardedExecutor(
@@ -97,6 +112,12 @@ def _worker_main(worker_id, spec, task_queue, result_queue):
         if task is None:
             break
         seq, handle = task
+        if seq < 0:
+            # Scripted worker_kill: die hard (no cleanup, exit code 1)
+            # at a point where no queue lock is held — get() released
+            # the reader lock before returning.  SIGKILL-ing a worker
+            # blocked *inside* get() would leave the lock held forever.
+            os._exit(1)
         try:
             shm = ShmArena.attach(handle)
             try:
@@ -106,6 +127,8 @@ def _worker_main(worker_id, spec, task_queue, result_queue):
             finally:
                 shm.close()
             result_queue.put(("ok", seq, worker_id, counts, hits, replicas))
+        except FileNotFoundError:
+            result_queue.put(("gone", seq, worker_id))
         except Exception as exc:  # surfaced, never swallowed into a hang
             result_queue.put(
                 ("err", seq, worker_id, f"{type(exc).__name__}: {exc}")
@@ -129,14 +152,29 @@ class MultiProcessServer:
         model, profile, topology, plan, sharder, config, cache,
         staging, replication, vectorized: as for ``LookupServer``.
         workers: worker process count (>= 1).
-        queue_depth: task-queue bound (default ``2 * workers``) — the
-            backpressure knob; also what overload shedding pushes
-            against in paced mode.
+        queue_depth: aggregate task-queue bound (default
+            ``2 * workers``), split evenly across the per-worker
+            queues — the backpressure knob; also what overload
+            shedding pushes against in paced mode.
         start_method: multiprocessing start method (``"fork"``,
             ``"spawn"``, ...); ``None`` uses the platform default.
         result_timeout_s: longest the front-end will wait on the
             results queue with work outstanding before declaring the
             pool wedged (:class:`WorkerCrashError`).
+        chaos: optional :class:`~repro.serving.faults.FaultSchedule`.
+            ``worker_kill`` events SIGKILL pool workers on the serving
+            clock (the self-healing supervisor's drill); device events
+            are applied to the aggregation spine's executor in batch
+            order — replicated lookups reroute and drops are counted,
+            but the pool serves a *frozen* plan, so there is no
+            emergency replan here (that is the single-process
+            :class:`~repro.serving.server.LookupServer`'s job).
+        max_respawns: total crashed-worker replacements the supervisor
+            may perform across the pool's lifetime before a crash
+            becomes fatal (:class:`WorkerCrashError`); ``0`` disables
+            self-healing.
+        respawn_backoff_s: base of the exponential backoff slept
+            before each respawn (doubles per respawn, capped at 1 s).
     """
 
     #: poll granularity for result waits and crash checks (seconds).
@@ -158,14 +196,32 @@ class MultiProcessServer:
         queue_depth: int | None = None,
         start_method: str | None = None,
         result_timeout_s: float = 30.0,
+        chaos: FaultSchedule | None = None,
+        max_respawns: int = 3,
+        respawn_backoff_s: float = 0.05,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if respawn_backoff_s < 0:
+            raise ValueError("respawn_backoff_s must be >= 0")
+        if chaos is not None:
+            chaos.validate_targets(
+                topology.num_devices, num_workers=workers
+            )
         spine = LookupServer(
             model, profile, topology,
             plan=plan, sharder=sharder, config=config,
             cache=cache, staging=staging, replication=replication,
             vectorized=vectorized,
+            # The spine replays the device events in batch order; worker
+            # events are the supervisor's to fire.
+            chaos=(
+                FaultSchedule(chaos.device_events)
+                if chaos is not None and chaos.device_events
+                else None
+            ),
         )
         # Freeze the plan: the pool never replans, so the spine's drift
         # machinery (monitor, profiler, sharder) is dropped and its
@@ -181,6 +237,21 @@ class MultiProcessServer:
         if self.queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self.result_timeout_s = float(result_timeout_s)
+        self.chaos = chaos
+        self._worker_faults = (
+            FaultInjector(FaultSchedule(chaos.worker_events))
+            if chaos is not None and chaos.worker_events
+            else None
+        )
+        self._worker_chaos_armed = self._worker_faults is not None
+        self.max_respawns = int(max_respawns)
+        self.respawn_backoff_s = float(respawn_backoff_s)
+        #: workers replaced by the supervisor so far (pool lifetime).
+        self.respawn_count = 0
+        #: human-readable supervisor log (kills observed, respawns) —
+        #: kept off ServingMetrics so merged metrics stay bit-identical
+        #: to a single-process run of the same stream.
+        self.worker_fault_log: list[str] = []
         self._ctx = (
             mp.get_context(start_method)
             if start_method is not None
@@ -191,8 +262,11 @@ class MultiProcessServer:
             cache, staging, bool(vectorized),
         )
         self._procs: list = []
-        self._task_q = None
+        self._task_qs: list = []
         self._result_q = None
+        # Per-worker task-queue bound: the aggregate queue_depth is
+        # split across the pool's single-consumer queues.
+        self._per_worker_depth = max(1, self.queue_depth // self.workers)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -213,14 +287,21 @@ class MultiProcessServer:
     def metrics(self) -> ServingMetrics:
         return self._spine.metrics
 
-    def reset_serving_state(self) -> None:
+    def reset_serving_state(self, rearm_chaos: bool = False) -> None:
         """Start an independent stream on the same plan and worker pool.
 
         Resets the aggregator spine (metrics, simulated clock, replica
-        routing history) without restarting workers — their classify
-        pass is stateless, so only the front-end carries stream state.
+        routing history, device fault state) without restarting workers
+        — their classify pass is stateless, so only the front-end
+        carries stream state.  As in the single-process server, the
+        chaos script is disarmed unless ``rearm_chaos=True``; the
+        supervisor's respawn budget and count are pool-lifetime and
+        not reset.
         """
-        self._spine.reset_serving_state()
+        self._spine.reset_serving_state(rearm_chaos=rearm_chaos)
+        if self._worker_faults is not None:
+            self._worker_faults.reset()
+            self._worker_chaos_armed = rearm_chaos
 
     def start(self) -> "MultiProcessServer":
         """Spawn the worker pool (idempotent)."""
@@ -236,12 +317,15 @@ class MultiProcessServer:
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-        self._task_q = self._ctx.Queue(maxsize=self.queue_depth)
+        self._task_qs = [
+            self._ctx.Queue(maxsize=self._per_worker_depth)
+            for _ in range(self.workers)
+        ]
         self._result_q = self._ctx.Queue()
         self._procs = [
             self._ctx.Process(
                 target=_worker_main,
-                args=(i, self._spec, self._task_q, self._result_q),
+                args=(i, self._spec, self._task_qs[i], self._result_q),
                 daemon=True,
                 name=f"recshard-worker-{i}",
             )
@@ -261,37 +345,54 @@ class MultiProcessServer:
         if not self.started:
             return
         deadline = time.perf_counter() + timeout_s
-        # One sentinel per live worker.  The task queue may be shallower
-        # than the pool (queue_depth < workers), so retry as workers
-        # drain it rather than dropping sentinels on a Full queue —
-        # a dropped sentinel would leave a worker blocked in get() for
-        # the whole join window.
-        sentinels = sum(1 for p in self._procs if p.is_alive())
-        while sentinels and time.perf_counter() < deadline:
-            try:
-                self._task_q.put(None, timeout=0.05)
-                sentinels -= 1
-            except queue_mod.Full:
-                pass
+        # One sentinel per live worker, on its own queue.  Retry while
+        # the worker drains a full queue rather than dropping the
+        # sentinel — a dropped sentinel would leave it blocked in
+        # get() for the whole join window.
+        owed = {
+            i for i, p in enumerate(self._procs) if p.is_alive()
+        }
+        while owed and time.perf_counter() < deadline:
+            for index in sorted(owed):
+                try:
+                    self._task_qs[index].put(None, timeout=0.05)
+                    owed.discard(index)
+                except queue_mod.Full:
+                    pass
         for proc in self._procs:
             proc.join(timeout=max(0.0, deadline - time.perf_counter()))
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
-        for q in (self._task_q, self._result_q):
+        for q in self._task_qs:
+            # Task queues may be poisoned (a worker SIGKILLed inside
+            # get() keeps the reader lock) — drain best-effort and
+            # never wait on the feeder thread.
             try:
                 while True:
                     q.get_nowait()
             except (queue_mod.Empty, OSError, ValueError):
                 pass
             q.close()
-            q.join_thread()
+            q.cancel_join_thread()
+        try:
+            while True:
+                self._result_q.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            pass
+        self._result_q.close()
+        self._result_q.join_thread()
         self._procs = []
-        self._task_q = None
+        self._task_qs = []
         self._result_q = None
 
     def kill_worker(self, index: int) -> None:
-        """Chaos hook: hard-kill one worker (SIGKILL, no cleanup)."""
+        """Hard-kill one worker (SIGKILL, no cleanup).
+
+        The blast radius is the worker's own single-consumer task
+        queue (discarded at respawn); scripted ``worker_kill`` drills
+        prefer the lock-safe die sentinel and only fall back to this.
+        """
         if not self.started:
             raise ValueError("pool is not started")
         self._procs[index].kill()
@@ -373,6 +474,8 @@ class MultiProcessServer:
         first_trigger = None
         try:
             for arena, trigger in released:
+                if self._worker_chaos_armed:
+                    self._fire_worker_faults(trigger, pending, results)
                 if paced:
                     if wall_start is None:
                         wall_start = time.perf_counter()
@@ -385,36 +488,38 @@ class MultiProcessServer:
                         if now >= due:
                             break
                         cursor = self._drain(pending, results, cursor)
-                        self._check_workers(pending)
+                        self._check_workers(pending, results)
                         time.sleep(min(self._POLL_S, due - now))
+                arrivals = np.array(arena.arrival_ms)
+                # Register the owner segment in pending *immediately*:
+                # from here every exit path (shed, crash, interrupt)
+                # finds and retires it — no orphan window between
+                # creating the segment and dispatching the task.
                 owner = arena.to_shm()
-                entry = (owner, np.array(arena.arrival_ms), trigger)
+                pending[seq] = (owner, arrivals, trigger)
                 task = (seq, owner.handle)
                 if paced:
-                    try:
-                        self._task_q.put_nowait(task)
-                    except queue_mod.Full:
-                        # Overload: reject the newest batch outright.
-                        # Its seq is reused by the next dispatched batch
-                        # (shed batches never enter the in-order
-                        # accounting stream).
+                    if not self._try_dispatch(seq, task):
+                        # Overload: every worker queue is full — reject
+                        # the newest batch outright.  Its seq is reused
+                        # by the next dispatched batch (shed batches
+                        # never enter the in-order accounting stream).
+                        del pending[seq]
                         owner.close()
                         owner.unlink()
                         self.metrics.record_shed(arena.num_requests)
                         continue
-                    pending[seq] = entry
                 else:
-                    pending[seq] = entry
-                    while True:
-                        try:
-                            self._task_q.put(task, timeout=self._POLL_S)
-                            break
-                        except queue_mod.Full:
-                            cursor = self._drain(pending, results, cursor)
-                            self._check_workers(pending)
+                    while not self._try_dispatch(seq, task):
+                        cursor = self._drain(pending, results, cursor)
+                        self._check_workers(pending, results)
+                        time.sleep(self._POLL_S)
                 seq += 1
                 cursor = self._drain(pending, results, cursor)
-            # Stream exhausted: wait out the in-flight tail.
+            # Stream exhausted: deliver any worker faults scheduled
+            # beyond the last release, then wait out the in-flight tail.
+            if self._worker_chaos_armed:
+                self._fire_worker_faults(float("inf"), pending, results)
             waited = 0.0
             while pending or results:
                 advanced = self._drain(
@@ -422,7 +527,7 @@ class MultiProcessServer:
                 )
                 waited = 0.0 if advanced != cursor else waited + self._POLL_S
                 cursor = advanced
-                self._check_workers(pending)
+                self._check_workers(pending, results)
                 if waited >= self.result_timeout_s:
                     raise WorkerCrashError(
                         f"no results for {self.result_timeout_s:.1f} s with "
@@ -432,6 +537,25 @@ class MultiProcessServer:
             self._abort(pending)
             raise
         return self.metrics
+
+    def _try_dispatch(self, seq: int, task) -> bool:
+        """Offer a task to one alive worker, round-robin from ``seq``.
+
+        Returns False when every alive worker's queue is full (the
+        aggregate backpressure signal) or no worker is alive; the
+        caller then drains results, heals the pool, and retries — or
+        sheds, in paced mode.
+        """
+        for lane in range(self.workers):
+            index = (seq + lane) % self.workers
+            if not self._procs[index].is_alive():
+                continue
+            try:
+                self._task_qs[index].put_nowait(task)
+                return True
+            except queue_mod.Full:
+                continue
+        return False
 
     def _drain(
         self,
@@ -446,6 +570,26 @@ class MultiProcessServer:
         result aborts the run (after segment cleanup, via the caller's
         except path).
         """
+        self._pull_results(pending, results, block_s)
+        while cursor in results:
+            counts, hits, replicas = results.pop(cursor)
+            _, arrivals, trigger = pending.pop(cursor)
+            self._account(counts, hits, replicas, trigger, arrivals)
+            cursor += 1
+        return cursor
+
+    def _pull_results(
+        self, pending: dict, results: dict, block_s: float = 0.0
+    ) -> None:
+        """Collect ready results and retire their segments (no accounting).
+
+        Tolerates the duplicates a crash-triggered requeue can create:
+        an ``ok``/``err`` for a seq that is no longer owed (already in
+        ``results`` or already accounted out of ``pending``) is stale —
+        its segment was retired when the first copy landed — and a
+        ``gone`` result is a worker reporting exactly that staleness
+        from its side.  Only an ``err`` for a seq still owed aborts.
+        """
         while True:
             try:
                 if block_s > 0:
@@ -455,23 +599,24 @@ class MultiProcessServer:
                     item = self._result_q.get_nowait()
             except queue_mod.Empty:
                 break
+            if item[0] == "gone":
+                continue
             if item[0] == "err":
                 _, err_seq, worker_id, message = item
-                raise RuntimeError(
-                    f"worker {worker_id} failed on batch {err_seq}: {message}"
-                )
+                if err_seq in pending and err_seq not in results:
+                    raise RuntimeError(
+                        f"worker {worker_id} failed on batch {err_seq}: "
+                        f"{message}"
+                    )
+                continue
             _, got_seq, _, counts, hits, replicas = item
+            if got_seq not in pending or got_seq in results:
+                continue
             # The worker is done with the segment; the owner retires it.
             owner, _, _ = pending[got_seq]
             owner.close()
             owner.unlink()
             results[got_seq] = (counts, hits, replicas)
-        while cursor in results:
-            counts, hits, replicas = results.pop(cursor)
-            _, arrivals, trigger = pending.pop(cursor)
-            self._account(counts, hits, replicas, trigger, arrivals)
-            cursor += 1
-        return cursor
 
     def _account(self, counts, hits, replicas, trigger_ms, arrivals_ms):
         """Reduce one classified batch on the spine (sequential state).
@@ -484,6 +629,13 @@ class MultiProcessServer:
         """
         spine = self._spine
         start = max(trigger_ms, spine._busy_until_ms)
+        if spine._chaos_armed:
+            # Device events land here, in batch order on the simulated
+            # clock — the same point the single-process loop applies
+            # them.  The spine has no sharder, so a device failure runs
+            # reroute-only degraded mode (no emergency replan on a
+            # frozen plan).
+            spine._apply_due_faults(trigger_ms, start)
         device_times, accesses, _, reps = spine.executor.reduce_classified(
             counts, hits, replicas
         )
@@ -492,6 +644,7 @@ class MultiProcessServer:
         )
         finish = start + service
         spine._busy_until_ms = finish
+        faults_active = spine._chaos_armed and spine.executor.has_faults
         spine.metrics.record_batch(
             arrivals_ms,
             start_ms=start,
@@ -502,23 +655,125 @@ class MultiProcessServer:
             replica_accesses=(
                 reps if spine.executor.replication is not None else None
             ),
+            dropped_lookups=(
+                spine.executor.last_dropped.copy() if faults_active else None
+            ),
         )
 
-    def _check_workers(self, pending: dict) -> None:
-        """Raise :class:`WorkerCrashError` if a worker died mid-stream."""
+    def _fire_worker_faults(
+        self, trigger_ms: float, pending: dict, results: dict
+    ) -> None:
+        """Deliver scripted worker kills due by ``trigger_ms``.
+
+        The die sentinel rides the victim's own task queue, so the
+        worker finishes already-dequeued work and dies at a lock-free
+        point (``os._exit(1)``, no cleanup, exit code 1) — the crash
+        is real, but it cannot happen while the process holds a queue
+        lock, which a mid-``get()`` SIGKILL would turn into a permanent
+        pool deadlock.  A worker that fails to die inside the result
+        timeout is SIGKILLed anyway (its queue is discarded at
+        respawn).  The supervisor then heals the pool before dispatch
+        continues, which is what makes the drill deterministic.
+        """
+        fired = False
+        for event in self._worker_faults.pop_due(trigger_ms):
+            self.worker_fault_log.append(event.describe())
+            index = event.target
+            proc = self._procs[index]
+            deadline = time.perf_counter() + self.result_timeout_s
+            delivered = False
+            while proc.is_alive() and time.perf_counter() < deadline:
+                if not delivered:
+                    try:
+                        self._task_qs[index].put_nowait((-1, None))
+                        delivered = True
+                    except queue_mod.Full:
+                        pass
+                self._pull_results(pending, results)
+                proc.join(timeout=self._POLL_S)
+            if proc.is_alive():  # wedged worker: fall back to SIGKILL
+                self.kill_worker(index)
+            fired = True
+        if fired:
+            self._check_workers(pending, results)
+
+    def _check_workers(self, pending: dict, results: dict) -> None:
+        """Self-healing supervisor: replace dead workers, requeue work.
+
+        Each dead worker is replaced (exponential backoff, same worker
+        id and queues) while the respawn budget lasts; every batch
+        still owed is then requeued, because the front-end cannot know
+        which seqs died with the worker.  Duplicates this creates are
+        absorbed by :meth:`_pull_results`.  Budget exhausted →
+        :class:`WorkerCrashError` (the caller's abort path unlinks all
+        in-flight segments).
+        """
         dead = [
-            (proc.name, proc.exitcode)
-            for proc in self._procs
+            (index, proc)
+            for index, proc in enumerate(self._procs)
             if not proc.is_alive()
         ]
-        if dead:
+        if not dead:
+            return
+        if self.respawn_count + len(dead) > self.max_respawns:
             detail = ", ".join(
-                f"{name} (exit {code})" for name, code in dead
+                f"{proc.name} (exit {proc.exitcode})" for _, proc in dead
             )
             raise WorkerCrashError(
-                f"worker(s) died with {len(pending)} batches in flight: "
-                f"{detail}"
+                f"worker(s) died with {len(pending)} batches in flight "
+                f"and the respawn budget exhausted "
+                f"({self.respawn_count}/{self.max_respawns} used): {detail}"
             )
+        for index, proc in dead:
+            time.sleep(
+                min(self.respawn_backoff_s * 2**self.respawn_count, 1.0)
+            )
+            proc.join(timeout=1.0)
+            # The dead worker's queue may hold undelivered tasks and —
+            # if it was SIGKILLed inside get() — a permanently-held
+            # reader lock.  Abandon it; owed batches are requeued below.
+            old = self._task_qs[index]
+            old.close()
+            old.cancel_join_thread()
+            self._task_qs[index] = self._ctx.Queue(
+                maxsize=self._per_worker_depth
+            )
+            replacement = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    index, self._spec, self._task_qs[index], self._result_q
+                ),
+                daemon=True,
+                name=f"recshard-worker-{index}",
+            )
+            replacement.start()
+            self._procs[index] = replacement
+            self.respawn_count += 1
+            self.worker_fault_log.append(
+                f"respawned worker {index} "
+                f"({self.respawn_count}/{self.max_respawns})"
+            )
+        self._requeue(pending, results)
+
+    def _requeue(self, pending: dict, results: dict) -> None:
+        """Re-dispatch every batch still owed after a worker crash.
+
+        The shm segments of owed batches are still owner-held (they are
+        only unlinked when a result lands), so re-sending the handle is
+        safe; a worker that picks up a stale duplicate later reports
+        ``gone``/duplicate and is ignored.
+        """
+        for seq in sorted(s for s in pending if s not in results):
+            task = (seq, pending[seq][0].handle)
+            while not self._try_dispatch(seq, task):
+                self._pull_results(pending, results)
+                if seq in results:
+                    break  # landed after all — nothing to requeue
+                if not any(p.is_alive() for p in self._procs):
+                    # Nobody draining any queue; the next
+                    # _check_workers pass deals with the new corpse.
+                    return
+                time.sleep(self._POLL_S)
 
     def _abort(self, pending: dict) -> None:
         """Error-path cleanup: no orphaned segments, no wedged pool."""

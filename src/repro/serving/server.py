@@ -53,6 +53,7 @@ from repro.core.replicate import (
     build_replication,
     carve_replica_budget,
 )
+from repro.core.plan import ShardingPlan, TablePlacement
 from repro.core.workspace import PlannerWorkspace
 from repro.data.batch import JaggedBatch
 from repro.data.drift import DriftModel
@@ -63,6 +64,7 @@ from repro.engine.executor import ShardedExecutor
 from repro.engine.ranked import RankRemapper
 from repro.memory.topology import SystemTopology
 from repro.serving.arena import RequestArena
+from repro.serving.faults import FaultInjector, FaultSchedule
 from repro.serving.metrics import ServingMetrics
 from repro.serving.queue import (
     LookupRequest,
@@ -237,6 +239,20 @@ class LookupServer:
         vectorized: executor mode; ``False`` serves on the per-lookup
             scalar reference engine (the multi-tier serving bench's
             baseline).
+        chaos: optional :class:`~repro.serving.faults.FaultSchedule` of
+            scripted device faults fired on the serving clock.  On a
+            ``device_fail`` the server (1) masks the device out of the
+            replica routing lane (replicated lookups reroute, home-lane
+            lookups drop and are counted), (2) with a ``sharder``,
+            builds an emergency warm-start replan onto the surviving
+            devices and commits it once the build's (wall-clock) cost
+            has elapsed on the simulated clock, and (3) records the
+            recovery timeline in the metrics.  Worker events are
+            rejected here — they need the multi-process runtime.
+        emergency_commit_ms: override the emergency replan's commit
+            delay with a fixed simulated value instead of the measured
+            wall-clock build cost — what makes a chaos run
+            deterministic for parity tests.
     """
 
     def __init__(
@@ -251,6 +267,8 @@ class LookupServer:
         staging: TierStagingModel | None = None,
         replication: ReplicationPolicy | None = None,
         vectorized: bool = True,
+        chaos: FaultSchedule | None = None,
+        emergency_commit_ms: float | None = None,
     ):
         if (plan is None) == (sharder is None):
             raise ValueError("provide exactly one of plan= or sharder=")
@@ -298,6 +316,16 @@ class LookupServer:
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
         self._num_installs = 0
+        # Chaos drills: scripted device faults replayed on the serving
+        # clock, plus the deferred-commit slot for an emergency replan
+        # built after a device failure.
+        if chaos is not None:
+            chaos.validate_targets(topology.num_devices, num_workers=0)
+        self.chaos = chaos
+        self._injector = FaultInjector(chaos) if chaos is not None else None
+        self._chaos_armed = self._injector is not None
+        self._emergency_commit_ms = emergency_commit_ms
+        self._pending_install: tuple | None = None
         if plan is not None and self.replication is not None:
             # Fixed plan + policy: select the replica set once.  The
             # plan must leave the budget's worth of headroom (validated
@@ -308,6 +336,10 @@ class LookupServer:
         self._install(
             plan if plan is not None else self._build_plan(profile), profile
         )
+        # The construction-time install, kept so a post-drill reset can
+        # restore the exact initial plan (and profiler seeding) and make
+        # a second stream replay the no-fault baseline bit for bit.
+        self._initial_install = (self.plan, self.profile)
 
     def _build_plan(self, profile, warm_start=None):
         """Shard from ``profile``, reusing the server's planner state.
@@ -347,6 +379,7 @@ class LookupServer:
 
     def _install(self, plan, profile) -> None:
         """Activate ``plan`` (initial install or drift replan swap)."""
+        prior = getattr(self, "executor", None)
         self.plan = plan
         self.profile = profile
         ranker = RankRemapper(profile)
@@ -355,6 +388,11 @@ class LookupServer:
             cache=self.cache, staging=self.staging,
             vectorized=self.vectorized, ranker=ranker,
         )
+        if prior is not None:
+            # Device fault state outlives a plan swap: an emergency
+            # replan evacuates a dead device but does not resurrect it.
+            self.executor._device_alive[:] = prior._device_alive
+            self.executor._device_slowdown[:] = prior._device_slowdown
         # Drift tracking only exists where a replan is possible: a
         # fixed-plan server skips the per-batch profiling entirely.
         self.monitor = None
@@ -374,7 +412,7 @@ class LookupServer:
             )
         self._num_installs += 1
 
-    def reset_serving_state(self) -> None:
+    def reset_serving_state(self, rearm_chaos: bool = False) -> None:
         """Start an independent run on the same installed plan.
 
         Fresh metrics, admission queue, simulated clock, and replica
@@ -382,6 +420,14 @@ class LookupServer:
         *plan* owns.  Lets one server (or one multi-process pool, which
         delegates here) serve several streams back to back with
         per-stream metrics, e.g. repeated benchmark rounds.
+
+        After a failure drill (or any replan) the *initial* plan is
+        reinstalled with the install counter rewound, so profiler
+        seeding, routing counters, replica sets, and metrics all replay
+        — the next stream reproduces a fresh server's no-fault baseline
+        bit for bit.  The chaos script is disarmed by default (a drill
+        is one-shot per arming); pass ``rearm_chaos=True`` to rewind it
+        and run the drill again instead.
         """
         self.queue = MicroBatchQueue(
             max_batch_size=self.config.max_batch_size,
@@ -393,6 +439,14 @@ class LookupServer:
         )
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
+        self._pending_install = None
+        if self._injector is not None:
+            self._injector.reset()
+            self._chaos_armed = rearm_chaos
+        if self._num_installs > 1:
+            self._num_installs = 0
+            self._install(*self._initial_install)
+        self.executor.clear_faults()
         self.executor.reset_routing()
 
     # ------------------------------------------------------------------
@@ -480,10 +534,15 @@ class LookupServer:
     ) -> None:
         """Execute one released microbatch and account it."""
         start = max(trigger_ms, self._busy_until_ms)
+        if self._chaos_armed:
+            self._apply_due_faults(trigger_ms, start)
+            if self._pending_install is not None:
+                self._maybe_commit_emergency(start)
         device_times, accesses, _, replicas = self.executor.run_batch(batch)
         service = float(device_times.max()) + self.config.overhead_ms_per_batch
         finish = start + service
         self._busy_until_ms = finish
+        faults_active = self._chaos_armed and self.executor.has_faults
         self.metrics.record_batch(
             arrivals_ms,
             start_ms=start,
@@ -495,6 +554,9 @@ class LookupServer:
             tier_accesses=accesses,
             replica_accesses=(
                 replicas if self.executor.replication is not None else None
+            ),
+            dropped_lookups=(
+                self.executor.last_dropped.copy() if faults_active else None
             ),
         )
         if self.sharder is None:
@@ -529,6 +591,146 @@ class LookupServer:
         self.metrics.record_replan(now_ms, build_wall_ms=build_ms)
         if on_replan is not None:
             on_replan(now_ms)
+
+    # ------------------------------------------------------------------
+    # Fault injection and emergency recovery (chaos drills)
+    # ------------------------------------------------------------------
+    def _apply_due_faults(self, now_ms: float, start_ms: float) -> None:
+        """Deliver every scheduled fault due by ``now_ms``.
+
+        ``start_ms`` is when the triggering batch actually executes —
+        the first moment rerouting is in effect, so it closes the
+        ``time_to_reroute`` interval.
+        """
+        for event in self._injector.pop_due(now_ms):
+            self.metrics.record_fault(
+                event.at_ms, event.kind, event.target, event.describe()
+            )
+            if event.kind == "device_fail":
+                self.executor.fail_device(event.target)
+                self.metrics.open_fault_window(event.at_ms)
+                self.metrics.record_recovery(
+                    "reroute", event.at_ms, start_ms
+                )
+                self._start_emergency_replan(event.at_ms)
+            elif event.kind == "device_degrade":
+                self.executor.degrade_device(event.target, event.slowdown)
+            elif event.kind == "device_recover":
+                self.executor.recover_device(event.target)
+                if not self.executor.dead_devices:
+                    # Full topology restored: the evacuation plan under
+                    # construction is moot, and degraded service ends.
+                    self._pending_install = None
+                    self._close_open_windows(event.at_ms)
+
+    def _start_emergency_replan(self, fault_ms: float) -> None:
+        """Build a warm-start plan onto the surviving devices.
+
+        The build runs synchronously here (off the simulated critical
+        path, like drift replans) but *commits* only once its cost has
+        elapsed on the serving clock — the window in which serving runs
+        degraded on the replica lane alone.  Fixed-plan servers have no
+        sharder to rebuild with, so they stay in degraded mode until a
+        recover event.
+        """
+        if self.sharder is None:
+            return
+        build_start = time.perf_counter()
+        plan = self._build_emergency_plan()
+        build_ms = (time.perf_counter() - build_start) * 1e3
+        delay = (
+            self._emergency_commit_ms
+            if self._emergency_commit_ms is not None
+            else build_ms
+        )
+        self._pending_install = (
+            plan, self.profile, fault_ms + delay, fault_ms, build_ms
+        )
+
+    def _build_emergency_plan(self):
+        """Re-shard the current profile onto the surviving devices.
+
+        The sharder plans in a compacted index space (a reduced
+        topology holding only survivors, with the replica budget still
+        carved out of its fastest tier); the outgoing plan is
+        translated into that space as a warm start, with dead-homed
+        tables hinted round-robin across survivors; the result is
+        mapped back to physical device ids and the replica set
+        recomputed so the executor keeps serving in physical space.
+        """
+        alive = self.executor._device_alive
+        surviving = [int(d) for d in np.flatnonzero(alive)]
+        if not surviving:
+            raise RuntimeError("no surviving devices to replan onto")
+        reduced = SystemTopology(
+            num_devices=len(surviving), tiers=self._plan_topology.tiers
+        )
+        compact = {device: i for i, device in enumerate(surviving)}
+        base = self.plan.plan if isinstance(self.plan, ReplicatedPlan) else self.plan
+        placements = []
+        evacuated = 0
+        for p in base:
+            if p.device in compact:
+                device = compact[p.device]
+            else:
+                device = evacuated % len(surviving)
+                evacuated += 1
+            placements.append(
+                TablePlacement(p.table_index, device, p.rows_per_tier)
+            )
+        warm = ShardingPlan(
+            strategy=base.strategy, placements=placements,
+            metadata=dict(base.metadata),
+        )
+        kwargs = {}
+        if self._sharder_takes_workspace:
+            if self._workspace is None:
+                self._workspace = PlannerWorkspace(
+                    self.model, self.profile,
+                    steps=getattr(self.sharder, "steps", 100),
+                )
+            else:
+                self._workspace.refresh(self.profile)
+            kwargs["workspace"] = self._workspace
+        if self._sharder_warm_starts:
+            kwargs["warm_start"] = warm
+        plan = self.sharder.shard(
+            self.model, self.profile, reduced, **kwargs
+        )
+        plan = ShardingPlan(
+            strategy=plan.strategy,
+            placements=[
+                TablePlacement(
+                    p.table_index, surviving[p.device], p.rows_per_tier
+                )
+                for p in plan
+            ],
+            metadata=dict(plan.metadata),
+        )
+        if self.replication is not None:
+            plan = build_replication(
+                self.replication, plan, self.profile, self.model,
+                self.topology, workspace=kwargs.get("workspace"),
+            )
+        return plan
+
+    def _maybe_commit_emergency(self, start_ms: float) -> None:
+        """Swap in the pending emergency plan once its build time has
+        elapsed on the serving clock."""
+        plan, profile, commit_at, fault_ms, build_ms = self._pending_install
+        if start_ms < commit_at:
+            return
+        self._install(plan, profile)
+        self._pending_install = None
+        self.metrics.record_replan(commit_at, build_wall_ms=build_ms)
+        self.metrics.record_recovery(
+            "replan", fault_ms, commit_at, wall_ms=build_ms
+        )
+        self._close_open_windows(commit_at)
+
+    def _close_open_windows(self, now_ms: float) -> None:
+        while any(w[1] is None for w in self.metrics.fault_windows):
+            self.metrics.close_fault_window(now_ms)
 
 
 def synthetic_request_arenas(

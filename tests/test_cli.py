@@ -145,3 +145,59 @@ class TestCommands:
         ] + self.COMMON
         assert main(argv) == 0
         assert "QPS" in capsys.readouterr().out
+
+    def test_serve_with_chaos_drill(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "50000", "--requests", "600", "--batch-requests", "64",
+            "--replicate-gib", "1", "--chaos", "fail@4:1",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "device 1 fails" in out
+        assert "dropped" in out
+
+    def test_serve_worker_kill_drill(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "50000", "--requests", "600", "--batch-requests", "64",
+            "--workers", "2", "--chaos", "kill@2:1",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[supervisor]" in out
+        assert "respawned worker 1" in out
+
+
+class TestServeValidation:
+    COMMON = ["--features", "40", "--gpus", "2", "--batch", "256"]
+
+    def run(self, extra, capsys):
+        code = main(["serve", "--model", "rm2"] + self.COMMON + extra)
+        return code, capsys.readouterr().err
+
+    def test_rejects_nonpositive_arrival_rate(self, capsys):
+        code, err = self.run(["--arrival-rate", "-5"], capsys)
+        assert code == 2 and "--arrival-rate" in err
+
+    def test_rejects_nonpositive_queue_depth(self, capsys):
+        code, err = self.run(
+            ["--workers", "2", "--queue-depth", "0"], capsys
+        )
+        assert code == 2 and "--queue-depth" in err
+
+    def test_rejects_negative_workers(self, capsys):
+        code, err = self.run(["--workers", "-1"], capsys)
+        assert code == 2 and "--workers" in err
+
+    def test_rejects_malformed_chaos_spec(self, capsys):
+        code, err = self.run(["--chaos", "melt@10:0"], capsys)
+        assert code == 2 and "melt@10:0" in err
+
+    def test_rejects_worker_kill_without_workers(self, capsys):
+        code, err = self.run(["--chaos", "kill@10:0"], capsys)
+        assert code == 2 and "--workers" in err
+
+    def test_rejects_chaos_device_out_of_range(self, capsys):
+        code, err = self.run(["--chaos", "fail@10:7"], capsys)
+        assert code == 2 and "only 2 devices" in err

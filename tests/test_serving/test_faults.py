@@ -1,0 +1,165 @@
+"""Unit tests for the fault-injection scripting layer.
+
+Covers the pieces every chaos drill stands on: event validation,
+schedule ordering and target validation, the injector's replay cursor,
+and the ``--chaos`` spec grammar — all pure logic, no serving loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    device_degrade,
+    device_fail,
+    device_recover,
+    parse_chaos_spec,
+    worker_kill,
+)
+
+
+# ----------------------------------------------------------------------
+# FaultEvent validation
+# ----------------------------------------------------------------------
+def test_event_constructors_round_trip():
+    assert device_fail(250.0, 1) == FaultEvent(250.0, "device_fail", 1)
+    assert device_recover(900.0, 1) == FaultEvent(900.0, "device_recover", 1)
+    assert worker_kill(10.0, 0) == FaultEvent(10.0, "worker_kill", 0)
+    degrade = device_degrade(100.0, 0, 4.0)
+    assert degrade.slowdown == 4.0
+    assert degrade.is_device_event
+    assert not worker_kill(0.0, 0).is_device_event
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        (dict(at_ms=0.0, kind="device_melt", target=0), "unknown fault kind"),
+        (dict(at_ms=-1.0, kind="device_fail", target=0), "time must be"),
+        (dict(at_ms=0.0, kind="device_fail", target=-2), "target must be"),
+        (
+            dict(at_ms=0.0, kind="device_degrade", target=0, slowdown=1.0),
+            "slowdown must be > 1",
+        ),
+        (
+            dict(at_ms=0.0, kind="device_fail", target=0, slowdown=2.0),
+            "takes no slowdown",
+        ),
+    ],
+)
+def test_event_rejects_bad_fields(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        FaultEvent(**kwargs)
+
+
+def test_event_describe_is_human_readable():
+    assert device_fail(250.0, 1).describe() == "t=250ms: device 1 fails"
+    assert "degrades 4x" in device_degrade(100.0, 0, 4.0).describe()
+    assert "worker 2 killed" in worker_kill(5.0, 2).describe()
+
+
+# ----------------------------------------------------------------------
+# FaultSchedule
+# ----------------------------------------------------------------------
+def test_schedule_sorts_by_time_stably():
+    a, b, c = device_fail(50.0, 0), device_recover(50.0, 0), worker_kill(10.0, 1)
+    schedule = FaultSchedule([a, b, c])
+    assert schedule.events == (c, a, b)  # sorted; ties keep script order
+    assert len(schedule) == 3 and bool(schedule)
+    assert not FaultSchedule()
+
+
+def test_schedule_splits_device_and_worker_events():
+    schedule = FaultSchedule(
+        [device_fail(1.0, 0), worker_kill(2.0, 1), device_recover(3.0, 0)]
+    )
+    assert all(e.is_device_event for e in schedule.device_events)
+    assert [e.kind for e in schedule.worker_events] == ["worker_kill"]
+
+
+def test_schedule_rejects_non_events():
+    with pytest.raises(TypeError, match="FaultEvent"):
+        FaultSchedule([("device_fail", 0)])
+
+
+def test_validate_targets():
+    schedule = FaultSchedule([device_fail(1.0, 3)])
+    with pytest.raises(ValueError, match="only 2 devices"):
+        schedule.validate_targets(num_devices=2)
+    schedule.validate_targets(num_devices=4)  # fine
+
+    kills = FaultSchedule([worker_kill(1.0, 2)])
+    with pytest.raises(ValueError, match="multi-process runtime"):
+        kills.validate_targets(num_devices=4, num_workers=0)
+    with pytest.raises(ValueError, match="only 2 workers"):
+        kills.validate_targets(num_devices=4, num_workers=2)
+    kills.validate_targets(num_devices=4, num_workers=3)
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+def test_injector_delivers_each_event_once_in_order():
+    events = [device_fail(10.0, 0), device_recover(20.0, 0), worker_kill(30.0, 1)]
+    injector = FaultInjector(FaultSchedule(events))
+    assert injector.pop_due(5.0) == []
+    assert [e.kind for e in injector.pop_due(20.0)] == [
+        "device_fail",
+        "device_recover",
+    ]
+    assert injector.pop_due(20.0) == []  # delivered once
+    assert [e.kind for e in injector.pop_due(float("inf"))] == ["worker_kill"]
+    assert not injector.pending
+
+
+def test_injector_reset_rewinds_the_cursor():
+    injector = FaultInjector(FaultSchedule([device_fail(10.0, 0)]))
+    assert len(injector.pop_due(100.0)) == 1
+    injector.reset()
+    assert injector.pending == 1
+    assert len(injector.pop_due(100.0)) == 1
+
+
+# ----------------------------------------------------------------------
+# --chaos spec grammar
+# ----------------------------------------------------------------------
+def test_parse_chaos_spec_full_grammar():
+    schedule = parse_chaos_spec(
+        "degrade@100:0x4, fail@250:1, recover@900:1, kill@50:2"
+    )
+    kinds = [e.kind for e in schedule]
+    assert kinds == [
+        "worker_kill",
+        "device_degrade",
+        "device_fail",
+        "device_recover",
+    ]
+    degrade = next(e for e in schedule if e.kind == "device_degrade")
+    assert degrade.at_ms == 100.0 and degrade.target == 0
+    assert degrade.slowdown == 4.0
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "",
+        "fail@250",  # missing target
+        "melt@10:0",  # unknown kind
+        "fail@abc:0",  # bad time
+        "fail@10:x",  # bad target
+        "degrade@10:0",  # degrade without factor
+        "fail@10:0x2",  # factor on non-degrade
+        "degrade@10:0x0.5",  # slowdown must be > 1
+    ],
+)
+def test_parse_chaos_spec_rejects_malformed(spec):
+    with pytest.raises(ValueError):
+        parse_chaos_spec(spec)
+
+
+def test_parse_chaos_spec_error_quotes_offending_term():
+    with pytest.raises(ValueError, match="melt@10:0"):
+        parse_chaos_spec("fail@5:0,melt@10:0")

@@ -7,9 +7,11 @@ Three properties a serving front-end must not lose under stress:
   exact accounting (``offered == served + shed``);
 * **clean shutdown** — after a soak the pool tears down promptly and
   leaves no worker processes or shared-memory segments behind;
-* **fail loud** — a dead worker surfaces as
+* **fail loud** — with the respawn budget disabled
+  (``max_respawns=0``) a dead worker surfaces as
   :class:`~repro.serving.mp.WorkerCrashError` instead of a hang (every
-  wait in the front-end is timeout-guarded).
+  wait in the front-end is timeout-guarded); the self-healing default
+  path is exercised in ``test_mp_selfheal.py``.
 
 The ~10 s bursty soak is marked ``slow`` (tier-1 excludes it; CI runs
 it in the dedicated slow step); the crash and shutdown tests are fast
@@ -64,9 +66,9 @@ def live_segments() -> set[str]:
 
 
 def test_worker_crash_surfaces_instead_of_hanging():
-    """Kill the whole pool mid-stream: the front-end must raise
-    WorkerCrashError within its timeout, clean up every in-flight
-    segment, and shut the pool down."""
+    """Kill the whole pool mid-stream with respawns disabled: the
+    front-end must raise WorkerCrashError within its timeout, clean up
+    every in-flight segment, and shut the pool down."""
     model, profile, topology, plan = small_world()
     arenas = list(
         synthetic_request_arenas(model, 512, qps=1e9, seed=3)
@@ -74,7 +76,7 @@ def test_worker_crash_surfaces_instead_of_hanging():
     before = live_segments()
     pool = MultiProcessServer(
         model, profile, topology, plan=plan, config=CONFIG,
-        workers=2, result_timeout_s=10.0,
+        workers=2, result_timeout_s=10.0, max_respawns=0,
     )
     pool.start()
     pool.kill_worker(0)
@@ -90,8 +92,9 @@ def test_worker_crash_surfaces_instead_of_hanging():
 
 
 def test_worker_error_is_reported_with_context():
-    """A per-batch worker exception aborts the run with the worker's
-    id and message, and still cleans up."""
+    """An err result for a batch still owed aborts the run with the
+    worker's id and batch seq; stale errs (seq no longer owed, e.g.
+    after a crash-triggered requeue duplicated the task) are dropped."""
     model, profile, topology, plan = small_world()
     arenas = list(synthetic_request_arenas(model, 256, qps=1e9, seed=5))
     before = live_segments()
@@ -100,21 +103,84 @@ def test_worker_error_is_reported_with_context():
         workers=1, result_timeout_s=10.0,
     )
     pool.start()
-    # Poison one task: its segment is unlinked before the worker can
-    # attach, so the worker reports an err result instead of dying.
+    owner = arenas[0].to_shm()
+    pending = {0: (owner, np.array(arenas[0].arrival_ms), 0.0)}
+    pool._result_q.put(("err", 0, 0, "ValueError: boom"))
+    with pytest.raises(RuntimeError, match="worker 0 failed on batch 0"):
+        for _ in range(60):  # bounded wait for the err to feed through
+            pool._drain(pending, {}, 0, block_s=0.5)
+        pytest.fail("worker error never surfaced")
+    # In the real loop _run's abort path retires pending segments; here
+    # the test is the caller.
+    owner.close()
+    owner.unlink()
+    # An err for a seq nobody owes is stale — ignored, not fatal.
+    pool._result_q.put(("err", 99, 0, "ValueError: stale duplicate"))
+    time.sleep(0.2)
+    pool._drain({}, {}, 0, block_s=0.5)
+    assert all(p.is_alive() for p in pool._procs)
+    pool.close()
+    assert live_segments() - before == set()
+
+
+def test_vanished_segment_reports_gone_not_fatal():
+    """A worker handed a handle whose segment was already unlinked
+    reports ``gone`` and stays alive: the duplicate-tolerant protocol
+    treats it as a stale requeue artifact, not an error."""
+    model, profile, topology, plan = small_world()
+    arenas = list(synthetic_request_arenas(model, 256, qps=1e9, seed=5))
+    before = live_segments()
+    pool = MultiProcessServer(
+        model, profile, topology, plan=plan, config=CONFIG,
+        workers=1, result_timeout_s=10.0,
+    )
+    pool.start()
     owner = arenas[0].to_shm()
     handle = owner.handle
     owner.close()
     owner.unlink()
-    pool._task_q.put((0, handle))
-    with pytest.raises(RuntimeError, match="worker 0 failed on batch 0"):
-        for _ in range(60):  # bounded wait for the err result
-            pool._drain({}, {}, 0, block_s=0.5)
-        pytest.fail("worker error never surfaced")
-    # The worker survives a per-batch failure (errors are reported,
-    # not fatal) and the pool still shuts down cleanly.
+    pool._task_qs[0].put((0, handle))
+    deadline = time.perf_counter() + 10.0
+    gone = None
+    while time.perf_counter() < deadline:
+        try:
+            gone = pool._result_q.get(timeout=0.5)
+            break
+        except Exception:
+            continue
+    assert gone is not None and gone[0] == "gone" and gone[1] == 0
     assert all(p.is_alive() for p in pool._procs)
+    # And a normal stream still runs afterwards on the same pool.
+    metrics = pool.serve_arenas(arenas)
+    assert metrics.num_requests == 256
     pool.close()
+    assert live_segments() - before == set()
+
+
+def test_keyboard_interrupt_leaves_shm_clean():
+    """Ctrl-C mid-stream (raised from the accounting hot path) must
+    tear the pool down and unlink every in-flight segment."""
+    model, profile, topology, plan = small_world()
+    arenas = list(synthetic_request_arenas(model, 512, qps=1e9, seed=7))
+    before = live_segments()
+    pool = MultiProcessServer(
+        model, profile, topology, plan=plan, config=CONFIG,
+        workers=2, result_timeout_s=10.0,
+    )
+    real_account = pool._account
+    calls = {"n": 0}
+
+    def interrupting(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] >= 3:
+            raise KeyboardInterrupt
+        return real_account(*args, **kwargs)
+
+    pool._account = interrupting
+    with pytest.raises(KeyboardInterrupt):
+        pool.serve_arenas(arenas)
+    assert calls["n"] >= 3
+    assert not pool.started
     assert live_segments() - before == set()
 
 
