@@ -21,11 +21,16 @@ Examples::
     python -m repro serve --model rm2 --replicate-gib 1 \
         --chaos fail@250:1,recover@900:1
     python -m repro serve --model rm2 --workers 2 --chaos kill@100:0
+    python -m repro serve --model rm2 --slo-ms 5 --deadline-ms 8 \
+        --priorities gold=0.1,silver=0.3,bronze=0.6
+    python -m repro serve --model rm3 --tiers hbm,dram:8,ssd \
+        --slo-ms 5 --brownout --report-json metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -56,9 +61,12 @@ from repro.serving import (
     BurstyArrivals,
     LookupServer,
     MultiProcessServer,
+    OverloadControl,
+    PoissonArrivals,
     ServingConfig,
     generate_request_arenas,
     parse_chaos_spec,
+    parse_priority_spec,
     synthetic_request_arenas,
 )
 from repro.stats import analytic_profile
@@ -348,6 +356,17 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _dump_report_json(path, metrics) -> None:
+    """Write the ServingMetrics summary to ``path`` as JSON (if set)."""
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump(metrics.summary(), fh, indent=2, sort_keys=True,
+                  default=float)
+        fh.write("\n")
+    print(f"wrote metrics summary to {path}")
+
+
 def _cmd_serve(args) -> int:
     """Run a seeded synthetic serving workload and report QPS/latency."""
     if args.arrival_rate is not None:
@@ -394,8 +413,8 @@ def _cmd_serve(args) -> int:
     if args.batch_requests < 1:
         print("error: --batch-requests must be >= 1", file=sys.stderr)
         return 2
-    if args.max_delay_ms < 0:
-        print("error: --max-delay-ms must be >= 0", file=sys.stderr)
+    if args.max_delay_ms <= 0:
+        print("error: --max-delay-ms must be > 0", file=sys.stderr)
         return 2
     if args.staging_gib < 0:
         print("error: --staging-gib must be >= 0", file=sys.stderr)
@@ -403,6 +422,58 @@ def _cmd_serve(args) -> int:
     if args.replicate_gib < 0:
         print("error: --replicate-gib must be >= 0", file=sys.stderr)
         return 2
+    if args.burst_qps is not None and args.burst_qps <= 0:
+        print("error: --burst-qps must be > 0", file=sys.stderr)
+        return 2
+    if args.idle_qps is not None and args.idle_qps < 0:
+        print("error: --idle-qps must be >= 0", file=sys.stderr)
+        return 2
+    if args.burst_ms <= 0:
+        print("error: --burst-ms must be > 0", file=sys.stderr)
+        return 2
+    if args.idle_ms <= 0:
+        print("error: --idle-ms must be > 0", file=sys.stderr)
+        return 2
+    if args.slo_ms is not None and args.slo_ms <= 0:
+        print("error: --slo-ms must be > 0", file=sys.stderr)
+        return 2
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print("error: --deadline-ms must be > 0", file=sys.stderr)
+        return 2
+    if args.queue_limit_ms is not None and args.queue_limit_ms <= 0:
+        print("error: --queue-limit-ms must be > 0", file=sys.stderr)
+        return 2
+    if args.brownout and args.slo_ms is None:
+        print("error: --brownout requires --slo-ms", file=sys.stderr)
+        return 2
+    priority_names = ()
+    priority_shares = None
+    if args.priorities:
+        try:
+            priority_names, priority_shares = parse_priority_spec(
+                args.priorities
+            )
+        except ValueError as exc:
+            print(f"error: --priorities: {exc}", file=sys.stderr)
+            return 2
+    with_qos = args.deadline_ms is not None or priority_shares is not None
+    if with_qos and args.drift_months > 0:
+        print("error: deadline/priority streams have no drift model; "
+              "drop --drift-months", file=sys.stderr)
+        return 2
+    overload = None
+    if (
+        args.slo_ms is not None
+        or args.queue_limit_ms is not None
+        or args.brownout
+        or with_qos
+    ):
+        overload = OverloadControl(
+            slo_ms=args.slo_ms,
+            queue_limit_ms=args.queue_limit_ms,
+            brownout=args.brownout,
+            priority_names=priority_names,
+        )
     model, topology = _build_world(args)
     if chaos is not None:
         try:
@@ -458,11 +529,24 @@ def _cmd_serve(args) -> int:
             idle_ms=args.idle_ms,
         )
         arenas = generate_request_arenas(
-            model, args.requests, process, seed=args.seed
+            model, args.requests, process, seed=args.seed,
+            deadline_ms=args.deadline_ms,
+            priority_shares=priority_shares,
         )
         offered = (f"bursty {process.burst_qps:.0f}/{process.idle_qps:.0f} "
                    f"QPS over {process.burst_ms:g}/{process.idle_ms:g} ms "
                    f"(mean {process.mean_qps:.0f})")
+    elif with_qos:
+        # QoS columns ride the loadgen stream; PoissonArrivals
+        # bit-reproduces the inline generator's timestamps, so adding
+        # deadlines/priorities changes no arrival or lookup content.
+        arenas = generate_request_arenas(
+            model, args.requests, PoissonArrivals(args.qps),
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+            priority_shares=priority_shares,
+        )
+        offered = f"offered load {args.qps:.0f} QPS"
     else:
         drift = None
         if args.drift_months > 0:
@@ -484,7 +568,7 @@ def _cmd_serve(args) -> int:
             model, profile, topology, sharder=sharder, config=config,
             staging=staging, replication=replication,
             workers=args.workers, queue_depth=args.queue_depth,
-            chaos=chaos,
+            chaos=chaos, overload=overload,
         )
         start = time.perf_counter()
         with server:
@@ -504,10 +588,12 @@ def _cmd_serve(args) -> int:
         print(f"wall-clock: {elapsed:.2f} s "
               f"({metrics.num_requests / max(elapsed, 1e-9):.0f} "
               f"sustained QPS)")
+        _dump_report_json(args.report_json, metrics)
         return 0
     server = LookupServer(
         model, profile, topology, sharder=sharder, config=config,
         staging=staging, replication=replication, chaos=chaos,
+        overload=overload,
     )
     start = time.perf_counter()
     if args.fast_serving:
@@ -522,6 +608,7 @@ def _cmd_serve(args) -> int:
           f"{args.max_delay_ms:g} ms, {path}):")
     print(metrics.format_report())
     print(f"simulation wall-clock: {elapsed:.2f} s")
+    _dump_report_json(args.report_json, metrics)
     return 0
 
 
@@ -679,6 +766,31 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pooling drift %% that triggers a replan")
             p.add_argument("--drift-min-samples", type=int, default=1024,
                            help="samples before a replan may trigger")
+            p.add_argument("--slo-ms", type=float, default=None,
+                           help="latency SLO the overload controller "
+                                "defends; enables priority shedding (with "
+                                "--priorities) and brownout (with "
+                                "--brownout)")
+            p.add_argument("--deadline-ms", type=float, default=None,
+                           help="per-request deadline budget; requests "
+                                "predicted to miss arrival+budget are shed "
+                                "early (cause 'deadline')")
+            p.add_argument("--priorities", default=None, metavar="SPEC",
+                           help="priority classes as name=share terms, "
+                                "e.g. 'gold=0.1,silver=0.3,bronze=0.6'; "
+                                "class order is shed order (first listed "
+                                "is never shed)")
+            p.add_argument("--brownout", action="store_true",
+                           help="enable degraded-mode serving: skip "
+                                "cold-tier home lanes while the windowed "
+                                "p99 violates --slo-ms")
+            p.add_argument("--queue-limit-ms", type=float, default=None,
+                           help="shed whole batches whose predicted "
+                                "queueing delay exceeds this bound "
+                                "(cause 'overflow')")
+            p.add_argument("--report-json", default=None, metavar="PATH",
+                           help="write the metrics summary to PATH as "
+                                "JSON after serving")
         p.set_defaults(func=func)
     return parser
 

@@ -216,6 +216,16 @@ class ShardedExecutor:
         self._device_alive = np.ones(topology.num_devices, dtype=bool)
         self._device_slowdown = np.ones(topology.num_devices, dtype=np.float64)
         self.last_dropped = np.zeros(topology.num_devices, dtype=np.int64)
+        # Brownout degraded mode (overload control): while active,
+        # cold-tier home-lane lookups are *skipped* — only fast-tier,
+        # staged, and replicated rows are served.  Skips are tallied per
+        # batch in ``last_browned`` and cumulatively per table, so the
+        # quality cost of degraded service is measured, never silent.
+        self._brownout = False
+        self.last_browned = np.zeros(
+            (topology.num_tiers, topology.num_devices), dtype=np.int64
+        )
+        self.browned_by_table = np.zeros(model.num_tables, dtype=np.int64)
         # Per-(table, tier) fast-lane cutoffs in cumulative rank space:
         # ranks in [bounds[t-1], cutoffs[t]) are served at the tier's
         # fast lane (cache bandwidth for tier 0, tier t-1's bandwidth
@@ -356,6 +366,33 @@ class ShardedExecutor:
         were freshly built (a no-op without replication).
         """
         self._replica_load[:] = 0
+
+    # ------------------------------------------------------------------
+    # Brownout degraded mode (overload control)
+    # ------------------------------------------------------------------
+    @property
+    def brownout_active(self) -> bool:
+        """Whether cold-tier home-lane lookups are currently skipped."""
+        return self._brownout
+
+    def set_brownout(self, active: bool) -> None:
+        """Enter/leave degraded mode.
+
+        While active, :meth:`_reduce_counts` serves only the fast tier,
+        each cold tier's staged rows, and the replica lane; the skipped
+        cold-tier lookups are counted in ``last_browned`` (per batch)
+        and ``browned_by_table`` (cumulative).  Purely a reduce-time
+        transform: classification is untouched, so the scalar and
+        vectorized paths (and the multi-process classify/reduce split)
+        stay bit-identical under brownout.
+        """
+        self._brownout = bool(active)
+
+    def reset_brownout(self) -> None:
+        """Leave degraded mode and zero the skip counters."""
+        self._brownout = False
+        self.last_browned[:] = 0
+        self.browned_by_table[:] = 0
 
     # ------------------------------------------------------------------
     # Device fault state (chaos drills)
@@ -652,6 +689,24 @@ class ShardedExecutor:
         """
         num_devices = self.topology.num_devices
         num_tiers = self.topology.num_tiers
+        self.last_browned[:] = 0
+        if self._brownout and num_tiers > 1:
+            # Degraded mode: cold-tier home-lane lookups (everything a
+            # cold tier serves beyond its staged rows) are skipped, so
+            # only fast-tier, staged, and replicated rows execute.  The
+            # skip happens before fault accounting — a dead device's
+            # cold lookups count as browned, not dropped.
+            browned_tbl = counts[:, 1:] - hits[:, 1:]
+            if browned_tbl.any():
+                counts = counts.copy()
+                counts[:, 1:] = hits[:, 1:]
+                self.browned_by_table += browned_tbl.sum(axis=1)
+                for t in range(1, num_tiers):
+                    np.add.at(
+                        self.last_browned[t],
+                        self.device_of,
+                        browned_tbl[:, t - 1],
+                    )
         alive = self._device_alive
         faulty = not alive.all()
         route = replicas is not None and self._has_replicas
@@ -842,11 +897,17 @@ class ShardedExecutor:
         pre-ranking via :meth:`prepare` amortizes the remap across
         strategies sharing a profile.
         """
-        rows = [self.run_batch(batch) for batch in batches]
+        rows = []
+        browned = [] if self._brownout else None
+        for batch in batches:
+            rows.append(self.run_batch(batch))
+            if browned is not None:
+                browned.append(self.last_browned.copy())
         return _collect_metrics(
             self.plan.strategy, self.topology, rows,
             self.cache is not None, self.staging is not None,
             self.replication is not None,
+            browned=browned,
         )
 
     def expected_device_costs_ms(self, batch_size: int) -> np.ndarray:
@@ -938,6 +999,7 @@ def _collect_metrics(
     with_cache: bool,
     with_staging: bool = False,
     with_replicas: bool = False,
+    browned: list[np.ndarray] | None = None,
 ) -> RunMetrics:
     """Stack per-iteration (times, accesses, hits, replicas) rows."""
     times_arr = np.array([r[0] for r in rows])
@@ -958,6 +1020,7 @@ def _collect_metrics(
         cache_hits=hits[:, 0, :] if with_cache and hits is not None else None,
         staged_hits=hits if with_staging and hits is not None else None,
         replica_hits=replica,
+        browned_out=np.array(browned) if browned else None,
     )
 
 
@@ -1001,6 +1064,9 @@ def replay_trace(
         ranker = first.ranker
     num_plans = len(executors)
     rows: list[list] = [[] for _ in executors]
+    browned: list[list | None] = [
+        [] if ex._brownout else None for ex in executors
+    ]
     mask = np.empty(0, dtype=bool)
     scratches: dict = {}
     for batch in batches:
@@ -1038,11 +1104,14 @@ def replay_trace(
             rows[s].append(
                 ex._reduce_counts(counts[s], hits[s], replicas[s])
             )
+            if browned[s] is not None:
+                browned[s].append(ex.last_browned.copy())
     return [
         _collect_metrics(
             ex.plan.strategy, ex.topology, rows[s],
             ex.cache is not None, ex.staging is not None,
             ex.replication is not None,
+            browned=browned[s],
         )
         for s, ex in enumerate(executors)
     ]

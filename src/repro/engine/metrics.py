@@ -46,6 +46,10 @@ class RunMetrics:
             routed least-loaded, counted on the *serving* device's
             fastest tier (so they are included in, not additional to,
             the fastest tier's access counts).
+        browned_out: (iterations, tiers, devices) cold-tier lookups
+            *skipped* while the executor ran in brownout degraded mode
+            (overload control) — the measured quality cost of degraded
+            service; these lookups appear in no tier's access counts.
     """
 
     strategy: str
@@ -54,6 +58,7 @@ class RunMetrics:
     cache_hits: np.ndarray | None = None
     staged_hits: np.ndarray | None = None
     replica_hits: np.ndarray | None = None
+    browned_out: np.ndarray | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -122,6 +127,26 @@ class RunMetrics:
         if total == 0:
             return 0.0
         return float(self.replica_hits.sum() / total)
+
+    @property
+    def browned_out_lookups(self) -> int:
+        """Cold-tier lookups skipped under brownout over the whole run."""
+        if self.browned_out is None:
+            return 0
+        return int(self.browned_out.sum())
+
+    def browned_fraction(self) -> float:
+        """Skipped cold-tier lookups over everything classified (served
+        plus skipped) — the coverage loss brownout trades for latency
+        (0 when brownout never engaged)."""
+        if self.browned_out is None:
+            return 0.0
+        served = sum(counts.sum() for counts in self.tier_accesses.values())
+        skipped = self.browned_out.sum()
+        total = served + skipped
+        if total == 0:
+            return 0.0
+        return float(skipped / total)
 
     def device_access_totals(self) -> np.ndarray:
         """Accesses served per device, summed over tiers and iterations."""

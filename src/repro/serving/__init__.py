@@ -45,7 +45,13 @@ Components:
 * :mod:`~repro.serving.loadgen` — first-class arrival processes
   (:class:`~repro.serving.loadgen.PoissonArrivals`,
   :class:`~repro.serving.loadgen.BurstyArrivals`) for open-loop load
-  generation under arbitrary traffic shapes.
+  generation under arbitrary traffic shapes, with optional per-request
+  deadline budgets and priority classes.
+* :mod:`~repro.serving.overload` — SLO-driven overload control
+  (:class:`~repro.serving.overload.OverloadControl`): deadline-aware
+  admission from an EWMA service-time estimator, priority-class
+  shedding, and brownout degraded-mode serving that skips cold-tier
+  home lanes while the windowed p99 violates the SLO.
 
 Quickstart::
 
@@ -84,6 +90,12 @@ from repro.serving.loadgen import (
 )
 from repro.serving.metrics import ServingMetrics
 from repro.serving.mp import MultiProcessServer, WorkerCrashError
+from repro.serving.overload import (
+    SHED_CAUSES,
+    OverloadControl,
+    OverloadController,
+    parse_priority_spec,
+)
 from repro.serving.queue import (
     LookupRequest,
     MicroBatchQueue,
@@ -108,8 +120,11 @@ __all__ = [
     "LookupServer",
     "MicroBatchQueue",
     "MultiProcessServer",
+    "OverloadControl",
+    "OverloadController",
     "PoissonArrivals",
     "RequestArena",
+    "SHED_CAUSES",
     "ServingConfig",
     "ServingMetrics",
     "ShmArena",
@@ -122,6 +137,7 @@ __all__ = [
     "generate_request_arenas",
     "iter_microbatch_arenas",
     "parse_chaos_spec",
+    "parse_priority_spec",
     "synthetic_request_arenas",
     "synthetic_request_stream",
     "worker_kill",

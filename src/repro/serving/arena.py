@@ -52,11 +52,33 @@ class RequestArena:
             shape ``(num_requests,)``.
         base_id: request id of the chunk's first request (ids are
             consecutive within a chunk).
+        deadline_ms: optional per-request absolute deadlines (float64,
+            same shape as ``arrival_ms``); ``inf`` marks "no deadline".
+        priority: optional per-request priority classes (int64, lower
+            is more important; 0 is the protected top class).
+
+    The two QoS columns travel together: providing either materializes
+    both (missing deadlines default to ``inf``, missing priorities to
+    class 0), so downstream code only ever sees "no QoS" or "full QoS".
     """
 
-    __slots__ = ("batch", "arrival_ms", "base_id", "_offsets_mat")
+    __slots__ = (
+        "batch",
+        "arrival_ms",
+        "base_id",
+        "deadline_ms",
+        "priority",
+        "_offsets_mat",
+    )
 
-    def __init__(self, batch: JaggedBatch, arrival_ms: np.ndarray, base_id: int = 0):
+    def __init__(
+        self,
+        batch: JaggedBatch,
+        arrival_ms: np.ndarray,
+        base_id: int = 0,
+        deadline_ms: np.ndarray | None = None,
+        priority: np.ndarray | None = None,
+    ):
         arrival_ms = np.asarray(arrival_ms, dtype=np.float64)
         if arrival_ms.ndim != 1:
             raise ValueError("arrival_ms must be a 1-D array")
@@ -67,9 +89,32 @@ class RequestArena:
             )
         if arrival_ms.size > 1 and np.any(np.diff(arrival_ms) < 0):
             raise ValueError("arrival_ms must be non-decreasing")
+        if deadline_ms is not None or priority is not None:
+            if deadline_ms is None:
+                deadline_ms = np.full(arrival_ms.size, np.inf)
+            else:
+                deadline_ms = np.asarray(deadline_ms, dtype=np.float64)
+            if priority is None:
+                priority = np.zeros(arrival_ms.size, dtype=np.int64)
+            else:
+                priority = np.asarray(priority, dtype=np.int64)
+            if deadline_ms.shape != arrival_ms.shape:
+                raise ValueError(
+                    f"deadline_ms shape {deadline_ms.shape} != "
+                    f"arrival_ms shape {arrival_ms.shape}"
+                )
+            if priority.shape != arrival_ms.shape:
+                raise ValueError(
+                    f"priority shape {priority.shape} != "
+                    f"arrival_ms shape {arrival_ms.shape}"
+                )
+            if priority.size and priority.min() < 0:
+                raise ValueError("priority classes must be >= 0")
         self.batch = batch
         self.arrival_ms = arrival_ms
         self.base_id = int(base_id)
+        self.deadline_ms = deadline_ms
+        self.priority = priority
         self._offsets_mat: np.ndarray | None = None
 
     @property
@@ -96,6 +141,18 @@ class RequestArena:
     def total_lookups(self) -> int:
         return self.batch.total_lookups
 
+    @property
+    def has_qos(self) -> bool:
+        """Whether this chunk carries deadline/priority columns."""
+        return self.deadline_ms is not None
+
+    @property
+    def request_lookups(self) -> np.ndarray:
+        """Per-request lookup totals across all features, shape ``(n,)``."""
+        if not self.batch.features:
+            return np.zeros(self.num_requests, dtype=np.int64)
+        return np.diff(self.offsets_mat, axis=1).sum(axis=0)
+
     # ------------------------------------------------------------------
     # Zero-copy views
     # ------------------------------------------------------------------
@@ -105,6 +162,10 @@ class RequestArena:
             request_id=self.base_id + i,
             features=tuple(f.sample(i) for f in self.batch),
             arrival_ms=float(self.arrival_ms[i]),
+            deadline_ms=(
+                float(self.deadline_ms[i]) if self.has_qos else float("inf")
+            ),
+            priority=int(self.priority[i]) if self.has_qos else 0,
         )
 
     def __iter__(self) -> Iterator[LookupRequest]:
@@ -140,6 +201,36 @@ class RequestArena:
             self.batch_view(start, stop),
             self.arrival_ms[start:stop],
             base_id=self.base_id + start,
+            deadline_ms=(
+                self.deadline_ms[start:stop] if self.has_qos else None
+            ),
+            priority=self.priority[start:stop] if self.has_qos else None,
+        )
+
+    def take(self, keep: np.ndarray) -> "RequestArena":
+        """Sub-arena of the requests where boolean mask ``keep`` is set.
+
+        The admission filter: shed requests drop out of the batch while
+        arrival order (and therefore the non-decreasing invariant) is
+        preserved.  Unlike :meth:`slice` the kept set may be
+        non-contiguous, so values are gathered (copied); ``base_id`` is
+        rebased to the first kept request, after which ids within the
+        sub-arena are no longer globally meaningful.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != self.arrival_ms.shape:
+            raise ValueError(
+                f"keep mask shape {keep.shape} != requests "
+                f"{self.arrival_ms.shape}"
+            )
+        indices = np.flatnonzero(keep)
+        first = int(indices[0]) if indices.size else 0
+        return RequestArena(
+            self.batch.take(indices),
+            self.arrival_ms[indices],
+            base_id=self.base_id + first,
+            deadline_ms=self.deadline_ms[indices] if self.has_qos else None,
+            priority=self.priority[indices] if self.has_qos else None,
         )
 
     # ------------------------------------------------------------------
@@ -168,19 +259,59 @@ class RequestArena:
                 pos += p.batch_size
                 base += p.values.size
             features.append(JaggedFeature(values, offsets))
+        deadline = priority = None
+        if any(a.has_qos for a in arenas):
+            # Mixed chunks normalize to full QoS: parts without the
+            # columns contribute the "unconstrained" defaults.
+            deadline = np.concatenate(
+                [
+                    a.deadline_ms
+                    if a.has_qos
+                    else np.full(a.num_requests, np.inf)
+                    for a in arenas
+                ]
+            )
+            priority = np.concatenate(
+                [
+                    a.priority
+                    if a.has_qos
+                    else np.zeros(a.num_requests, dtype=np.int64)
+                    for a in arenas
+                ]
+            )
         return cls(
             JaggedBatch(features),
             np.concatenate([a.arrival_ms for a in arenas]),
             base_id=arenas[0].base_id,
+            deadline_ms=deadline,
+            priority=priority,
         )
 
     @classmethod
     def from_requests(cls, requests: list[LookupRequest]) -> "RequestArena":
-        """Columnarize object-form requests (tests, adapters)."""
+        """Columnarize object-form requests (tests, adapters).
+
+        QoS columns materialize only when some request carries a
+        non-default deadline or priority, so default-QoS object streams
+        columnarize to the same arena shape as before.
+        """
+        deadline = priority = None
+        if any(
+            r.deadline_ms != float("inf") or r.priority != 0
+            for r in requests
+        ):
+            deadline = np.array(
+                [r.deadline_ms for r in requests], dtype=np.float64
+            )
+            priority = np.array(
+                [r.priority for r in requests], dtype=np.int64
+            )
         return cls(
             coalesce_requests(requests),
             np.array([r.arrival_ms for r in requests], dtype=np.float64),
             base_id=requests[0].request_id,
+            deadline_ms=deadline,
+            priority=priority,
         )
 
     # ------------------------------------------------------------------
@@ -212,16 +343,19 @@ class ShmArenaHandle:
     """Picklable description of one arena's shared-memory layout.
 
     The segment holds, 8-byte aligned and in order: the ``arrival_ms``
-    array (float64), every feature's ``offsets`` array (int64, length
-    ``num_requests + 1`` each), then every feature's ``values`` array
-    (int64).  Everything needed to rebuild the views travels in this
-    handle, so the buffer itself carries no header.
+    array (float64), then — when ``has_qos`` — the ``deadline_ms``
+    (float64) and ``priority`` (int64) columns, every feature's
+    ``offsets`` array (int64, length ``num_requests + 1`` each), and
+    finally every feature's ``values`` array (int64).  Everything
+    needed to rebuild the views travels in this handle, so the buffer
+    itself carries no header.
     """
 
     name: str
     num_requests: int
     base_id: int
     feature_lookups: tuple[int, ...]
+    has_qos: bool = False
 
     @property
     def num_features(self) -> int:
@@ -229,8 +363,9 @@ class ShmArenaHandle:
 
     @property
     def total_bytes(self) -> int:
+        per_request = 3 if self.has_qos else 1
         return 8 * (
-            self.num_requests
+            per_request * self.num_requests
             + self.num_features * (self.num_requests + 1)
             + sum(self.feature_lookups)
         )
@@ -276,6 +411,7 @@ class ShmArena:
             feature_lookups=tuple(
                 int(f.values.size) for f in arena.batch
             ),
+            has_qos=arena.has_qos,
         )
         # A segment must be at least one byte even for an empty arena.
         shm = shared_memory.SharedMemory(
@@ -285,6 +421,11 @@ class ShmArena:
         n = handle.num_requests
         pos = 8 * n
         raw[:pos].view(np.float64)[:] = arena.arrival_ms
+        if handle.has_qos:
+            raw[pos: pos + 8 * n].view(np.float64)[:] = arena.deadline_ms
+            pos += 8 * n
+            raw[pos: pos + 8 * n].view(np.int64)[:] = arena.priority
+            pos += 8 * n
         for feature in arena.batch:
             raw[pos: pos + 8 * (n + 1)].view(np.int64)[:] = feature.offsets
             pos += 8 * (n + 1)
@@ -335,6 +476,12 @@ class ShmArena:
             raw = np.frombuffer(self._shm.buf, dtype=np.uint8)
             arrival = raw[: 8 * n].view(np.float64)
             pos = 8 * n
+            deadline = priority = None
+            if handle.has_qos:
+                deadline = raw[pos: pos + 8 * n].view(np.float64)
+                pos += 8 * n
+                priority = raw[pos: pos + 8 * n].view(np.int64)
+                pos += 8 * n
             offsets = []
             for _ in range(handle.num_features):
                 offsets.append(raw[pos: pos + 8 * (n + 1)].view(np.int64))
@@ -349,7 +496,11 @@ class ShmArena:
                 )
                 pos = end
             self._arena = RequestArena(
-                JaggedBatch(features), arrival, base_id=handle.base_id
+                JaggedBatch(features),
+                arrival,
+                base_id=handle.base_id,
+                deadline_ms=deadline,
+                priority=priority,
             )
         return self._arena
 

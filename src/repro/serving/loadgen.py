@@ -129,6 +129,12 @@ class BurstyArrivals:
             phase_end = t - phase + (
                 self.burst_ms if in_burst else self.period_ms
             )
+            if phase_end <= t:
+                # Float rounding at a phase boundary can put phase_end
+                # at (or below) t — ``t % period`` within one ulp of
+                # the period — which would stall the loop; force
+                # progress by at least one ulp.
+                phase_end = np.nextafter(t, np.inf)
             if rate <= 0:
                 t = phase_end
                 continue
@@ -149,6 +155,14 @@ class BurstyArrivals:
         return out
 
 
+#: Fixed stream id for the QoS column generator.  Deadlines and
+#: priorities are drawn from ``default_rng((seed, _QOS_STREAM))`` — a
+#: separate stream from the content/arrival generator — so turning the
+#: QoS columns on leaves every existing arrival time and lookup index
+#: of a seeded stream bit-identical.
+_QOS_STREAM = 0x51D
+
+
 def generate_request_arenas(
     model: ModelSpec,
     num_requests: int,
@@ -156,6 +170,8 @@ def generate_request_arenas(
     seed: int = 0,
     start_ms: float = 0.0,
     chunk_size: int = 512,
+    deadline_ms: float | None = None,
+    priority_shares: tuple[float, ...] | None = None,
 ) -> Iterator[RequestArena]:
     """Seeded open-loop arena stream under an arbitrary arrival process.
 
@@ -174,6 +190,13 @@ def generate_request_arenas(
         seed: RNG seed; streams replay identically per seed.
         start_ms: timestamp of the stream's start.
         chunk_size: samples drawn per arena chunk (efficiency knob).
+        deadline_ms: when set (> 0), every request carries the absolute
+            deadline ``arrival + deadline_ms``.
+        priority_shares: when set, per-request priority classes are
+            drawn i.i.d. with these probabilities (class ``i`` gets
+            ``priority_shares[i]``; shares must be positive and sum to
+            1).  Drawn from a dedicated RNG stream, so arrivals and
+            lookup content stay bit-identical with QoS on or off.
 
     Yields:
         :class:`~repro.serving.arena.RequestArena` chunks in arrival
@@ -183,6 +206,22 @@ def generate_request_arenas(
         raise ValueError("num_requests must be >= 0")
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ValueError("deadline_ms must be > 0")
+    shares = None
+    if priority_shares is not None:
+        shares = np.asarray(priority_shares, dtype=np.float64)
+        if shares.size == 0 or np.any(shares <= 0):
+            raise ValueError("priority shares must be positive")
+        if abs(float(shares.sum()) - 1.0) > 1e-6:
+            raise ValueError(
+                f"priority shares must sum to 1, got {float(shares.sum())}"
+            )
+        shares = shares / shares.sum()
+    with_qos = deadline_ms is not None or shares is not None
+    qos_rng = (
+        np.random.default_rng((seed, _QOS_STREAM)) if with_qos else None
+    )
     rng = np.random.default_rng(seed)
     bank = SamplerBank()
     bank.refresh(model)
@@ -194,5 +233,25 @@ def generate_request_arenas(
         batch = bank.sample_batch(count, chunk_rng)
         arrivals = process.arrivals(rng, now, count)
         now = float(arrivals[-1])
-        yield RequestArena(batch, arrivals, base_id=emitted)
+        deadlines = priorities = None
+        if with_qos:
+            deadlines = (
+                arrivals + deadline_ms
+                if deadline_ms is not None
+                else np.full(count, np.inf)
+            )
+            priorities = (
+                qos_rng.choice(shares.size, size=count, p=shares).astype(
+                    np.int64
+                )
+                if shares is not None
+                else np.zeros(count, dtype=np.int64)
+            )
+        yield RequestArena(
+            batch,
+            arrivals,
+            base_id=emitted,
+            deadline_ms=deadlines,
+            priority=priorities,
+        )
         emitted += count

@@ -43,9 +43,10 @@ class ServingMetrics:
     determinism/parity comparisons.
     """
 
-    def __init__(self, num_devices: int, tier_names=None):
+    def __init__(self, num_devices: int, tier_names=None, priority_names=None):
         self.num_devices = int(num_devices)
         self.tier_names: tuple[str, ...] = tuple(tier_names or ())
+        self.priority_names: tuple[str, ...] = tuple(priority_names or ())
         self._arrival_chunks: list[np.ndarray] = []
         self._batch_start: list[float] = []
         self._batch_finish: list[float] = []
@@ -63,10 +64,24 @@ class ServingMetrics:
         self._replica_chunks: list[np.ndarray] = []
         self._replica_total: np.ndarray | None = None
         self._num_requests = 0
-        # Requests rejected by overload shedding (multi-process paced
-        # mode); 0 in every closed-loop/parity run, and surfaced in the
-        # summary only when nonzero so those schemas are unchanged.
+        # Requests rejected by overload shedding, split by cause
+        # (overflow / deadline / priority) and by priority class; 0 in
+        # every closed-loop/parity run, and surfaced in the summary
+        # only when nonzero so those schemas are unchanged.
         self.shed_requests = 0
+        self.shed_by_cause: dict[str, int] = {}
+        self._shed_by_class: dict[int, int] = {}
+        # Per-batch QoS chunks, aligned with the arrival chunks; None
+        # entries mark batches without the columns.
+        self._deadline_chunks: list[np.ndarray | None] = []
+        self._priority_chunks: list[np.ndarray | None] = []
+        self._has_deadlines = False
+        self._has_priorities = False
+        # Brownout degraded-mode accounting: cold-tier lookups skipped
+        # while browned out, per (tier, device), plus the active-mode
+        # timeline ([start_ms, end_ms] windows; end None while open).
+        self._browned_total: np.ndarray | None = None
+        self.brownout_windows: list[list] = []
         # Fault/recovery timeline (chaos drills).  All empty/None on a
         # healthy run, and every derived summary key is conditional on
         # faults having fired — so no-fault schemas are unchanged.
@@ -89,6 +104,9 @@ class ServingMetrics:
         tier_accesses: np.ndarray | None = None,
         replica_accesses: np.ndarray | None = None,
         dropped_lookups: np.ndarray | None = None,
+        deadlines_ms=None,
+        priorities=None,
+        browned_lookups: np.ndarray | None = None,
     ) -> None:
         """Record one executed microbatch.
 
@@ -112,6 +130,14 @@ class ServingMetrics:
                 this batch *dropped* on failed devices (chaos drills;
                 accumulated per device — callers pass it only while a
                 device fault is active).
+            deadlines_ms: optional per-request absolute deadlines
+                (aligned with ``arrivals_ms``); enables the goodput
+                (served-within-deadline) views.
+            priorities: optional per-request priority classes; enables
+                the per-class latency/shed views.
+            browned_lookups: optional ``(tiers, devices)`` count of
+                cold-tier lookups this batch *skipped* under brownout
+                (the degraded mode's measured quality cost).
         """
         arrivals = np.array(arrivals_ms, dtype=np.float64)
         self._arrival_chunks.append(arrivals)
@@ -140,19 +166,73 @@ class ServingMetrics:
                 self._dropped_total = dropped.copy()
             else:
                 self._dropped_total += dropped
+        if deadlines_ms is not None:
+            self._deadline_chunks.append(
+                np.array(deadlines_ms, dtype=np.float64)
+            )
+            self._has_deadlines = True
+        else:
+            self._deadline_chunks.append(None)
+        if priorities is not None:
+            self._priority_chunks.append(np.array(priorities, dtype=np.int64))
+            self._has_priorities = True
+        else:
+            self._priority_chunks.append(None)
+        if browned_lookups is not None:
+            browned = np.array(browned_lookups, dtype=np.int64)
+            if self._browned_total is None:
+                self._browned_total = browned.copy()
+            else:
+                self._browned_total += browned
         self._num_requests += arrivals.size
 
-    def record_shed(self, count: int) -> None:
+    def record_shed(
+        self, count: int, cause: str = "overflow", priorities=None
+    ) -> None:
         """Record ``count`` requests rejected by overload shedding.
 
         Shed requests never execute: they appear in no latency, QPS, or
-        access figure, only in this counter — so
+        access figure, only in these counters — so
         ``offered == num_requests + shed_requests`` holds exactly for a
-        paced run (the accounting the overload stress test pins).
+        paced or admission-controlled run (the accounting the overload
+        tests pin), and the per-cause counts sum to the total by
+        construction.
+
+        Args:
+            count: requests shed in this decision.
+            cause: why — ``"overflow"`` (queue bound), ``"deadline"``
+                (predicted doomed), or ``"priority"`` (class shed).
+            priorities: optional per-request priority classes of the
+                shed requests (length ``count``), for per-class
+                accounting.
         """
         if count < 0:
             raise ValueError("shed count must be >= 0")
         self.shed_requests += int(count)
+        if count:
+            self.shed_by_cause[cause] = (
+                self.shed_by_cause.get(cause, 0) + int(count)
+            )
+            if priorities is not None:
+                classes, per_class = np.unique(
+                    np.asarray(priorities, dtype=np.int64),
+                    return_counts=True,
+                )
+                for cls, shed in zip(classes.tolist(), per_class.tolist()):
+                    self._shed_by_class[cls] = (
+                        self._shed_by_class.get(cls, 0) + shed
+                    )
+
+    def record_brownout(self, at_ms: float, active: bool) -> None:
+        """Record a brownout mode transition at simulated ``at_ms``."""
+        if active:
+            self.brownout_windows.append([float(at_ms), None])
+        else:
+            for window in reversed(self.brownout_windows):
+                if window[1] is None:
+                    window[1] = float(at_ms)
+                    return
+            raise ValueError("no open brownout window to close")
 
     def record_replan(self, now_ms: float, build_wall_ms: float = 0.0) -> None:
         """Record a drift-triggered re-shard at simulated ``now_ms``.
@@ -255,6 +335,105 @@ class ServingMetrics:
         if self._dropped_total is None:
             return np.zeros(self.num_devices, dtype=np.int64)
         return self._dropped_total
+
+    # ------------------------------------------------------------------
+    # Overload-control views (QoS, shedding, brownout)
+    # ------------------------------------------------------------------
+    @property
+    def offered_requests(self) -> int:
+        """Requests offered to the server: served plus shed."""
+        return self._num_requests + self.shed_requests
+
+    @property
+    def served_within_deadline(self) -> int:
+        """Served requests that finished at or before their deadline.
+
+        Batches recorded without deadline columns count fully (no
+        deadline means no way to miss one).
+        """
+        within = 0
+        for finish, size, chunk in zip(
+            self._batch_finish, self.batch_sizes, self._deadline_chunks
+        ):
+            if chunk is None:
+                within += size
+            else:
+                within += int(np.count_nonzero(finish <= chunk))
+        return within
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Served-within-deadline over *offered* — the figure overload
+        control defends (sheds and deadline misses both count against
+        it)."""
+        offered = self.offered_requests
+        if not offered:
+            return 0.0
+        return self.served_within_deadline / offered
+
+    def priority_class_name(self, cls: int) -> str:
+        if 0 <= cls < len(self.priority_names):
+            return self.priority_names[cls]
+        return f"class{cls}"
+
+    def priority_class_stats(self) -> dict:
+        """Per-class served/latency/shed breakdown, keyed by class name.
+
+        Classes appear if any served batch carried priority columns or
+        any shed was recorded with them; within a class, latency
+        percentiles cover the *served* requests only (shed requests
+        have no latency — they count in ``shed``).
+        """
+        latencies: dict[int, list] = {}
+        for finish, arrivals, chunk in zip(
+            self._batch_finish, self._arrival_chunks, self._priority_chunks
+        ):
+            if chunk is None:
+                continue
+            per_request = finish - arrivals
+            for cls in np.unique(chunk).tolist():
+                latencies.setdefault(cls, []).append(
+                    per_request[chunk == cls]
+                )
+        classes = sorted(set(latencies) | set(self._shed_by_class))
+        stats = {}
+        for cls in classes:
+            values = (
+                np.concatenate(latencies[cls])
+                if cls in latencies
+                else _EMPTY
+            )
+            stats[self.priority_class_name(cls)] = {
+                "requests": int(values.size),
+                "p50_ms": (
+                    float(np.percentile(values, 50)) if values.size else 0.0
+                ),
+                "p99_ms": (
+                    float(np.percentile(values, 99)) if values.size else 0.0
+                ),
+                "shed": self._shed_by_class.get(cls, 0),
+            }
+        return stats
+
+    @property
+    def browned_out_lookups(self) -> int:
+        """Cold-tier lookups skipped under brownout over the whole run."""
+        if self._browned_total is None:
+            return 0
+        return int(self._browned_total.sum())
+
+    @property
+    def browned_totals(self) -> np.ndarray:
+        """Brownout-skipped lookups per (tier, device)."""
+        if self._browned_total is None:
+            return np.zeros(
+                (len(self.tier_names), self.num_devices), dtype=np.int64
+            )
+        return self._browned_total
+
+    @property
+    def browned_per_device(self) -> np.ndarray:
+        return self.browned_totals.sum(axis=0)
 
     def windowed_latency(self) -> dict:
         """p50/p99 by failure phase: before / during / after.
@@ -503,6 +682,15 @@ class ServingMetrics:
             out["replica_hits"] = int(self._replica_total.sum())
         if self.shed_requests:
             out["shed_requests"] = self.shed_requests
+            out["shed_by_cause"] = dict(self.shed_by_cause)
+        if self._has_deadlines:
+            out["goodput"] = self.served_within_deadline
+            out["goodput_fraction"] = self.goodput_fraction
+        if self._has_priorities or self._shed_by_class:
+            out["priority_classes"] = self.priority_class_stats()
+        if self._browned_total is not None:
+            out["browned_out_lookups"] = self.browned_out_lookups
+            out["brownout_windows"] = len(self.brownout_windows)
         if self._fault_events:
             out["faults"] = len(self._fault_events)
             out["dropped_lookups"] = self.dropped_lookups
@@ -549,10 +737,38 @@ class ServingMetrics:
             )
         if self.shed_requests:
             offered = self.num_requests + self.shed_requests
+            causes = ", ".join(
+                f"{cause} {count}"
+                for cause, count in self.shed_by_cause.items()
+            )
             lines.append(
                 f"overload shedding: {self.shed_requests} of {offered} "
                 f"offered requests rejected "
-                f"({self.shed_requests / offered:.2%})"
+                f"({self.shed_requests / offered:.2%}; {causes})"
+            )
+        if self._has_deadlines:
+            lines.append(
+                f"goodput:           {self.served_within_deadline} of "
+                f"{self.offered_requests} offered served within deadline "
+                f"({self.goodput_fraction:.2%})"
+            )
+        if self._has_priorities or self._shed_by_class:
+            for name, stat in self.priority_class_stats().items():
+                lines.append(
+                    f"class {name:<12} {stat['requests']} served "
+                    f"(p50 {stat['p50_ms']:.3f} ms, "
+                    f"p99 {stat['p99_ms']:.3f} ms), "
+                    f"{stat['shed']} shed"
+                )
+        if self._browned_total is not None:
+            windows = ", ".join(
+                f"[{w[0]:.0f}, {'open' if w[1] is None else f'{w[1]:.0f}'}]"
+                for w in self.brownout_windows
+            )
+            lines.append(
+                f"brownout:          {self.browned_out_lookups} cold-tier "
+                f"lookups skipped over {len(self.brownout_windows)} "
+                f"window(s) (ms: {windows})"
             )
         if self.num_replans:
             at = ", ".join(f"{t:.0f}" for t in self.replan_ms)

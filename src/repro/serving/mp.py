@@ -175,6 +175,14 @@ class MultiProcessServer:
             self-healing.
         respawn_backoff_s: base of the exponential backoff slept
             before each respawn (doubles per respawn, capped at 1 s).
+        overload: optional :class:`~repro.serving.overload.
+            OverloadControl`, as for ``LookupServer``.  Admission runs
+            on the aggregation spine; when deadline/priority shedding
+            applies to a stream, the front-end drains all in-flight
+            batches before each admission decision (lockstep) so the
+            controller sees exactly the single-process backlog —
+            brownout-only control keeps full classify parallelism
+            because its transform happens at in-order reduction time.
     """
 
     #: poll granularity for result waits and crash checks (seconds).
@@ -199,6 +207,7 @@ class MultiProcessServer:
         chaos: FaultSchedule | None = None,
         max_respawns: int = 3,
         respawn_backoff_s: float = 0.05,
+        overload=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -222,6 +231,7 @@ class MultiProcessServer:
                 if chaos is not None and chaos.device_events
                 else None
             ),
+            overload=overload,
         )
         # Freeze the plan: the pool never replans, so the spine's drift
         # machinery (monitor, profiler, sharder) is dropped and its
@@ -466,12 +476,15 @@ class MultiProcessServer:
         (the no-orphaned-``/dev/shm`` invariant the leak tests scan
         for).
         """
-        pending: dict[int, tuple[ShmArena, np.ndarray, float]] = {}
+        pending: dict[
+            int, tuple[ShmArena, np.ndarray, float, object, object]
+        ] = {}
         results: dict[int, tuple] = {}
         cursor = 0  # next seq to account
         seq = 0
         wall_start = None
         first_trigger = None
+        ctrl = self._spine._ovl
         try:
             for arena, trigger in released:
                 if self._worker_chaos_armed:
@@ -490,13 +503,29 @@ class MultiProcessServer:
                         cursor = self._drain(pending, results, cursor)
                         self._check_workers(pending, results)
                         time.sleep(min(self._POLL_S, due - now))
+                if ctrl is not None and ctrl.control.admission_for(
+                    arena.has_qos
+                ):
+                    # Lockstep barrier: the controller's backlog and
+                    # EWMA state must reflect every earlier batch —
+                    # exactly what the single-process loop admits
+                    # against — so admission decisions (and therefore
+                    # the merged metrics) stay bit-identical at any
+                    # worker count.
+                    cursor = self._drain_all(pending, results, cursor)
+                    arena = self._spine.admit_arena(arena, trigger)
+                    if arena is None:
+                        continue
                 arrivals = np.array(arena.arrival_ms)
                 # Register the owner segment in pending *immediately*:
                 # from here every exit path (shed, crash, interrupt)
                 # finds and retires it — no orphan window between
                 # creating the segment and dispatching the task.
                 owner = arena.to_shm()
-                pending[seq] = (owner, arrivals, trigger)
+                pending[seq] = (
+                    owner, arrivals, trigger,
+                    arena.deadline_ms, arena.priority,
+                )
                 task = (seq, owner.handle)
                 if paced:
                     if not self._try_dispatch(seq, task):
@@ -507,7 +536,11 @@ class MultiProcessServer:
                         del pending[seq]
                         owner.close()
                         owner.unlink()
-                        self.metrics.record_shed(arena.num_requests)
+                        self.metrics.record_shed(
+                            arena.num_requests,
+                            cause="overflow",
+                            priorities=arena.priority,
+                        )
                         continue
                 else:
                     while not self._try_dispatch(seq, task):
@@ -520,23 +553,34 @@ class MultiProcessServer:
             # beyond the last release, then wait out the in-flight tail.
             if self._worker_chaos_armed:
                 self._fire_worker_faults(float("inf"), pending, results)
-            waited = 0.0
-            while pending or results:
-                advanced = self._drain(
-                    pending, results, cursor, block_s=self._POLL_S
-                )
-                waited = 0.0 if advanced != cursor else waited + self._POLL_S
-                cursor = advanced
-                self._check_workers(pending, results)
-                if waited >= self.result_timeout_s:
-                    raise WorkerCrashError(
-                        f"no results for {self.result_timeout_s:.1f} s with "
-                        f"{len(pending)} batches outstanding"
-                    )
+            cursor = self._drain_all(pending, results, cursor)
         except BaseException:
             self._abort(pending)
             raise
         return self.metrics
+
+    def _drain_all(self, pending: dict, results: dict, cursor: int) -> int:
+        """Block until every in-flight batch is accounted.
+
+        Used at stream end and as the lockstep barrier before an
+        overload-admission decision.  Raises
+        :class:`WorkerCrashError` when the pool stops producing
+        results with work outstanding.
+        """
+        waited = 0.0
+        while pending or results:
+            advanced = self._drain(
+                pending, results, cursor, block_s=self._POLL_S
+            )
+            waited = 0.0 if advanced != cursor else waited + self._POLL_S
+            cursor = advanced
+            self._check_workers(pending, results)
+            if waited >= self.result_timeout_s:
+                raise WorkerCrashError(
+                    f"no results for {self.result_timeout_s:.1f} s with "
+                    f"{len(pending)} batches outstanding"
+                )
+        return cursor
 
     def _try_dispatch(self, seq: int, task) -> bool:
         """Offer a task to one alive worker, round-robin from ``seq``.
@@ -573,8 +617,11 @@ class MultiProcessServer:
         self._pull_results(pending, results, block_s)
         while cursor in results:
             counts, hits, replicas = results.pop(cursor)
-            _, arrivals, trigger = pending.pop(cursor)
-            self._account(counts, hits, replicas, trigger, arrivals)
+            _, arrivals, trigger, deadlines, priorities = pending.pop(cursor)
+            self._account(
+                counts, hits, replicas, trigger, arrivals,
+                deadlines, priorities,
+            )
             cursor += 1
         return cursor
 
@@ -613,19 +660,23 @@ class MultiProcessServer:
             if got_seq not in pending or got_seq in results:
                 continue
             # The worker is done with the segment; the owner retires it.
-            owner, _, _ = pending[got_seq]
+            owner = pending[got_seq][0]
             owner.close()
             owner.unlink()
             results[got_seq] = (counts, hits, replicas)
 
-    def _account(self, counts, hits, replicas, trigger_ms, arrivals_ms):
+    def _account(
+        self, counts, hits, replicas, trigger_ms, arrivals_ms,
+        deadlines_ms=None, priorities=None,
+    ):
         """Reduce one classified batch on the spine (sequential state).
 
         Mirrors ``LookupServer._execute`` exactly, with the executor's
         :meth:`~repro.engine.executor.ShardedExecutor.reduce_classified`
         standing in for ``run_batch`` — same busy-clock advance, same
-        ``record_batch`` call — which is why the merged metrics match
-        the single-process run bit for bit.
+        brownout decision point, same ``record_batch`` call — which is
+        why the merged metrics match the single-process run bit for
+        bit.
         """
         spine = self._spine
         start = max(trigger_ms, spine._busy_until_ms)
@@ -636,6 +687,18 @@ class MultiProcessServer:
             # reroute-only degraded mode (no emergency replan on a
             # frozen plan).
             spine._apply_due_faults(trigger_ms, start)
+        ctrl = spine._ovl
+        brownout_now = False
+        if ctrl is not None and ctrl.control.brownout:
+            active = ctrl.update_brownout()
+            if active != spine.executor.brownout_active:
+                spine.executor.set_brownout(active)
+                spine.metrics.record_brownout(start, active)
+            brownout_now = active
+        # Full classified lookup count, before the brownout/fault
+        # reductions reshape the served matrix — the single-process
+        # loop's ``batch.total_lookups``.
+        total_classified = int(counts.sum())
         device_times, accesses, _, reps = spine.executor.reduce_classified(
             counts, hits, replicas
         )
@@ -658,7 +721,18 @@ class MultiProcessServer:
             dropped_lookups=(
                 spine.executor.last_dropped.copy() if faults_active else None
             ),
+            deadlines_ms=deadlines_ms,
+            priorities=priorities,
+            browned_lookups=(
+                spine.executor.last_browned.copy() if brownout_now else None
+            ),
         )
+        if ctrl is not None:
+            ctrl.observe_batch(
+                service,
+                total_classified,
+                finish - np.asarray(arrivals_ms, dtype=np.float64),
+            )
 
     def _fire_worker_faults(
         self, trigger_ms: float, pending: dict, results: dict
@@ -777,7 +851,8 @@ class MultiProcessServer:
 
     def _abort(self, pending: dict) -> None:
         """Error-path cleanup: no orphaned segments, no wedged pool."""
-        for owner, _, _ in pending.values():
+        for entry in pending.values():
+            owner = entry[0]
             owner.close()
             owner.unlink()
         pending.clear()

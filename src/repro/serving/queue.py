@@ -39,11 +39,18 @@ class LookupRequest:
             empty array marks a NULL sample for that feature (a missing
             sparse feature, as in the paper's Figure 3).
         arrival_ms: simulated arrival timestamp in milliseconds.
+        deadline_ms: absolute deadline for a useful answer (``inf`` =
+            no deadline); overload control sheds work predicted to
+            finish past it.
+        priority: small-int priority class; lower is more important
+            and class 0 is never priority-shed.
     """
 
     request_id: int
     features: tuple[np.ndarray, ...]
     arrival_ms: float = 0.0
+    deadline_ms: float = float("inf")
+    priority: int = 0
 
     @property
     def num_features(self) -> int:

@@ -66,10 +66,10 @@ from repro.memory.topology import SystemTopology
 from repro.serving.arena import RequestArena
 from repro.serving.faults import FaultInjector, FaultSchedule
 from repro.serving.metrics import ServingMetrics
+from repro.serving.overload import OverloadControl, OverloadController
 from repro.serving.queue import (
     LookupRequest,
     MicroBatchQueue,
-    coalesce_requests,
     iter_microbatch_arenas,
 )
 from repro.stats.profiler import TraceProfiler
@@ -253,6 +253,13 @@ class LookupServer:
             delay with a fixed simulated value instead of the measured
             wall-clock build cost — what makes a chaos run
             deterministic for parity tests.
+        overload: optional :class:`~repro.serving.overload.
+            OverloadControl` enabling SLO-driven overload control:
+            deadline-aware admission, priority-class shedding, and
+            brownout degraded-mode serving.  Every released microbatch
+            passes through :meth:`admit_arena` before execution, and a
+            ``device_degrade`` chaos event forces brownout (when
+            enabled) until the device recovers and latencies subside.
     """
 
     def __init__(
@@ -269,6 +276,7 @@ class LookupServer:
         vectorized: bool = True,
         chaos: FaultSchedule | None = None,
         emergency_commit_ms: float | None = None,
+        overload: OverloadControl | None = None,
     ):
         if (plan is None) == (sharder is None):
             raise ValueError("provide exactly one of plan= or sharder=")
@@ -310,8 +318,16 @@ class LookupServer:
             max_batch_size=self.config.max_batch_size,
             max_delay_ms=self.config.max_delay_ms,
         )
+        self.overload = overload
+        self._ovl = (
+            OverloadController(overload, self.config.overhead_ms_per_batch)
+            if overload is not None
+            else None
+        )
         self.metrics = ServingMetrics(
-            num_devices=topology.num_devices, tier_names=topology.tier_names
+            num_devices=topology.num_devices,
+            tier_names=topology.tier_names,
+            priority_names=overload.priority_names if overload else None,
         )
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
@@ -393,6 +409,10 @@ class LookupServer:
             # replan evacuates a dead device but does not resurrect it.
             self.executor._device_alive[:] = prior._device_alive
             self.executor._device_slowdown[:] = prior._device_slowdown
+            # Brownout likewise: degraded mode is an overload-control
+            # decision, not a property of any one plan.
+            self.executor._brownout = prior._brownout
+            self.executor.browned_by_table[:] = prior.browned_by_table
         # Drift tracking only exists where a replan is possible: a
         # fixed-plan server skips the per-batch profiling entirely.
         self.monitor = None
@@ -436,6 +456,9 @@ class LookupServer:
         self.metrics = ServingMetrics(
             num_devices=self.topology.num_devices,
             tier_names=self.topology.tier_names,
+            priority_names=(
+                self.overload.priority_names if self.overload else None
+            ),
         )
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
@@ -443,11 +466,14 @@ class LookupServer:
         if self._injector is not None:
             self._injector.reset()
             self._chaos_armed = rearm_chaos
+        if self._ovl is not None:
+            self._ovl.reset()
         if self._num_installs > 1:
             self._num_installs = 0
             self._install(*self._initial_install)
         self.executor.clear_faults()
         self.executor.reset_routing()
+        self.executor.reset_brownout()
 
     # ------------------------------------------------------------------
     # Reference event loop (per-request object path)
@@ -486,10 +512,14 @@ class LookupServer:
         self, trigger_ms: float, on_replan: Callable[[float], None] | None = None
     ) -> None:
         """Release one microbatch from the queue and account it."""
-        requests = self.queue.pop_batch()
-        batch = coalesce_requests(requests)
+        arena = RequestArena.from_requests(self.queue.pop_batch())
+        if self._ovl is not None:
+            arena = self.admit_arena(arena, trigger_ms)
+            if arena is None:
+                return
         self._execute(
-            batch, trigger_ms, [r.arrival_ms for r in requests], on_replan
+            arena.batch, trigger_ms, arena.arrival_ms, on_replan,
+            deadlines_ms=arena.deadline_ms, priorities=arena.priority,
         )
 
     # ------------------------------------------------------------------
@@ -519,8 +549,54 @@ class LookupServer:
         for arena, trigger in iter_microbatch_arenas(
             arenas, self.config.max_batch_size, self.config.max_delay_ms
         ):
-            self._execute(arena.batch, trigger, arena.arrival_ms, on_replan)
+            if self._ovl is not None:
+                arena = self.admit_arena(arena, trigger)
+                if arena is None:
+                    continue
+            self._execute(
+                arena.batch, trigger, arena.arrival_ms, on_replan,
+                deadlines_ms=arena.deadline_ms, priorities=arena.priority,
+            )
         return self.metrics
+
+    def admit_arena(
+        self, arena: RequestArena, trigger_ms: float
+    ) -> RequestArena | None:
+        """Run one released microbatch through overload admission.
+
+        Applies the controller's shed decisions (overflow, then
+        priority, then deadline doom — see
+        :meth:`~repro.serving.overload.OverloadController.admit`),
+        records each shed slice by cause and priority class, and
+        returns the surviving sub-arena (``None`` when the whole batch
+        was shed; the arena unchanged when admission does not apply).
+        """
+        ctrl = self._ovl
+        if ctrl is None or not ctrl.control.admission_for(arena.has_qos):
+            return arena
+        keep, sheds = ctrl.admit(
+            trigger_ms,
+            self._busy_until_ms,
+            arena.arrival_ms,
+            arena.deadline_ms,
+            arena.priority,
+            arena.request_lookups,
+        )
+        for cause, mask in sheds:
+            self.metrics.record_shed(
+                int(mask.sum()),
+                cause=cause,
+                priorities=(
+                    arena.priority[mask]
+                    if arena.priority is not None
+                    else None
+                ),
+            )
+        if keep.all():
+            return arena
+        if not keep.any():
+            return None
+        return arena.take(keep)
 
     # ------------------------------------------------------------------
     # Shared batch execution and replanning
@@ -531,6 +607,8 @@ class LookupServer:
         trigger_ms: float,
         arrivals_ms,
         on_replan: Callable[[float], None] | None,
+        deadlines_ms=None,
+        priorities=None,
     ) -> None:
         """Execute one released microbatch and account it."""
         start = max(trigger_ms, self._busy_until_ms)
@@ -538,6 +616,14 @@ class LookupServer:
             self._apply_due_faults(trigger_ms, start)
             if self._pending_install is not None:
                 self._maybe_commit_emergency(start)
+        ctrl = self._ovl
+        brownout_now = False
+        if ctrl is not None and ctrl.control.brownout:
+            active = ctrl.update_brownout()
+            if active != self.executor.brownout_active:
+                self.executor.set_brownout(active)
+                self.metrics.record_brownout(start, active)
+            brownout_now = active
         device_times, accesses, _, replicas = self.executor.run_batch(batch)
         service = float(device_times.max()) + self.config.overhead_ms_per_batch
         finish = start + service
@@ -558,7 +644,18 @@ class LookupServer:
             dropped_lookups=(
                 self.executor.last_dropped.copy() if faults_active else None
             ),
+            deadlines_ms=deadlines_ms,
+            priorities=priorities,
+            browned_lookups=(
+                self.executor.last_browned.copy() if brownout_now else None
+            ),
         )
+        if ctrl is not None:
+            ctrl.observe_batch(
+                service,
+                batch.total_lookups,
+                finish - np.asarray(arrivals_ms, dtype=np.float64),
+            )
         if self.sharder is None:
             return
         # Two deliberate accumulators: the monitor watches *all* served
@@ -615,8 +712,15 @@ class LookupServer:
                 self._start_emergency_replan(event.at_ms)
             elif event.kind == "device_degrade":
                 self.executor.degrade_device(event.target, event.slowdown)
+                if self._ovl is not None:
+                    # A degraded device is a known latency cliff: force
+                    # brownout rather than waiting for the windowed p99
+                    # to discover it.
+                    self._ovl.notify_degrade()
             elif event.kind == "device_recover":
                 self.executor.recover_device(event.target)
+                if self._ovl is not None:
+                    self._ovl.notify_recover()
                 if not self.executor.dead_devices:
                     # Full topology restored: the evacuation plan under
                     # construction is moot, and degraded service ends.

@@ -168,6 +168,51 @@ class TestCommands:
         assert "[supervisor]" in out
         assert "respawned worker 1" in out
 
+    def test_serve_with_slo_and_priorities(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "50000", "--requests", "600", "--batch-requests", "64",
+            "--slo-ms", "5", "--deadline-ms", "8",
+            "--priorities", "gold=0.1,silver=0.3,bronze=0.6",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "class gold" in out and "class bronze" in out
+
+    def test_serve_with_brownout(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "50000", "--requests", "600", "--batch-requests", "64",
+            "--slo-ms", "5", "--brownout",
+        ] + self.COMMON
+        assert main(argv) == 0
+        assert "QPS" in capsys.readouterr().out
+
+    def test_serve_report_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "50000", "--requests", "600", "--batch-requests", "64",
+            "--deadline-ms", "8", "--report-json", str(path),
+        ] + self.COMMON
+        assert main(argv) == 0
+        assert f"wrote metrics summary to {path}" in capsys.readouterr().out
+        summary = json.loads(path.read_text())
+        assert summary["requests"] == 600
+        assert "p99_ms" in summary and "goodput" in summary
+
+    def test_serve_workers_with_qos(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "50000", "--requests", "400", "--batch-requests", "64",
+            "--workers", "2", "--slo-ms", "5", "--deadline-ms", "8",
+        ] + self.COMMON
+        assert main(argv) == 0
+        assert "goodput" in capsys.readouterr().out
+
 
 class TestServeValidation:
     COMMON = ["--features", "40", "--gpus", "2", "--batch", "256"]
@@ -201,3 +246,35 @@ class TestServeValidation:
     def test_rejects_chaos_device_out_of_range(self, capsys):
         code, err = self.run(["--chaos", "fail@10:7"], capsys)
         assert code == 2 and "only 2 devices" in err
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--max-delay-ms", "0"),
+            ("--burst-qps", "0"),
+            ("--burst-qps", "-10"),
+            ("--idle-qps", "-1"),
+            ("--burst-ms", "0"),
+            ("--idle-ms", "-2"),
+            ("--slo-ms", "0"),
+            ("--deadline-ms", "-1"),
+            ("--queue-limit-ms", "0"),
+        ],
+    )
+    def test_rejects_nonpositive_serve_knobs(self, flag, value, capsys):
+        code, err = self.run([flag, value], capsys)
+        assert code == 2 and flag in err
+
+    def test_rejects_brownout_without_slo(self, capsys):
+        code, err = self.run(["--brownout"], capsys)
+        assert code == 2 and "--slo-ms" in err
+
+    def test_rejects_malformed_priorities(self, capsys):
+        code, err = self.run(["--priorities", "gold=0.5,silver=0.7"], capsys)
+        assert code == 2 and "--priorities" in err
+
+    def test_rejects_qos_with_drift(self, capsys):
+        code, err = self.run(
+            ["--deadline-ms", "5", "--drift-months", "6"], capsys
+        )
+        assert code == 2 and "--drift-months" in err

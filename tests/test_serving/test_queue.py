@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.serving import LookupRequest, MicroBatchQueue, coalesce_requests
+from repro.serving import (
+    LookupRequest,
+    MicroBatchQueue,
+    RequestArena,
+    coalesce_requests,
+    iter_microbatch_arenas,
+)
 
 
 def make_request(request_id, arrival_ms=0.0, lengths=(2, 0, 3)):
@@ -103,3 +109,76 @@ class TestCoalesce:
             coalesce_requests(
                 [make_request(0, lengths=(1, 1)), make_request(1, lengths=(1,))]
             )
+
+
+def arena_of(arrivals):
+    return RequestArena.from_requests(
+        [make_request(i, arrival_ms=t) for i, t in enumerate(arrivals)]
+    )
+
+
+def released(arenas, cap, delay):
+    return [
+        (batch.arrival_ms.tolist(), trigger)
+        for batch, trigger in iter_microbatch_arenas(arenas, cap, delay)
+    ]
+
+
+class TestDeadlineFlushEdges:
+    """max-delay edge cases, pinned identically on both admission paths."""
+
+    def test_zero_max_delay_queue_flushes_each_request(self):
+        # With no delay budget the head's deadline is its own arrival:
+        # the serve loop checks ready() before each submit, so every
+        # request releases as a singleton batch.
+        queue = MicroBatchQueue(max_batch_size=100, max_delay_ms=0.0)
+        for i, t in enumerate([1.0, 1.0, 2.5]):
+            queue.submit(make_request(i, arrival_ms=t))
+            assert queue.ready(now_ms=t)
+            assert [r.request_id for r in queue.pop_batch()] == [i]
+
+    def test_zero_max_delay_arenas_flush_each_request(self):
+        got = released([arena_of([1.0, 1.0, 2.5])], cap=100, delay=0.0)
+        assert got == [([1.0], 1.0), ([1.0], 1.0), ([2.5], 2.5)]
+
+    def test_arrival_exactly_at_flush_boundary_is_excluded(self):
+        # deadline <= now flushes *before* the boundary arrival is
+        # admitted: the request landing exactly at head+delay starts
+        # the next batch on both paths.
+        arrivals = [0.0, 0.5, 1.0, 1.0, 1.2]
+        queue = MicroBatchQueue(max_batch_size=100, max_delay_ms=1.0)
+        batches = []
+        for i, t in enumerate(arrivals):
+            if queue.ready(now_ms=t):
+                batches.append([r.arrival_ms for r in queue.pop_batch()])
+            queue.submit(make_request(i, arrival_ms=t))
+        batches.append([r.arrival_ms for r in queue.pop_batch()])
+        assert batches == [[0.0, 0.5], [1.0, 1.0, 1.2]]
+        got = released([arena_of(arrivals)], cap=100, delay=1.0)
+        assert got == [([0.0, 0.5], 1.0), ([1.0, 1.0, 1.2], 2.0)]
+
+    def test_simultaneous_arrivals_release_with_head(self):
+        # Arrivals tied with the head (strictly before head+delay) ride
+        # in the head's batch; searchsorted side="left" keeps only the
+        # boundary ones out.
+        got = released([arena_of([0.0, 0.0, 0.0, 0.7])], cap=100, delay=1.0)
+        assert got == [([0.0, 0.0, 0.0, 0.7], 1.0)]
+
+    def test_single_request_arenas_match_one_big_arena(self):
+        arrivals = [0.0, 0.2, 0.9, 1.05, 3.0, 3.05]
+        singles = [arena_of([t]) for t in arrivals]
+        merged = [arena_of(arrivals)]
+        for cap in (1, 2, 100):
+            assert released(singles, cap, 1.0) == released(merged, cap, 1.0)
+
+    def test_cap_one_releases_singletons_at_own_arrival(self):
+        got = released([arena_of([0.0, 0.4, 0.8])], cap=1, delay=5.0)
+        assert got == [([0.0], 0.0), ([0.4], 0.4), ([0.8], 0.8)]
+
+    def test_tail_waits_out_delay_budget(self):
+        got = released([arena_of([0.0, 0.1])], cap=100, delay=2.0)
+        assert got == [([0.0, 0.1], 2.0)]
+
+    def test_empty_arenas_are_skipped(self):
+        arenas = [arena_of([0.0]), arena_of([0.5]).slice(0, 0)]
+        assert released(arenas, cap=100, delay=1.0) == [([0.0], 1.0)]
