@@ -9,6 +9,8 @@ Examples::
     python -m repro plan --model rm3 --sweep tiers=2,3,4
     python -m repro plan --model rm2 --replicate-gib 1
     python -m repro plan --model rm2 --sweep replicate=0,0.5,1,2
+    python -m repro plan --model rm2 --strategies auto
+    python -m repro plan --model rm2 --sweep strategies=row,column,table,auto
     python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
     python -m repro replay --model rm2 --vectorized --iters 3
     python -m repro serve --model rm2 --qps 20000 --requests 4000
@@ -43,6 +45,8 @@ from repro.core import (
     RecShardSharder,
     ReplicationPolicy,
     plan_with_replication,
+    plan_with_strategies,
+    resolve_strategy_kinds,
     shard_sweep,
 )
 from repro.data.drift import DriftModel
@@ -161,16 +165,36 @@ def _cmd_shard(args) -> int:
 
 
 def _parse_sweep(spec: str):
-    """Parse ``hbm=…`` / ``gpus=…`` / ``tiers=…`` / ``replicate=…`` grids."""
+    """Parse ``hbm=…`` / ``gpus=…`` / ``tiers=…`` / ``replicate=…`` /
+    ``strategies=…`` grids.
+
+    Float grids (``hbm``, ``replicate``) are validated up front by
+    :func:`~repro.core.workspace.validate_scale_grid` inside
+    ``shard_sweep``; integer grids are checked here so a bad point
+    fails at parse time with the offending value named, not deep in
+    the waterfill.
+    """
     kind, _, values = spec.partition("=")
-    if kind not in ("hbm", "gpus", "tiers", "replicate") or not values:
+    if (
+        kind not in ("hbm", "gpus", "tiers", "replicate", "strategies")
+        or not values
+    ):
         raise ValueError(
             f"--sweep expects hbm=<scales>, gpus=<counts>, "
-            f"tiers=<counts>, or replicate=<GiB>, got {spec!r}"
+            f"tiers=<counts>, replicate=<GiB>, or "
+            f"strategies=<kinds>, got {spec!r}"
         )
     if kind in ("hbm", "replicate"):
         return kind, [float(v) for v in values.split(",")]
-    return kind, [int(v) for v in values.split(",")]
+    if kind == "strategies":
+        return kind, [v.strip() for v in values.split(",") if v.strip()]
+    parsed = [int(v) for v in values.split(",")]
+    for value in parsed:
+        if value < 1:
+            raise ValueError(
+                f"sweep point {kind}={value}: grid values must be >= 1"
+            )
+    return kind, parsed
 
 
 def _cmd_plan(args) -> int:
@@ -188,6 +212,50 @@ def _cmd_plan(args) -> int:
         print("error: --replicate-gib must be >= 0", file=sys.stderr)
         return 2
     topo_scale = paper_scales(args.features, args.gpus)[0]
+    if args.strategies:
+        if args.sweep:
+            print("error: --strategies builds one plan; use "
+                  "--sweep strategies=... for a strategy grid",
+                  file=sys.stderr)
+            return 2
+        if args.replicate_gib > 0:
+            print("error: strategy plans do not compose with "
+                  "--replicate-gib", file=sys.stderr)
+            return 2
+        if not args.plan_vectorized:
+            print("error: --strategies requires the vectorized planner",
+                  file=sys.stderr)
+            return 2
+        try:
+            tokens = resolve_strategy_kinds(args.strategies.split(","))
+        except ValueError as error:
+            print(f"error: --strategies: {error}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        workspace = PlannerWorkspace(model, profile, steps=args.steps)
+        try:
+            plan = plan_with_strategies(
+                sharder, model, profile, topology,
+                strategies=tokens, workspace=workspace,
+            )
+        except PlanError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        build_ms = (time.perf_counter() - start) * 1e3
+        summary = plan.summary(model, topology)
+        counts = plan.strategy_counts()
+        mix = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+        print(f"strategy plan for {model.name} on {args.gpus} GPUs "
+              f"(kinds: {','.join(tokens)}):")
+        print(f"  per-table strategies: {mix}")
+        print(f"  split tables: {summary['split_tables']}")
+        print(f"  rows on UVM: {summary['uvm_row_fraction']:.1%}")
+        print(f"  row-only est. max GPU cost: "
+              f"{plan.metadata['row_only_max_cost_ms']:.4f} ms")
+        print(f"  estimated max GPU cost: "
+              f"{plan.metadata['estimated_max_cost_ms']:.4f} ms")
+        print(f"  plan build wall-clock: {build_ms:.1f} ms")
+        return 0
     if not args.sweep:
         replicated = None
         start = time.perf_counter()
@@ -252,6 +320,13 @@ def _cmd_plan(args) -> int:
             plans = shard_sweep(
                 workspace, sharder=sharder, replicate_gib=values,
                 base_topology=topology, replicate_scale=topo_scale,
+            )
+        elif kind == "strategies":
+            # Strategy-kind grid: each point enumerates one strategy
+            # family (plus the row fallback) over the shared workspace.
+            plans = shard_sweep(
+                workspace, sharder=sharder, strategies=values,
+                base_topology=topology,
             )
         elif kind == "tiers":
             # Tier-count grid (Section 4.4): every point is a prefix of
@@ -457,10 +532,6 @@ def _cmd_serve(args) -> int:
             print(f"error: --priorities: {exc}", file=sys.stderr)
             return 2
     with_qos = args.deadline_ms is not None or priority_shares is not None
-    if with_qos and args.drift_months > 0:
-        print("error: deadline/priority streams have no drift model; "
-              "drop --drift-months", file=sys.stderr)
-        return 2
     overload = None
     if (
         args.slo_ms is not None
@@ -536,7 +607,7 @@ def _cmd_serve(args) -> int:
         offered = (f"bursty {process.burst_qps:.0f}/{process.idle_qps:.0f} "
                    f"QPS over {process.burst_ms:g}/{process.idle_ms:g} ms "
                    f"(mean {process.mean_qps:.0f})")
-    elif with_qos:
+    elif with_qos and args.drift_months <= 0:
         # QoS columns ride the loadgen stream; PoissonArrivals
         # bit-reproduces the inline generator's timestamps, so adding
         # deadlines/priorities changes no arrival or lookup content.
@@ -548,6 +619,11 @@ def _cmd_serve(args) -> int:
         )
         offered = f"offered load {args.qps:.0f} QPS"
     else:
+        # The synthetic stream carries drift and the QoS columns
+        # together: deadlines/priorities come from a dedicated RNG
+        # stream, so they match the undrifted stream's columns
+        # bit-for-bit, and the overload controller's EWMA/admission
+        # state lives on the server — drift replans swap only the plan.
         drift = None
         if args.drift_months > 0:
             drift = DriftModel(feature_noise=4.0, alpha_noise=4.0)
@@ -560,6 +636,8 @@ def _cmd_serve(args) -> int:
             months_per_request=(
                 args.drift_months / args.requests if args.requests else 0.0
             ),
+            deadline_ms=args.deadline_ms,
+            priority_shares=priority_shares,
         )
         offered = f"offered load {args.qps:.0f} QPS"
     tiers = "/".join(topology.tier_names)
@@ -639,13 +717,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "out for replicas of the globally hottest "
                              "rows, served least-loaded from any GPU "
                              "(default: off)")
+    p_plan.add_argument("--strategies", default=None, metavar="KINDS",
+                        help="comma list of per-table sharding strategies "
+                             "to enumerate (row, column, table, twrw, or "
+                             "auto); the planner scores candidates under "
+                             "the shared capacity model and keeps "
+                             "per-table winners")
     p_plan.add_argument("--sweep", default=None, metavar="GRID",
                         help="hbm=<scale,...> (HBM budget multiples), "
                              "gpus=<count,...> (device-count grid), "
                              "tiers=<count,...> (tier-ladder depth grid, "
-                             "multi-tier greedy planner), or "
+                             "multi-tier greedy planner), "
                              "replicate=<GiB,...> (hot-row replica "
-                             "budget grid)")
+                             "budget grid), or strategies=<kinds,...> "
+                             "(per-table strategy-family grid)")
     mode = p_plan.add_mutually_exclusive_group()
     mode.add_argument("--vectorized", dest="plan_vectorized",
                       action="store_true", default=True,

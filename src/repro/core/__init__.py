@@ -17,12 +17,26 @@ from repro.core.replicate import (
     carve_replica_budget,
     plan_with_replication,
 )
-from repro.core.workspace import PlannerWorkspace, shard_sweep
+from repro.core.workspace import (
+    PlannerWorkspace,
+    shard_sweep,
+    validate_scale_grid,
+)
 from repro.core.evaluate import (
     expected_device_costs_ms,
     expected_device_costs_ms_many,
     expected_max_cost_ms,
     stamp_estimated_costs,
+)
+from repro.core.strategies import (
+    STRATEGY_KINDS,
+    StrategyPlan,
+    TableStrategy,
+    plan_with_strategies,
+    proportional_split,
+    resolve_strategy_kinds,
+    strategy_device_costs_ms,
+    twrw_cell_rows,
 )
 from repro.core.recshard import RecShardSharder
 from repro.core.fast import RecShardFastSharder
@@ -39,9 +53,12 @@ __all__ = [
     "RemappingTable",
     "ReplicatedPlan",
     "ReplicationPolicy",
+    "STRATEGY_KINDS",
     "ShardingPlan",
+    "StrategyPlan",
     "TableInputs",
     "TablePlacement",
+    "TableStrategy",
     "build_milp",
     "build_replication",
     "carve_replica_budget",
@@ -49,6 +66,12 @@ __all__ = [
     "expected_device_costs_ms_many",
     "expected_max_cost_ms",
     "plan_with_replication",
+    "plan_with_strategies",
+    "proportional_split",
+    "resolve_strategy_kinds",
     "shard_sweep",
     "stamp_estimated_costs",
+    "strategy_device_costs_ms",
+    "twrw_cell_rows",
+    "validate_scale_grid",
 ]

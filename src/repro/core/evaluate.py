@@ -101,12 +101,39 @@ def expected_device_costs_ms_many(
         ``(len(plans), topology.num_devices)`` array of expected
         per-iteration milliseconds.
     """
+    from repro.core.strategies import StrategyPlan, strategy_device_costs_ms
+
     plans = list(plans)
     if not plans:
         return np.zeros((0, topology.num_devices))
     for plan in plans:
         for placement in plan:
             _check_tiers(placement, topology.num_tiers)
+    if any(isinstance(plan, StrategyPlan) for plan in plans):
+        # Mixed populations route strategy plans through the
+        # shard-aware evaluator (same cost model, per-shard device
+        # attribution); plain plans keep the batched path below.
+        strategy_idx = [
+            i for i, plan in enumerate(plans)
+            if isinstance(plan, StrategyPlan)
+        ]
+        plain_idx = [
+            i for i in range(len(plans)) if i not in set(strategy_idx)
+        ]
+        costs = np.zeros((len(plans), topology.num_devices))
+        if plain_idx:
+            costs[plain_idx] = expected_device_costs_ms_many(
+                [plans[i] for i in plain_idx], model, profile, topology,
+                batch_size, use_coverage=use_coverage,
+                use_pooling=use_pooling, workspace=workspace,
+            )
+        for i in strategy_idx:
+            costs[i] = strategy_device_costs_ms(
+                plans[i], model, profile, topology, batch_size,
+                use_coverage=use_coverage, use_pooling=use_pooling,
+                workspace=workspace,
+            )
+        return costs
     num_tiers = len(plans[0][0].rows_per_tier)
     for plan in plans:
         if any(len(p.rows_per_tier) != num_tiers for p in plan):

@@ -1,0 +1,613 @@
+"""Per-table sharding-strategy enumeration (TorchRec's strategy menu).
+
+RecShard's placement so far is a single shape — rank-prefix row ranges
+per tier, whole table homed on one device ("row-wise" here).  The cost
+model is strategy-agnostic, though, and TorchRec's planner auto-picks
+among table-wise, row-wise, column-wise, and table-wise-row-wise
+sharding per table.  This module adds that menu on top of the existing
+planner:
+
+* **row** — today's shape: the ICDF waterfill's per-tier row split,
+  whole table on one device.
+* **table** — the whole table unsplit (every row in one tier) on one
+  device; useful when a busy device's table spills to a cold tier but
+  another device has fast-tier headroom.
+* **column** — the embedding dim split into contiguous column shards on
+  distinct devices.  Every lookup touches every shard, so each shard
+  carries the table's full per-tier *row* split but only its dim share
+  of the bytes; the bottleneck device's traffic divides by the shard
+  count while total bytes are conserved.
+* **twrw** (table-wise-row-wise) — contiguous frequency-rank ranges on
+  distinct devices (full dim each).  Cut points are chosen on the
+  profiled coverage grid so each shard serves an equal share of the
+  table's expected accesses.
+
+A :class:`StrategyPlan` wraps a base :class:`ShardingPlan` with one
+:class:`TableStrategy` per table (mirroring
+:class:`~repro.core.replicate.ReplicatedPlan`'s delegation idiom) and
+validates capacity over the *physical* shards.  The planner entry point
+:func:`plan_with_strategies` starts from the fast sharder's row-wise
+plan and greedily refines the makespan: each round it takes the busiest
+device's costliest tables, enumerates candidate strategies for them,
+scores every candidate with
+:func:`~repro.core.evaluate.expected_device_costs_ms_many` under the
+one shared cost model, and keeps the best improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.core.workspace import PlannerWorkspace
+from repro.memory.topology import SystemTopology
+
+STRATEGY_KINDS = ("row", "table", "column", "twrw")
+
+
+def resolve_strategy_kinds(tokens) -> tuple[str, ...]:
+    """Expand/validate a strategy token list (``auto`` = all kinds)."""
+    if isinstance(tokens, str):
+        tokens = [tokens]
+    kinds: list[str] = []
+    for token in tokens:
+        token = token.strip()
+        if token == "auto":
+            for kind in STRATEGY_KINDS:
+                if kind not in kinds:
+                    kinds.append(kind)
+        elif token in STRATEGY_KINDS:
+            if token not in kinds:
+                kinds.append(token)
+        else:
+            raise ValueError(
+                f"unknown sharding strategy {token!r}; expected one of "
+                f"{', '.join(STRATEGY_KINDS)} or auto"
+            )
+    if not kinds:
+        raise ValueError("empty strategy list")
+    if "row" not in kinds:
+        # Row-wise is the universal fallback — every table must have a
+        # feasible strategy, and row is the only kind that always is.
+        kinds.append("row")
+    return tuple(kinds)
+
+
+@dataclass(frozen=True)
+class TableStrategy:
+    """One table's sharding strategy.
+
+    ``devices`` lists the physical shard homes: empty for ``row`` /
+    ``table`` (the base placement's device owns the whole table), one
+    device per column shard (paired with ``dims``), one per twrw rank
+    range (``row_cuts`` lists the interior cumulative rank cut points).
+    """
+
+    kind: str = "row"
+    devices: tuple[int, ...] = ()
+    dims: tuple[int, ...] = ()
+    row_cuts: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in STRATEGY_KINDS:
+            raise PlanError(f"unknown strategy kind {self.kind!r}")
+        if self.kind in ("row", "table"):
+            if self.devices or self.dims or self.row_cuts:
+                raise PlanError(
+                    f"{self.kind}-wise strategy takes no shard spec"
+                )
+            return
+        if len(self.devices) < 2:
+            raise PlanError(f"{self.kind} strategy needs >= 2 shard devices")
+        if len(set(self.devices)) != len(self.devices):
+            raise PlanError(f"{self.kind} shard devices must be distinct")
+        if self.kind == "column":
+            if len(self.dims) != len(self.devices):
+                raise PlanError("column strategy needs one dim per device")
+            if self.row_cuts:
+                raise PlanError("column strategy takes no row cuts")
+            if any(d < 1 for d in self.dims):
+                raise PlanError("column shard dims must be >= 1")
+        else:  # twrw
+            if self.dims:
+                raise PlanError("twrw strategy takes no dims")
+            if len(self.row_cuts) != len(self.devices) - 1:
+                raise PlanError(
+                    "twrw strategy needs len(devices) - 1 row cuts"
+                )
+            if any(c <= 0 for c in self.row_cuts) or any(
+                b <= a for a, b in zip(self.row_cuts, self.row_cuts[1:])
+            ):
+                raise PlanError(
+                    "twrw row cuts must be positive and strictly increasing"
+                )
+
+    @property
+    def num_shards(self) -> int:
+        return max(1, len(self.devices))
+
+
+def proportional_split(counts: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Largest-remainder integer split of counts proportional to weights.
+
+    ``counts`` is ``(rows,)`` and ``weights`` ``(shards,)``; the result
+    is ``(rows, shards)`` with each row summing exactly to its count,
+    shares proportional to the weights, remainders resolved largest
+    fractional part first (ties to the lowest shard index).  This is how
+    a column-sharded table's *access counts* are attributed to its shard
+    devices: byte traffic is exact per shard (each shard moves its dim
+    share), while lookup counts stay conserved per table — the invariant
+    the property tests pin.
+    """
+    counts = np.asarray(counts, dtype=np.int64).reshape(-1)
+    weights = np.asarray(weights, dtype=np.int64).reshape(-1)
+    total = int(weights.sum())
+    if total <= 0:
+        raise ValueError("weights must sum to a positive total")
+    prod = counts[:, None] * weights[None, :]
+    base = prod // total
+    remainder = prod % total
+    missing = counts - base.sum(axis=1)
+    order = np.argsort(-remainder, axis=1, kind="stable")
+    bump = np.arange(weights.size)[None, :] < missing[:, None]
+    np.add.at(
+        base,
+        (np.repeat(np.arange(counts.size), weights.size), order.ravel()),
+        bump.ravel().astype(np.int64),
+    )
+    return base
+
+
+def twrw_cell_rows(
+    tier_bounds, row_cuts, total_rows: int
+) -> np.ndarray:
+    """Rows in each (tier, shard) cell of a twrw split.
+
+    ``tier_bounds`` are the table's cumulative tier boundaries (rank
+    space), ``row_cuts`` the strategy's interior cut points.  Because
+    both partitions are prefixes of the same rank order, the cell
+    ``(t, s)`` holds the ranks between ``max(bound[t-1], cut[s-1])`` and
+    ``min(bound[t], cut[s])``.  The same min/max identity applied to
+    *prefix counts* distributes classified lookups at reduce time.
+    """
+    bounds = np.concatenate(([0], np.asarray(tier_bounds, dtype=np.int64)))
+    cuts = np.concatenate(
+        ([0], np.asarray(row_cuts, dtype=np.int64), [total_rows])
+    )
+    upper = np.minimum(bounds[1:, None], cuts[None, 1:])
+    lower = np.maximum(bounds[:-1, None], cuts[None, :-1])
+    return np.maximum(0, upper - lower)
+
+
+class StrategyPlan:
+    """A base plan plus one :class:`TableStrategy` per table.
+
+    Delegates the read-only plan interface to the wrapped
+    :class:`ShardingPlan` (whose per-tier row splits stay the source of
+    truth for tier membership) and owns the strategy-aware capacity
+    validation: bytes are accounted per *physical shard*, so a column
+    shard charges its dim share and a twrw shard its rank range.
+    """
+
+    def __init__(self, plan: ShardingPlan, strategies):
+        strategies = tuple(strategies)
+        if len(strategies) != len(plan):
+            raise PlanError(
+                f"{len(strategies)} strategies for {len(plan)} tables"
+            )
+        for j, strat in enumerate(strategies):
+            if not isinstance(strat, TableStrategy):
+                raise PlanError(f"table {j}: not a TableStrategy")
+        self.plan = plan
+        self.strategies = strategies
+
+    # -- delegation ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.plan)
+
+    def __iter__(self):
+        return iter(self.plan)
+
+    def __getitem__(self, table_index: int):
+        return self.plan[table_index]
+
+    @property
+    def strategy(self) -> str:
+        return self.plan.strategy
+
+    @property
+    def metadata(self) -> dict:
+        return self.plan.metadata
+
+    def tier_rows_total(self, tier_index: int) -> int:
+        return self.plan.tier_rows_total(tier_index)
+
+    # -- strategy views ------------------------------------------------
+    @property
+    def num_cut_lanes(self) -> int:
+        """Interior twrw cut points of the widest split — one
+        classification lane each."""
+        return max(
+            (len(s.row_cuts) for s in self.strategies if s.kind == "twrw"),
+            default=0,
+        )
+
+    def strategy_counts(self) -> dict[str, int]:
+        counts = {kind: 0 for kind in STRATEGY_KINDS}
+        for strat in self.strategies:
+            counts[strat.kind] += 1
+        return counts
+
+    def shard_bytes(self, model) -> np.ndarray:
+        """Per-(device, tier) bytes over the physical shards."""
+        devices = 1 + max(
+            max((p.device for p in self.plan), default=0),
+            max(
+                (d for s in self.strategies for d in s.devices), default=0
+            ),
+        )
+        num_tiers = len(self.plan[0].rows_per_tier)
+        usage = np.zeros((devices, num_tiers), dtype=np.int64)
+        for placement, strat in zip(self.plan, self.strategies):
+            table = model.tables[placement.table_index]
+            rows = np.asarray(placement.rows_per_tier, dtype=np.int64)
+            if strat.kind in ("row", "table"):
+                usage[placement.device] += rows * table.row_bytes
+            elif strat.kind == "column":
+                for device, dim in zip(strat.devices, strat.dims):
+                    usage[device] += rows * (dim * table.dtype_bytes)
+            else:  # twrw
+                cells = twrw_cell_rows(
+                    np.cumsum(rows), strat.row_cuts, table.num_rows
+                )
+                for s, device in enumerate(strat.devices):
+                    usage[device] += cells[:, s] * table.row_bytes
+        return usage
+
+    # -- validation ----------------------------------------------------
+    def validate(self, model, topology: SystemTopology) -> None:
+        """Structural + per-shard capacity validation."""
+        if len(self.plan) != model.num_tables:
+            raise PlanError(
+                f"plan has {len(self.plan)} placements for "
+                f"{model.num_tables} tables"
+            )
+        for placement, strat in zip(self.plan, self.strategies):
+            j = placement.table_index
+            table = model.tables[j]
+            if len(placement.rows_per_tier) != topology.num_tiers:
+                raise PlanError(
+                    f"table {j}: {len(placement.rows_per_tier)} tiers vs "
+                    f"topology {topology.num_tiers}"
+                )
+            if placement.total_rows != table.num_rows:
+                raise PlanError(
+                    f"table {j}: rows_per_tier sums to "
+                    f"{placement.total_rows}, table has {table.num_rows}"
+                )
+            shard_devices = strat.devices or (placement.device,)
+            for device in shard_devices:
+                if device >= topology.num_devices:
+                    raise PlanError(
+                        f"table {j}: device {device} out of range"
+                    )
+            if strat.kind == "column" and sum(strat.dims) != table.dim:
+                raise PlanError(
+                    f"table {j}: column shard dims sum to "
+                    f"{sum(strat.dims)}, table dim is {table.dim}"
+                )
+            if strat.kind == "twrw" and any(
+                c >= table.num_rows for c in strat.row_cuts
+            ):
+                raise PlanError(
+                    f"table {j}: twrw row cut beyond {table.num_rows} rows"
+                )
+        usage = self.shard_bytes(model)
+        if usage.shape[0] > topology.num_devices:
+            raise PlanError("shard device out of range")
+        for device in range(usage.shape[0]):
+            for tier_index, tier in enumerate(topology.tiers):
+                used = int(usage[device, tier_index])
+                if used > tier.capacity_bytes:
+                    raise PlanError(
+                        f"device {device} tier {tier.name}: {used} bytes "
+                        f"exceeds capacity {tier.capacity_bytes}"
+                    )
+
+    def summary(self, model, topology: SystemTopology) -> dict:
+        base = self.plan.summary(model, topology)
+        base["strategy_counts"] = self.strategy_counts()
+        base["split_tables"] = sum(
+            1 for s in self.strategies if s.kind in ("column", "twrw")
+        )
+        return base
+
+
+# ----------------------------------------------------------------------
+# Scoring (the StrategyPlan arm of expected_device_costs_ms_many)
+# ----------------------------------------------------------------------
+def strategy_device_costs_ms(
+    plan: StrategyPlan,
+    model,
+    profile,
+    topology: SystemTopology,
+    batch_size: int,
+    use_coverage: bool = True,
+    use_pooling: bool = True,
+    workspace: PlannerWorkspace | None = None,
+) -> np.ndarray:
+    """Expected per-device cost of one strategy plan.
+
+    Same cost model as :func:`~repro.core.evaluate.expected_device_costs_ms`
+    with strategy-aware device attribution: column shards carry their
+    dim fraction of the table's per-tier traffic, twrw shards the
+    coverage mass of their rank range (the prefix min/max identity the
+    executor's reduce uses, applied to coverage fractions).
+    """
+    base = plan.plan
+    num_tiers = len(base[0].rows_per_tier)
+    num_tables = model.num_tables
+    cum_rows = np.cumsum(
+        np.array([p.rows_per_tier for p in base], dtype=np.int64), axis=1
+    )
+    if workspace is not None:
+        cov = workspace.coverage_of_rows_grid(cum_rows.T)  # (tiers, tables)
+        total_accesses = workspace.total_accesses
+        stat_coverage = workspace.coverage
+        stat_pooling = workspace.avg_pooling
+        row_bytes = workspace.row_bytes
+    else:
+        cov = np.empty((num_tiers, num_tables))
+        for j, stats in enumerate(profile):
+            cov[:, j] = stats.cdf.coverage_of_rows_many(cum_rows[j])
+        total_accesses = np.array([s.total_accesses for s in profile])
+        stat_coverage = np.array([s.coverage for s in profile])
+        stat_pooling = np.array([s.avg_pooling for s in profile])
+        row_bytes = np.array([t.row_bytes for t in model.tables])
+    frac = np.diff(cov, axis=0, prepend=0.0)  # (tiers, tables)
+    inv_bw = np.array([1.0 / tier.bandwidth for tier in topology.tiers])
+    coverage = stat_coverage if use_coverage else 1.0
+    pooling = stat_pooling if use_pooling else 1.0
+    table_weight = np.where(
+        total_accesses > 0,
+        coverage * pooling * batch_size * row_bytes,
+        0.0,
+    )
+    costs = np.zeros(topology.num_devices)
+    for j, (placement, strat) in enumerate(zip(base, plan.strategies)):
+        tier_cost = float(frac[:, j] @ inv_bw[:num_tiers])
+        if strat.kind in ("row", "table"):
+            costs[placement.device] += table_weight[j] * tier_cost
+        elif strat.kind == "column":
+            dim = model.tables[j].dim
+            for device, shard_dim in zip(strat.devices, strat.dims):
+                costs[device] += (
+                    table_weight[j] * tier_cost * (shard_dim / dim)
+                )
+        else:  # twrw: coverage prefixes at tier bounds and cut points
+            cuts = np.asarray(strat.row_cuts, dtype=np.int64)
+            if workspace is not None:
+                cov_cuts = workspace.coverage_of_rows_at(
+                    np.full(cuts.size, j, dtype=np.int64), cuts
+                )
+            else:
+                cov_cuts = profile[j].cdf.coverage_of_rows_many(cuts)
+            covb = np.concatenate(([0.0], cov[:, j]))
+            covc = np.concatenate(([0.0], cov_cuts, [cov[-1, j]]))
+            cells = np.maximum(
+                0.0,
+                np.minimum(covb[1:, None], covc[None, 1:])
+                - np.maximum(covb[:-1, None], covc[None, :-1]),
+            )  # (tiers, shards)
+            for s, device in enumerate(strat.devices):
+                costs[device] += table_weight[j] * float(
+                    cells[:, s] @ inv_bw[:num_tiers]
+                )
+    return costs * 1e3
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration + greedy refinement
+# ----------------------------------------------------------------------
+def _split_dims(dim: int, shards: int) -> tuple[int, ...]:
+    """Near-equal contiguous column shard dims (all >= 1)."""
+    q, r = divmod(dim, shards)
+    return tuple(q + 1 if i < r else q for i in range(shards))
+
+
+def _equal_access_cuts(
+    workspace: PlannerWorkspace, table_index: int, shards: int
+) -> tuple[int, ...] | None:
+    """Interior rank cuts putting ~1/shards of expected accesses per
+    shard, read off the workspace's integer ICDF grid."""
+    grid = workspace.grid_rows[table_index]
+    steps = workspace.steps
+    num_rows = int(workspace.hash_sizes[table_index])
+    cuts = []
+    for i in range(1, shards):
+        cut = int(grid[round(steps * i / shards)])
+        cut = min(max(cut, 1), num_rows - 1)
+        cuts.append(cut)
+    if any(b <= a for a, b in zip(cuts, cuts[1:])):
+        return None
+    return tuple(cuts)
+
+
+def _candidates_for_table(
+    current: StrategyPlan,
+    table_index: int,
+    kinds,
+    costs: np.ndarray,
+    model,
+    topology: SystemTopology,
+    workspace: PlannerWorkspace,
+    max_shards: int,
+) -> list[StrategyPlan]:
+    """Feasible alternative strategy plans differing only at one table."""
+    base = current.plan
+    placement = base[table_index]
+    table = model.tables[table_index]
+    order = np.argsort(costs, kind="stable")
+    candidates: list[StrategyPlan] = []
+
+    def with_table(new_placement, new_strategy):
+        placements = list(base.placements)
+        placements[table_index] = new_placement
+        new_base = ShardingPlan(
+            strategy=base.strategy,
+            placements=placements,
+            metadata=base.metadata,
+        )
+        strategies = list(current.strategies)
+        strategies[table_index] = new_strategy
+        candidate = StrategyPlan(new_base, strategies)
+        try:
+            candidate.validate(model, topology)
+        except PlanError:
+            return
+        candidates.append(candidate)
+
+    shard_counts = sorted(
+        {
+            s
+            for s in (2, min(max_shards, topology.num_devices))
+            if 2 <= s <= topology.num_devices
+        }
+    )
+    if "table" in kinds:
+        # Whole table unsplit in the fastest tier, on each of the two
+        # least-loaded devices (validation filters infeasible homes).
+        whole = (table.num_rows,) + (0,) * (topology.num_tiers - 1)
+        for device in order[:2]:
+            with_table(
+                TablePlacement(table_index, int(device), whole),
+                TableStrategy("table"),
+            )
+    if "column" in kinds:
+        for shards in shard_counts:
+            if table.dim < shards:
+                continue
+            devices = tuple(int(d) for d in order[:shards])
+            with_table(
+                placement,
+                TableStrategy(
+                    "column", devices=devices, dims=_split_dims(table.dim, shards)
+                ),
+            )
+    if "twrw" in kinds:
+        for shards in shard_counts:
+            if table.num_rows < shards:
+                continue
+            cuts = _equal_access_cuts(workspace, table_index, shards)
+            if cuts is None:
+                continue
+            devices = tuple(int(d) for d in order[:shards])
+            with_table(
+                placement,
+                TableStrategy("twrw", devices=devices, row_cuts=cuts),
+            )
+    return candidates
+
+
+def plan_with_strategies(
+    sharder,
+    model,
+    profile,
+    topology: SystemTopology,
+    strategies=("auto",),
+    batch_size: int | None = None,
+    workspace: PlannerWorkspace | None = None,
+    warm_start=None,
+    max_shards: int = 4,
+    rounds: int = 16,
+    tables_per_round: int = 3,
+) -> StrategyPlan:
+    """Shard with per-table strategy enumeration.
+
+    Starts from ``sharder``'s row-wise plan, then greedily refines the
+    expected makespan: each round enumerates candidate strategies
+    (``table`` moves, ``column`` dim splits, ``twrw`` rank splits) for
+    the busiest device's costliest tables, scores every candidate with
+    the batched evaluator, and applies the best strict improvement.
+
+    Args:
+        sharder: a sharder exposing ``shard_from_workspace`` (the fast
+            path); its ``batch_size`` is the default scoring batch.
+        strategies: strategy tokens (``auto`` expands to all kinds);
+            ``row`` is always available as the per-table fallback.
+        max_shards: column/twrw split width cap.
+        rounds: refinement round cap (each applies at most one change).
+
+    Returns:
+        A :class:`StrategyPlan` with metadata stamped: per-kind counts,
+        estimated device costs, and the row-only baseline makespan.
+    """
+    kinds = resolve_strategy_kinds(strategies)
+    if batch_size is None:
+        batch_size = getattr(sharder, "batch_size", None)
+        if batch_size is None:
+            raise ValueError("batch_size= required for this sharder")
+    if workspace is None:
+        workspace = PlannerWorkspace(
+            model, profile, steps=getattr(sharder, "steps", 100)
+        )
+    from repro.core.evaluate import expected_device_costs_ms_many
+
+    base = sharder.shard_from_workspace(workspace, topology, warm_start)
+    current = StrategyPlan(
+        base, tuple(TableStrategy("row") for _ in range(len(base)))
+    )
+    costs = expected_device_costs_ms_many(
+        [current], model, profile, topology, batch_size, workspace=workspace
+    )[0]
+    row_only_max = float(costs.max())
+    if set(kinds) != {"row"}:
+        for _ in range(rounds):
+            busiest = int(np.argmax(costs))
+            makespan = float(costs[busiest])
+            on_busiest = [
+                j
+                for j, (p, s) in enumerate(zip(current.plan, current.strategies))
+                if s.kind in ("row", "table") and p.device == busiest
+            ]
+            if not on_busiest:
+                break
+            # Costliest tables first: a table's device contribution is
+            # proportional to its expected per-lookup byte weight.
+            weights = np.where(
+                workspace.total_accesses > 0,
+                workspace.coverage
+                * workspace.avg_pooling
+                * workspace.row_bytes,
+                0.0,
+            )
+            on_busiest.sort(key=lambda j: -weights[j])
+            candidates: list[StrategyPlan] = []
+            for j in on_busiest[:tables_per_round]:
+                candidates.extend(
+                    _candidates_for_table(
+                        current, j, kinds, costs, model, topology,
+                        workspace, max_shards,
+                    )
+                )
+            if not candidates:
+                break
+            cand_costs = expected_device_costs_ms_many(
+                candidates, model, profile, topology, batch_size,
+                workspace=workspace,
+            )
+            best = int(np.argmin(cand_costs.max(axis=1)))
+            best_max = float(cand_costs[best].max())
+            if best_max >= makespan * (1.0 - 1e-9):
+                break
+            current = candidates[best]
+            costs = cand_costs[best]
+    current.metadata["strategies"] = current.strategy_counts()
+    current.metadata["solver"] = "strategies"
+    current.metadata["row_only_max_cost_ms"] = row_only_max
+    current.metadata["estimated_device_costs_ms"] = [float(c) for c in costs]
+    current.metadata["estimated_max_cost_ms"] = float(costs.max())
+    current.metadata["estimated_cost_batch_size"] = int(batch_size)
+    return current

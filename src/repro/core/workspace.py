@@ -27,6 +27,8 @@ in place from a new observed profile — no reallocation), and the
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.formulation import RecShardInputs, TableInputs
@@ -238,6 +240,30 @@ class PlannerWorkspace:
         out = np.where(rows >= self.hash_sizes, 1.0, out)
         return np.where(self.total_accesses > 0, out, 0.0)
 
+    def coverage_of_rows_at(
+        self, tables: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """``coverage_of_rows`` at arbitrary ``(table, row)`` pairs.
+
+        Unlike :meth:`coverage_of_rows_grid`, the query is ragged: each
+        element names its own table, so callers with a different row
+        count per table (the strategy evaluator's twrw cut points) pay
+        one flat gather instead of padding to a dense grid.  Edge
+        semantics match the scalar method exactly.
+        """
+        tables = np.asarray(tables, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        if tables.shape != rows.shape:
+            raise ValueError(
+                f"tables {tables.shape} and rows {rows.shape} must match"
+            )
+        sizes = self.hash_sizes[tables]
+        idx = self.row_base[tables] + np.clip(rows - 1, 0, sizes - 1)
+        out = self.cum_fraction_flat[idx]
+        out = np.where(rows <= 0, 0.0, out)
+        out = np.where(rows >= sizes, 1.0, out)
+        return np.where(self.total_accesses[tables] > 0, out, 0.0)
+
 
 def _scale_hbm(topology: SystemTopology, scale: float) -> SystemTopology:
     """A copy of ``topology`` with the HBM tier's capacity scaled."""
@@ -253,6 +279,31 @@ def _scale_hbm(topology: SystemTopology, scale: float) -> SystemTopology:
     )
 
 
+def validate_scale_grid(values, name: str, allow_zero: bool = False):
+    """Up-front validation of a numeric sweep grid.
+
+    Every point must be finite and positive (or zero, for budgets where
+    "none" is a legitimate point).  Raises :class:`PlanError` naming the
+    offending point — the waterfill's own failure modes on a bad scale
+    (negative capacities, NaN marginal densities) surface deep inside
+    the solve with no grid context.
+    """
+    checked = []
+    for value in values:
+        scale = float(value)
+        ok = math.isfinite(scale) and (
+            scale > 0 or (allow_zero and scale == 0)
+        )
+        if not ok:
+            requirement = ">= 0" if allow_zero else "> 0"
+            raise PlanError(
+                f"sweep point {name}={scale:g}: grid values must be "
+                f"finite and {requirement}"
+            )
+        checked.append(scale)
+    return checked
+
+
 def shard_sweep(
     workspace: PlannerWorkspace,
     *,
@@ -260,6 +311,7 @@ def shard_sweep(
     topologies=None,
     budgets=None,
     replicate_gib=None,
+    strategies=None,
     base_topology: SystemTopology | None = None,
     labels=None,
     replicate_scale: float = 1.0,
@@ -286,7 +338,13 @@ def shard_sweep(
             tier, shards the remainder, and spends the carved bytes on
             replicas (:func:`~repro.core.replicate.plan_with_replication`),
             yielding :class:`~repro.core.replicate.ReplicatedPlan`\\ s.
-        base_topology: required with ``budgets`` / ``replicate_gib``.
+        strategies: grid of per-table strategy sets — each point is one
+            token (``row`` / ``table`` / ``column`` / ``twrw`` /
+            ``auto``) handed to
+            :func:`~repro.core.strategies.plan_with_strategies`,
+            yielding :class:`~repro.core.strategies.StrategyPlan`\\ s.
+        base_topology: required with ``budgets`` / ``replicate_gib`` /
+            ``strategies``.
         labels: optional explicit ``sweep_key`` per ``topologies`` point
             (e.g. ``tiers=3``); defaults to ``gpus=<n>``.
         replicate_scale: capacity scale applied to the GiB budgets (the
@@ -297,11 +355,14 @@ def shard_sweep(
         its metadata (``gpus=<n>`` / ``hbm_scale=<s>`` /
         ``replicate_gib=<g>`` / a ``labels`` entry).
     """
-    grids = [g is not None for g in (topologies, budgets, replicate_gib)]
+    grids = [
+        g is not None
+        for g in (topologies, budgets, replicate_gib, strategies)
+    ]
     if sum(grids) != 1:
         raise ValueError(
-            "provide exactly one of topologies=, budgets=, or "
-            "replicate_gib="
+            "provide exactly one of topologies=, budgets=, "
+            "replicate_gib=, or strategies="
         )
     sharder_steps = getattr(sharder, "steps", None)
     if sharder_steps is not None and sharder_steps != workspace.steps:
@@ -309,6 +370,27 @@ def shard_sweep(
             f"workspace sampled {workspace.steps} ICDF steps, sharder "
             f"expects {sharder_steps}"
         )
+    if strategies is not None:
+        from repro.core.strategies import plan_with_strategies
+
+        if base_topology is None:
+            raise ValueError("strategies= requires base_topology=")
+        if labels is not None:
+            raise ValueError("labels= applies to topologies= grids")
+        plans = []
+        for token in strategies:
+            try:
+                plan = plan_with_strategies(
+                    sharder, workspace.model, workspace.profile,
+                    base_topology, strategies=token, workspace=workspace,
+                )
+            except (PlanError, ValueError) as error:
+                raise PlanError(
+                    f"sweep point strategies={token}: {error}"
+                ) from error
+            plan.metadata["sweep_key"] = f"strategies={token}"
+            plans.append(plan)
+        return plans
     if replicate_gib is not None:
         from repro.core.replicate import (
             ReplicationPolicy,
@@ -320,6 +402,9 @@ def shard_sweep(
             raise ValueError("replicate_gib= requires base_topology=")
         if labels is not None:
             raise ValueError("labels= applies to topologies= grids")
+        replicate_gib = validate_scale_grid(
+            replicate_gib, "replicate_gib", allow_zero=True
+        )
         plans = []
         for gib in replicate_gib:
             policy = ReplicationPolicy(
@@ -342,6 +427,7 @@ def shard_sweep(
             raise ValueError("budgets= requires base_topology=")
         if labels is not None:
             raise ValueError("labels= applies to topologies= grids")
+        budgets = validate_scale_grid(budgets, "hbm_scale")
         points = [
             (f"hbm_scale={scale:g}", _scale_hbm(base_topology, scale))
             for scale in budgets

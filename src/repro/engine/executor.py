@@ -59,6 +59,28 @@ path assigns lookup by lookup, and both produce bit-identical metrics.
 Routed accesses are counted on the *serving* device's fastest tier, so
 the per-device access totals (``RunMetrics.load_imbalance``) show the
 balancing effect directly.
+
+All of these cutoffs — tier boundaries, cache, staging, replica, and
+the table-wise-row-wise strategy cuts — are *registered lanes* in a
+:class:`~repro.engine.lanes.LaneRegistry` built once per executor.
+Each lane is a per-table cumulative rank cutoff; classification is one
+prefix count per lane, computed by the fused path (three linear passes
+over the flat rank buffer) and by the scalar reference (per-feature
+threshold scans / remap-table gathers).  Both feed the shared
+:meth:`ShardedExecutor._reduce_counts`, so a lane registered once gets
+a vectorized fast path and a bit-identical scalar reference for free.
+
+Per-table sharding strategies
+(:class:`~repro.core.strategies.StrategyPlan`) reuse the framework:
+column splits change nothing at classification time (every lookup
+touches every column shard) — the reduction scatters each table's
+per-tier counts across its shard devices, byte traffic exact per dim
+share, access counts split largest-remainder so per-table totals are
+conserved; twrw splits register one ``cut`` lane per interior rank cut
+and the reduction crosses cut prefixes with tier prefixes (a min/max
+identity on monotone prefix counts) to land each (tier, shard) cell on
+its device.  Strategy plans do not compose with cache/staging/replica
+lanes (the executor rejects the combination up front).
 """
 
 from __future__ import annotations
@@ -68,6 +90,11 @@ import numpy as np
 from repro.core.plan import ShardingPlan
 from repro.core.remap import RemappingTable
 from repro.core.replicate import ReplicatedPlan
+from repro.core.strategies import (
+    StrategyPlan,
+    proportional_split,
+    strategy_device_costs_ms,
+)
 from repro.data.batch import JaggedBatch
 from repro.data.model import ModelSpec
 from repro.engine.cache import (
@@ -76,6 +103,7 @@ from repro.engine.cache import (
     cached_rows_per_table,
     staged_rows_per_table,
 )
+from repro.engine.lanes import LaneRegistry, build_lanes
 from repro.engine.metrics import RunMetrics
 from repro.engine.ranked import RankedBatch, RankRemapper
 from repro.memory.topology import SystemTopology
@@ -123,6 +151,19 @@ class ShardedExecutor:
         ranker: RankRemapper | None = None,
         replication: ReplicatedPlan | None = None,
     ):
+        strategy_plan = None
+        if isinstance(plan, StrategyPlan):
+            strategy_plan = plan
+            plan = strategy_plan.plan
+            if replication is not None:
+                raise ValueError(
+                    "strategy plans do not compose with replication"
+                )
+            if cache is not None or staging is not None:
+                raise ValueError(
+                    "strategy plans do not compose with cache/staging "
+                    "fast lanes"
+                )
         if isinstance(plan, ReplicatedPlan):
             if replication is not None and replication is not plan:
                 raise ValueError(
@@ -134,12 +175,15 @@ class ShardedExecutor:
         elif replication is not None and replication.plan is not plan:
             raise ValueError("replication= wraps a different plan")
         if validate:
-            if replication is not None:
+            if strategy_plan is not None:
+                strategy_plan.validate(model, topology)
+            elif replication is not None:
                 replication.validate(model, topology)
             else:
                 plan.validate(model, topology)
         self.model = model
         self.plan = plan
+        self.strategy_plan = strategy_plan
         self.replication = replication
         self.profile = profile
         self.topology = topology
@@ -155,9 +199,6 @@ class ShardedExecutor:
         self._tier_bounds = np.array(
             [np.cumsum(p.rows_per_tier) for p in plan], dtype=np.int64
         )
-        # Plain-int copy for the scan loop (numpy scalar extraction is
-        # surprisingly expensive at ~400 tables x several scans per batch).
-        self._bounds_list = [[int(b) for b in row] for row in self._tier_bounds]
         self._inv_bw = np.array(
             [1.0 / tier.bandwidth for tier in topology.tiers], dtype=np.float64
         )
@@ -169,11 +210,10 @@ class ShardedExecutor:
         self._mask_scratch = np.empty(0, dtype=bool)
         # Fused jagged-path scratch (the serving loop's per-batch hot
         # path): a flat global-rank buffer reused across batches, and
-        # the per-(table, tier) edge grids it is compared against.
+        # the per-lane base-shifted edge vectors it is compared against.
         # Built lazily because both depend on the (possibly lazy) ranker.
         self._flat_rank_scratch = np.empty(0, dtype=np.int64)
-        self._bound_edges: np.ndarray | None = None
-        self._cutoff_edges: np.ndarray | None = None
+        self._fused_edges: dict[str, np.ndarray] | None = None
         self._cache_threshold = np.zeros(model.num_tables, dtype=np.int64)
         if cache is not None:
             for device in range(topology.num_devices):
@@ -207,7 +247,6 @@ class ShardedExecutor:
             [t.row_bytes for t in model.tables], dtype=np.int64
         )
         self._replica_load = np.zeros(topology.num_devices, dtype=np.int64)
-        self._replica_edges: np.ndarray | None = None
         # Device fault state (chaos drills): dead devices serve nothing
         # — their home-lane lookups are *dropped* (tallied per batch in
         # ``last_dropped``) and the replica router masks them out of the
@@ -244,7 +283,6 @@ class ShardedExecutor:
                 bounds[:, :-1] + self._stage_rows[:, 1:], bounds[:, 1:]
             )
         self._tier_cutoffs = cutoffs
-        self._cutoff_list = [[int(c) for c in row] for row in cutoffs]
         # Tiers whose fast-lane cutoff sits strictly above the tier's
         # lower boundary for at least one table: only these cost the
         # fused lane an extra scan.
@@ -252,6 +290,53 @@ class ShardedExecutor:
         lower[:, 1:] = bounds[:, :-1]
         self._hit_tiers = tuple(
             int(t) for t in np.flatnonzero((cutoffs > lower).any(axis=0))
+        )
+        # Per-table strategy shards: column tables scatter their counts
+        # across shard devices at reduce time; twrw tables additionally
+        # register one classification lane per interior rank cut.
+        self._column_tables: list[tuple] = []
+        self._twrw_tables: list[tuple] = []
+        self._num_cut_lanes = 0
+        cut_points = None
+        if strategy_plan is not None:
+            self._num_cut_lanes = strategy_plan.num_cut_lanes
+            if self._num_cut_lanes:
+                cut_points = np.zeros(
+                    (model.num_tables, self._num_cut_lanes), dtype=np.int64
+                )
+            for j, strat in enumerate(strategy_plan.strategies):
+                if strat.kind == "column":
+                    dims = np.asarray(strat.dims, dtype=np.int64)
+                    self._column_tables.append((
+                        j,
+                        np.asarray(strat.devices, dtype=np.int64),
+                        dims,
+                        (dims * model.tables[j].dtype_bytes).astype(
+                            np.float64
+                        ),
+                    ))
+                elif strat.kind == "twrw":
+                    cut_points[j, : len(strat.row_cuts)] = strat.row_cuts
+                    self._twrw_tables.append((
+                        j,
+                        np.asarray(strat.devices, dtype=np.int64),
+                        len(strat.row_cuts),
+                    ))
+        self._split_idx = np.array(
+            [info[0] for info in self._column_tables]
+            + [info[0] for info in self._twrw_tables],
+            dtype=np.int64,
+        )
+        self._cut_points = cut_points
+        # The lane registry: every cutoff the classification paths scan,
+        # in pass order.  Registering a lane here is all it takes to get
+        # the fused fast path and the scalar parity reference.
+        self._lanes: LaneRegistry = build_lanes(
+            self._tier_bounds,
+            self._tier_cutoffs,
+            self._hit_tiers,
+            replica_cut=self._replica_cut if self._has_replicas else None,
+            strategy_cuts=cut_points,
         )
 
     # ------------------------------------------------------------------
@@ -317,15 +402,17 @@ class ShardedExecutor:
     # ------------------------------------------------------------------
     # Classification / reduction split (multi-process serving seam)
     # ------------------------------------------------------------------
-    def classify_batch(
-        self, batch: JaggedBatch
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    def classify_batch(self, batch: JaggedBatch) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None
+    ]:
         """Run only the (stateless) classification lanes on one batch.
 
         Returns the per-``(table, tier)`` access counts, the per-tier
-        fast-lane hit counts, and the per-table replica-lane counts
-        (``None`` without replication) — everything
-        :meth:`reduce_classified` needs to produce the batch's metrics.
+        fast-lane hit counts, the per-table replica-lane counts
+        (``None`` without replication), and the per-``(table, slot)``
+        twrw cut-lane prefix counts (``None`` without twrw shards) —
+        everything :meth:`reduce_classified` needs to produce the
+        batch's metrics.
 
         This is the multi-process serving seam: classification touches
         every lookup but no cross-batch state, so worker processes can
@@ -343,6 +430,7 @@ class ShardedExecutor:
         counts: np.ndarray,
         hits: np.ndarray,
         replicas: np.ndarray | None = None,
+        cuts: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Pool classified counts into per-device metrics (stateful).
 
@@ -356,6 +444,7 @@ class ShardedExecutor:
             np.asarray(counts, dtype=np.int64),
             np.asarray(hits, dtype=np.int64),
             None if replicas is None else np.asarray(replicas, dtype=np.int64),
+            None if cuts is None else np.asarray(cuts, dtype=np.int64),
         )
 
     def reset_routing(self) -> None:
@@ -385,7 +474,19 @@ class ShardedExecutor:
         transform: classification is untouched, so the scalar and
         vectorized paths (and the multi-process classify/reduce split)
         stay bit-identical under brownout.
+
+        Not supported with table-wise-row-wise strategy shards: a twrw
+        table's cut-lane prefixes are computed over all its ranks, so
+        clamping the cold-tier counts would desynchronize the two
+        prefix families the reduction crosses.  (Column shards are
+        fine — their scatter follows the clamped counts; browned
+        lookups are tallied on the table's base placement device.)
         """
+        if active and self._twrw_tables:
+            raise ValueError(
+                "brownout is not supported with table-wise-row-wise "
+                "strategy shards"
+            )
         self._brownout = bool(active)
 
     def reset_brownout(self) -> None:
@@ -445,21 +546,22 @@ class ShardedExecutor:
                 f"{self.topology.num_devices}-device topology"
             )
 
-    def _fused_lane_edges(self) -> tuple[np.ndarray, np.ndarray]:
-        """Per-(table, tier) boundary and cutoff edges, base-shifted.
+    def _fused_lane_edges(self) -> dict[str, np.ndarray]:
+        """Every registered lane's per-table edges, base-shifted.
 
-        ``bound_edges[j, t]`` is the end of table ``j``'s tier-``t``
-        block in the concatenated rank space; ``cutoff_edges[j, t]``
-        the tier's fast-lane cutoff.  Stored in the flat buffer's dtype
-        so the fused lane's comparisons never promote (copy) it.
+        Each lane's cumulative rank cutoffs are shifted into the
+        concatenated rank space (``ranker.rank_base``) and stored in
+        the flat buffer's dtype so the fused comparisons never promote
+        (copy) it.
         """
-        if self._bound_edges is None:
+        if self._fused_edges is None:
             base = self.ranker.rank_base[:-1]
             dtype = self.ranker.fused_dtype
-            self._bound_edges = (base[:, None] + self._tier_bounds).astype(dtype)
-            self._cutoff_edges = (base[:, None] + self._tier_cutoffs).astype(dtype)
-            self._replica_edges = (base + self._replica_cut).astype(dtype)
-        return self._bound_edges, self._cutoff_edges
+            self._fused_edges = {
+                lane.name: (base + lane.edges).astype(dtype)
+                for lane in self._lanes
+            }
+        return self._fused_edges
 
     def run_jagged(
         self, batch: JaggedBatch
@@ -479,9 +581,9 @@ class ShardedExecutor:
         """
         return self._reduce_counts(*self._classify_jagged(batch))
 
-    def _classify_jagged(
-        self, batch: JaggedBatch
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    def _classify_jagged(self, batch: JaggedBatch) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None
+    ]:
         """Gather + fused classification of one jagged batch (no reduce)."""
         num_tables = len(self.plan)
         if batch.num_features != num_tables:
@@ -498,7 +600,12 @@ class ShardedExecutor:
                 if self._has_replicas
                 else None
             )
-            return zeros, zeros.copy(), replicas
+            cuts = (
+                np.zeros((num_tables, self._num_cut_lanes), dtype=np.int64)
+                if self._num_cut_lanes
+                else None
+            )
+            return zeros, zeros.copy(), replicas, cuts
         dtype = self.ranker.fused_dtype
         if (
             self._flat_rank_scratch.dtype != dtype
@@ -523,19 +630,22 @@ class ShardedExecutor:
 
     def _classify_fused(
         self, flat: np.ndarray, tables: np.ndarray, starts: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-        """Multi-boundary linear classification of the flat rank buffer.
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None
+    ]:
+        """Multi-lane linear classification of the flat rank buffer.
 
-        Tier membership needs one prefix count per tier boundary:
-        expand each lookup's boundary with ``repeat``, one comparison
-        into the reused mask, one segmented reduction — three linear
-        passes per boundary, regardless of table count.  Fast-lane
-        cutoffs (cache, staging) add the same three passes only for
-        the tiers that actually stage rows (:attr:`_hit_tiers`).  For
-        the dominant hierarchies (two to five tiers) this beats a
-        per-lookup binary search over the per-table edge grid; it is
-        the direct generalization of the original two-tier HBM-cut
-        lane.
+        One prefix count per registered lane: expand each lookup's
+        per-table edge with ``repeat``, one comparison into the reused
+        mask, one segmented reduction — three linear passes per lane,
+        regardless of table count.  Tier boundaries are ``bound``
+        lanes (prefix differences give the per-tier counts), fast-lane
+        cutoffs (cache, staging) cost passes only for the tiers that
+        actually stage rows, the replica cutoff and each twrw strategy
+        cut are one lane each.  For the dominant hierarchies (two to
+        five tiers) this beats a per-lookup binary search over the
+        per-table edge grid; it is the direct generalization of the
+        original two-tier HBM-cut lane.
 
         Args:
             flat: base-shifted ranks, grouped by feature.
@@ -551,35 +661,46 @@ class ShardedExecutor:
         if self._mask_scratch.size < total:
             self._mask_scratch = np.empty(total, dtype=bool)
         mask = self._mask_scratch[:total]
-        bound_edges, cutoff_edges = self._fused_lane_edges()
+        edges = self._fused_lane_edges()
+        registry = self._lanes
 
-        def prefix_below(edges_column):
+        def prefix_below(lane):
             """Per-feature count of ranks below each feature's edge."""
-            np.less(flat, np.repeat(edges_column[tables], sizes), out=mask)
+            np.less(flat, np.repeat(edges[lane.name][tables], sizes), out=mask)
             return np.add.reduceat(mask.view(np.int8), starts, dtype=np.int64)
 
         replicas = None
         rep_group = None
-        if self._has_replicas:
+        if registry.replica is not None:
             # One extra prefix pass classifies the replica lane; the
             # replicated ranks are a prefix of tier 0's block, so tier
             # membership below stays untouched and the lane is peeled
             # off during reduction.
-            rep_group = prefix_below(self._replica_edges)
+            rep_group = prefix_below(registry.replica)
             replicas = np.zeros(num_tables, dtype=np.int64)
             replicas[tables] = rep_group
+        cuts = None
+        if registry.cuts:
+            # Strategy cut lanes: prefix counts at each twrw interior
+            # cut point; the reduction crosses them with the tier
+            # prefixes to fill the (tier, shard) cells.
+            cuts = np.zeros((num_tables, len(registry.cuts)), dtype=np.int64)
+            for lane in registry.cuts:
+                cuts[tables, lane.index] = prefix_below(lane)
         prev = np.zeros(tables.size, dtype=np.int64)
         for t in range(num_tiers):
-            if t in self._hit_tiers:
+            hit_lane = registry.hit(t)
+            if hit_lane is not None:
                 baseline = rep_group if t == 0 and rep_group is not None else prev
-                hits[tables, t] = prefix_below(cutoff_edges[:, t]) - baseline
-            if t < num_tiers - 1:
-                below = prefix_below(bound_edges[:, t])
+                hits[tables, t] = prefix_below(hit_lane) - baseline
+            bound_lane = registry.bound(t)
+            if bound_lane is not None:
+                below = prefix_below(bound_lane)
                 counts[tables, t] = below - prev
                 prev = below
             else:
                 counts[tables, t] = sizes - prev
-        return counts, hits, replicas
+        return counts, hits, replicas, cuts
 
     def run_ranked(
         self, ranked: RankedBatch
@@ -605,6 +726,11 @@ class ShardedExecutor:
         replicas = (
             np.zeros(num_tables, dtype=np.int64) if self._has_replicas else None
         )
+        cuts = (
+            np.zeros((num_tables, self._num_cut_lanes), dtype=np.int64)
+            if self._num_cut_lanes
+            else None
+        )
         max_lookups = max((f.ranks.size for f in ranked), default=0)
         if self._mask_scratch.size < max_lookups:
             self._mask_scratch = np.empty(max_lookups, dtype=bool)
@@ -614,10 +740,11 @@ class ShardedExecutor:
                 rep = self._scan_feature(
                     j, ranks, self._mask_scratch[: ranks.size],
                     counts[j], hits[j],
+                    None if cuts is None else cuts[j],
                 )
                 if replicas is not None:
                     replicas[j] = rep
-        return self._reduce_counts(counts, hits, replicas)
+        return self._reduce_counts(counts, hits, replicas, cuts)
 
     def _scan_feature(
         self,
@@ -626,43 +753,57 @@ class ShardedExecutor:
         mask: np.ndarray,
         counts_row: np.ndarray,
         hits_row: np.ndarray,
+        cuts_row: np.ndarray | None = None,
     ) -> int:
-        """Per-tier counts and fast-lane hits for one feature's ranks.
+        """Per-lane prefix counts for one feature's ranks.
 
         ``mask`` is a caller-provided bool buffer of ``ranks.size`` that
-        the threshold scans reuse.  Prefix counts at each cumulative tier
-        boundary; differences give the per-tier counts without ever
-        materializing tier ids.  A tier's fast-lane cutoff (cache for
-        tier 0, staging for cold tiers) adds one scan only when it sits
-        strictly above the tier's lower boundary.
+        the threshold scans reuse.  The registered lanes drive the
+        scans: one prefix count at each cumulative tier boundary
+        (differences give the per-tier counts without ever
+        materializing tier ids), one per active fast-lane cutoff (the
+        per-table skip when the cutoff sits at the tier's lower
+        boundary is preserved), one per strategy cut lane into
+        ``cuts_row``.  This is the scalar parity reference of the fused
+        path — same lanes, same reduction, bit-identical metrics.
 
         Returns the feature's replica-lane count (ranks below the
         replica cutoff; 0 without replication).  Replicated ranks stay
         *included* in the tier-0 count — the reduction peels them off —
         but are excluded from the cache-hit baseline.
         """
-        bounds = self._bounds_list[table_index]
-        cutoffs = self._cutoff_list[table_index]
-        scan_hits = self.cache is not None or self.staging is not None
+        registry = self._lanes
         replicated = 0
-        cut = self._replica_cut_list[table_index]
-        if cut:
-            np.less(ranks, cut, out=mask)
-            replicated = int(np.count_nonzero(mask))
-        last = len(bounds) - 1
+        if registry.replica is not None:
+            cut = registry.replica.edges_list[table_index]
+            if cut:
+                np.less(ranks, cut, out=mask)
+                replicated = int(np.count_nonzero(mask))
+        if cuts_row is not None:
+            for lane in registry.cuts:
+                edge = lane.edges_list[table_index]
+                if edge:
+                    np.less(ranks, edge, out=mask)
+                    cuts_row[lane.index] = int(np.count_nonzero(mask))
+        num_tiers = counts_row.size
         prev = 0
-        for t in range(len(bounds)):
-            if scan_hits:
-                cutoff = cutoffs[t]
-                if cutoff > (bounds[t - 1] if t else 0):
+        lower = 0
+        for t in range(num_tiers):
+            hit_lane = registry.hit(t)
+            if hit_lane is not None:
+                cutoff = hit_lane.edges_list[table_index]
+                if cutoff > lower:
                     np.less(ranks, cutoff, out=mask)
                     baseline = replicated if t == 0 else prev
                     hits_row[t] = int(np.count_nonzero(mask)) - baseline
-            if t < last:
-                np.less(ranks, bounds[t], out=mask)
+            bound_lane = registry.bound(t)
+            if bound_lane is not None:
+                bound = bound_lane.edges_list[table_index]
+                np.less(ranks, bound, out=mask)
                 below = int(np.count_nonzero(mask))
                 counts_row[t] = below - prev
                 prev = below
+                lower = bound
             else:
                 counts_row[t] = ranks.size - prev
         return replicated
@@ -672,6 +813,7 @@ class ShardedExecutor:
         counts: np.ndarray,
         hits: np.ndarray,
         replicas: np.ndarray | None = None,
+        cuts: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Pool per-(table, tier) counts into per-(tier, device) metrics.
 
@@ -684,8 +826,16 @@ class ShardedExecutor:
         counts, included in the tier-0 column) are peeled off the home
         device and routed least-loaded across all devices, charged at
         the fastest tier's bandwidth on the device that serves them.
-        Shared by the scalar and vectorized paths, so identical
-        classifications produce bit-identical times.
+
+        Strategy-split tables skip the home attribution and scatter at
+        reduce time instead: a column table charges every shard its
+        exact byte share of each lookup (``dims[s] * dtype_bytes``) and
+        splits the lookup counts largest-remainder-proportionally by
+        dim; a twrw table crosses its tier prefixes with the classified
+        cut prefixes (``cuts``) via the min/max identity to fill the
+        per-(tier, shard) cells exactly.  Shared by the scalar and
+        vectorized paths, so identical classifications produce
+        bit-identical times.
         """
         num_devices = self.topology.num_devices
         num_tiers = self.topology.num_tiers
@@ -714,14 +864,26 @@ class ShardedExecutor:
             # Nothing survives: the replica lane has nowhere to reroute,
             # so replicated lookups drop with their home lane.
             route = False
-        counts0 = counts[:, 0] - replicas if route else counts[:, 0]
+        split = bool(self._column_tables or self._twrw_tables)
+        if self._twrw_tables and cuts is None:
+            raise ValueError(
+                "twrw strategy tables require classified cut counts"
+            )
+        if split:
+            counts_home = counts.copy()
+            counts_home[self._split_idx, :] = 0
+        else:
+            counts_home = counts
+        counts0 = (
+            counts_home[:, 0] - replicas if route else counts_home[:, 0]
+        )
         accesses = np.zeros((num_tiers, num_devices), dtype=np.int64)
         traffic = np.zeros((num_tiers, num_devices), dtype=np.float64)
         home_bytes = (
             np.zeros(num_devices, dtype=np.int64) if route else None
         )
         for t in range(num_tiers):
-            col = counts0 if t == 0 else counts[:, t]
+            col = counts0 if t == 0 else counts_home[:, t]
             np.add.at(accesses[t], self.device_of, col)
             traffic[t] = np.bincount(
                 self.device_of,
@@ -732,6 +894,33 @@ class ShardedExecutor:
                 np.add.at(
                     home_bytes, self.device_of, col * self._row_bytes_int
                 )
+        if split:
+            # Column shards: every lookup touches every shard for its
+            # dim share of the row bytes (traffic is exact); the lookup
+            # *counts* are split proportionally by dim with the
+            # largest-remainder rule, conserving per-table totals.
+            for j, devices, dims, shard_bytes in self._column_tables:
+                accesses[:, devices] += proportional_split(counts[j], dims)
+                traffic[:, devices] += (
+                    counts[j][:, None].astype(np.float64)
+                    * shard_bytes[None, :]
+                )
+            # Twrw shards: the classified cut prefixes cross the tier
+            # prefixes — cell (t, s) holds the lookups in both tier
+            # t's rank interval and shard s's, by the min/max identity
+            # on monotone prefix counts.
+            for j, devices, n_cuts in self._twrw_tables:
+                pb = np.concatenate(([0], np.cumsum(counts[j])))
+                pc = np.concatenate(
+                    ([0], cuts[j, :n_cuts], [pb[-1]])
+                ).astype(np.int64)
+                cells = np.maximum(
+                    0,
+                    np.minimum(pb[1:, None], pc[None, 1:])
+                    - np.maximum(pb[:-1, None], pc[None, :-1]),
+                )
+                accesses[:, devices] += cells
+                traffic[:, devices] += cells * self.row_bytes[j]
         self.last_dropped[:] = 0
         if faulty:
             # Dead devices serve nothing: their home-lane lookups are
@@ -848,9 +1037,9 @@ class ShardedExecutor:
         """
         return self._reduce_counts(*self._classify_scalar(batch))
 
-    def _classify_scalar(
-        self, batch: JaggedBatch
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    def _classify_scalar(self, batch: JaggedBatch) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None
+    ]:
         """Per-lookup remap-table classification of one batch (no reduce)."""
         num_tables = len(self.plan)
         num_tiers = self.topology.num_tiers
@@ -859,14 +1048,34 @@ class ShardedExecutor:
         replicas = (
             np.zeros(num_tables, dtype=np.int64) if self._has_replicas else None
         )
+        cuts = (
+            np.zeros((num_tables, self._num_cut_lanes), dtype=np.int64)
+            if self._num_cut_lanes
+            else None
+        )
         scan_hits = self.cache is not None or self.staging is not None
         for j, feature in enumerate(batch):
             if feature.values.size == 0:
                 continue
             cut = self._replica_cut_list[j]
-            if scan_hits or cut:
+            table_cuts = self._cut_points[j] if cuts is not None else None
+            has_cuts = table_cuts is not None and bool(table_cuts.any())
+            if scan_hits or cut or has_cuts:
                 tiers, offsets = self.remap_tables[j].apply(feature.values)
                 counts[j] = np.bincount(tiers, minlength=num_tiers)
+                if has_cuts:
+                    # A (tier, offset) pair maps back to the global
+                    # frequency rank by adding the cumulative rows of
+                    # the preceding tiers, so strategy cut lanes are
+                    # rank thresholds here too.
+                    tier_base = np.concatenate(
+                        ([0], self._tier_bounds[j, :-1])
+                    )
+                    ranks = offsets + tier_base[tiers]
+                    for s in range(table_cuts.size):
+                        edge = int(table_cuts[s])
+                        if edge:
+                            cuts[j, s] = int(np.count_nonzero(ranks < edge))
                 if cut:
                     # A tier-0 offset *is* the row's frequency rank
                     # (the fastest tier holds the leading ranked rows),
@@ -887,7 +1096,7 @@ class ShardedExecutor:
                         )
             else:
                 counts[j] = self.remap_tables[j].tier_counts(feature.values)
-        return counts, hits, replicas
+        return counts, hits, replicas, cuts
 
     def run(self, batches) -> RunMetrics:
         """Execute a sequence of batches and collect metrics.
@@ -918,8 +1127,15 @@ class ShardedExecutor:
         the fraction of them served by each tier's row block.  Useful to
         cross-check measured times against the optimized cost model.
         The cache and staging models are intentionally excluded: this
-        reproduces exactly what the MILP sees.
+        reproduces exactly what the MILP sees.  Strategy plans route
+        through the shard-aware evaluator — same cost model, per-shard
+        device attribution.
         """
+        if self.strategy_plan is not None:
+            return strategy_device_costs_ms(
+                self.strategy_plan, self.model, self.profile,
+                self.topology, batch_size,
+            )
         costs = np.zeros(self.topology.num_devices)
         for j, placement in enumerate(self.plan):
             stats = self.profile[placement.table_index]
@@ -1079,6 +1295,12 @@ def replay_trace(
         counts = np.zeros((num_plans, num_tables, num_tiers), dtype=np.int64)
         hits = np.zeros((num_plans, num_tables, num_tiers), dtype=np.int64)
         replicas = np.zeros((num_plans, num_tables), dtype=np.int64)
+        cut_arrs = [
+            np.zeros((num_tables, ex._num_cut_lanes), dtype=np.int64)
+            if ex._num_cut_lanes
+            else None
+            for ex in executors
+        ]
         for j, feature in enumerate(batch):
             if pre_ranked:
                 ranks = feature.ranks
@@ -1097,12 +1319,16 @@ def replay_trace(
             if mask.size < n:
                 mask = np.empty(n, dtype=bool)
             for s, ex in enumerate(executors):
+                cut_arr = cut_arrs[s]
                 replicas[s, j] = ex._scan_feature(
-                    j, ranks, mask[:n], counts[s, j], hits[s, j]
+                    j, ranks, mask[:n], counts[s, j], hits[s, j],
+                    None if cut_arr is None else cut_arr[j],
                 )
         for s, ex in enumerate(executors):
             rows[s].append(
-                ex._reduce_counts(counts[s], hits[s], replicas[s])
+                ex._reduce_counts(
+                    counts[s], hits[s], replicas[s], cut_arrs[s]
+                )
             )
             if browned[s] is not None:
                 browned[s].append(ex.last_browned.copy())

@@ -121,12 +121,14 @@ def _worker_main(worker_id, spec, task_queue, result_queue):
         try:
             shm = ShmArena.attach(handle)
             try:
-                counts, hits, replicas = executor.classify_batch(
+                counts, hits, replicas, cuts = executor.classify_batch(
                     shm.arena.batch
                 )
             finally:
                 shm.close()
-            result_queue.put(("ok", seq, worker_id, counts, hits, replicas))
+            result_queue.put(
+                ("ok", seq, worker_id, counts, hits, replicas, cuts)
+            )
         except FileNotFoundError:
             result_queue.put(("gone", seq, worker_id))
         except Exception as exc:  # surfaced, never swallowed into a hang
@@ -616,10 +618,10 @@ class MultiProcessServer:
         """
         self._pull_results(pending, results, block_s)
         while cursor in results:
-            counts, hits, replicas = results.pop(cursor)
+            counts, hits, replicas, cuts = results.pop(cursor)
             _, arrivals, trigger, deadlines, priorities = pending.pop(cursor)
             self._account(
-                counts, hits, replicas, trigger, arrivals,
+                counts, hits, replicas, cuts, trigger, arrivals,
                 deadlines, priorities,
             )
             cursor += 1
@@ -656,17 +658,17 @@ class MultiProcessServer:
                         f"{message}"
                     )
                 continue
-            _, got_seq, _, counts, hits, replicas = item
+            _, got_seq, _, counts, hits, replicas, cuts = item
             if got_seq not in pending or got_seq in results:
                 continue
             # The worker is done with the segment; the owner retires it.
             owner = pending[got_seq][0]
             owner.close()
             owner.unlink()
-            results[got_seq] = (counts, hits, replicas)
+            results[got_seq] = (counts, hits, replicas, cuts)
 
     def _account(
-        self, counts, hits, replicas, trigger_ms, arrivals_ms,
+        self, counts, hits, replicas, cuts, trigger_ms, arrivals_ms,
         deadlines_ms=None, priorities=None,
     ):
         """Reduce one classified batch on the spine (sequential state).
@@ -700,7 +702,7 @@ class MultiProcessServer:
         # loop's ``batch.total_lookups``.
         total_classified = int(counts.sum())
         device_times, accesses, _, reps = spine.executor.reduce_classified(
-            counts, hits, replicas
+            counts, hits, replicas, cuts
         )
         service = (
             float(device_times.max()) + spine.config.overhead_ms_per_batch

@@ -65,6 +65,7 @@ from repro.engine.ranked import RankRemapper
 from repro.memory.topology import SystemTopology
 from repro.serving.arena import RequestArena
 from repro.serving.faults import FaultInjector, FaultSchedule
+from repro.serving.loadgen import _QOS_STREAM
 from repro.serving.metrics import ServingMetrics
 from repro.serving.overload import OverloadControl, OverloadController
 from repro.serving.queue import (
@@ -846,6 +847,8 @@ def synthetic_request_arenas(
     drift: DriftModel | None = None,
     months_per_request: float = 0.0,
     chunk_size: int = 512,
+    deadline_ms: float | None = None,
+    priority_shares: tuple[float, ...] | None = None,
 ) -> Iterator[RequestArena]:
     """Generate a seeded open-loop request stream, columnar.
 
@@ -873,6 +876,15 @@ def synthetic_request_arenas(
         drift: optional :class:`~repro.data.drift.DriftModel`.
         months_per_request: simulated months elapsed per request.
         chunk_size: samples drawn per arena chunk (efficiency knob).
+        deadline_ms: when set (> 0), every request carries the absolute
+            deadline ``arrival + deadline_ms``.
+        priority_shares: when set, per-request priority classes are
+            drawn i.i.d. with these probabilities (shares must be
+            positive and sum to 1).  Like the loadgen twin, QoS columns
+            come from a dedicated RNG stream
+            (``default_rng((seed, 0x51D))``), so arrivals and lookup
+            content stay bit-identical with QoS on or off — and, with
+            drift, identical to the undrifted stream's QoS columns.
 
     Yields:
         :class:`~repro.serving.arena.RequestArena` chunks in arrival
@@ -884,6 +896,22 @@ def synthetic_request_arenas(
         raise ValueError("qps must be > 0")
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ValueError("deadline_ms must be > 0")
+    shares = None
+    if priority_shares is not None:
+        shares = np.asarray(priority_shares, dtype=np.float64)
+        if shares.size == 0 or np.any(shares <= 0):
+            raise ValueError("priority shares must be positive")
+        if abs(float(shares.sum()) - 1.0) > 1e-6:
+            raise ValueError(
+                f"priority shares must sum to 1, got {float(shares.sum())}"
+            )
+        shares = shares / shares.sum()
+    with_qos = deadline_ms is not None or shares is not None
+    qos_rng = (
+        np.random.default_rng((seed, _QOS_STREAM)) if with_qos else None
+    )
     rng = np.random.default_rng(seed)
     bank = SamplerBank()
     now = float(start_ms)
@@ -904,7 +932,27 @@ def synthetic_request_arenas(
         # object path historically ran, so streams replay bit-for-bit.
         arrivals = np.cumsum(np.concatenate(([now], gaps)))[1:]
         now = float(arrivals[-1])
-        yield RequestArena(batch, arrivals, base_id=emitted)
+        deadlines = priorities = None
+        if with_qos:
+            deadlines = (
+                arrivals + deadline_ms
+                if deadline_ms is not None
+                else np.full(count, np.inf)
+            )
+            priorities = (
+                qos_rng.choice(shares.size, size=count, p=shares).astype(
+                    np.int64
+                )
+                if shares is not None
+                else np.zeros(count, dtype=np.int64)
+            )
+        yield RequestArena(
+            batch,
+            arrivals,
+            base_id=emitted,
+            deadline_ms=deadlines,
+            priority=priorities,
+        )
         emitted += count
 
 
@@ -917,6 +965,8 @@ def synthetic_request_stream(
     drift: DriftModel | None = None,
     months_per_request: float = 0.0,
     chunk_size: int = 512,
+    deadline_ms: float | None = None,
+    priority_shares: tuple[float, ...] | None = None,
 ) -> Iterator[LookupRequest]:
     """Per-request object view of :func:`synthetic_request_arenas`.
 
@@ -934,5 +984,7 @@ def synthetic_request_stream(
         drift=drift,
         months_per_request=months_per_request,
         chunk_size=chunk_size,
+        deadline_ms=deadline_ms,
+        priority_shares=priority_shares,
     ):
         yield from arena

@@ -93,6 +93,46 @@ class TestCommands:
         assert main(argv) == 2
         assert "vectorized" in capsys.readouterr().err
 
+    def test_plan_sweep_rejects_zero_grid_point(self, capsys):
+        # Regression: hbm=0 used to crash deep in the planner instead
+        # of failing validation with sweep-point context.
+        argv = ["plan", "--model", "rm2", "--sweep", "hbm=0,1"] + self.COMMON
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "hbm_scale=0" in err
+        assert "must be finite" in err
+
+    def test_plan_sweep_rejects_zero_gpus_point(self, capsys):
+        argv = ["plan", "--model", "rm2", "--sweep", "gpus=0,2"] + self.COMMON
+        assert main(argv) == 2
+        assert "gpus=0" in capsys.readouterr().err
+
+    def test_plan_strategies_auto(self, capsys):
+        argv = ["plan", "--model", "rm2", "--strategies", "auto"] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "strategy plan for" in out
+        assert "per-table strategies" in out
+        assert "row-only est. max GPU cost" in out
+
+    def test_plan_strategies_rejects_unknown_kind(self, capsys):
+        argv = ["plan", "--strategies", "diagonal"] + self.COMMON
+        assert main(argv) == 2
+        assert "diagonal" in capsys.readouterr().err
+
+    def test_plan_strategies_rejects_scalar(self, capsys):
+        argv = ["plan", "--scalar", "--strategies", "auto"] + self.COMMON
+        assert main(argv) == 2
+        assert "vectorized" in capsys.readouterr().err
+
+    def test_plan_sweep_strategies(self, capsys):
+        argv = [
+            "plan", "--model", "rm2", "--sweep", "strategies=row,auto",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "strategies=row" in out and "strategies=auto" in out
+
     def test_compare(self, capsys):
         argv = [
             "compare", "--model", "rm2", "--milp-time", "0", "--iters", "2",
@@ -273,8 +313,21 @@ class TestServeValidation:
         code, err = self.run(["--priorities", "gold=0.5,silver=0.7"], capsys)
         assert code == 2 and "--priorities" in err
 
-    def test_rejects_qos_with_drift(self, capsys):
-        code, err = self.run(
-            ["--deadline-ms", "5", "--drift-months", "6"], capsys
+    def test_accepts_qos_with_drift(self, capsys):
+        # Regression: QoS flags used to be rejected whenever drift
+        # replanning was on.  The synthetic stream now carries deadline
+        # and priority columns, so the combination must serve cleanly.
+        code = main(
+            ["serve", "--model", "rm2"] + self.COMMON + [
+                "--milp-time", "0", "--qps", "20000", "--requests", "400",
+                "--batch-requests", "64", "--slo-ms", "5",
+                "--deadline-ms", "8",
+                "--priorities", "gold=0.2,bronze=0.8",
+                "--drift-months", "20", "--drift-threshold", "2",
+                "--drift-min-samples", "128",
+            ]
         )
-        assert code == 2 and "--drift-months" in err
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "goodput" in captured.out
+        assert "class gold" in captured.out
