@@ -11,11 +11,15 @@ Examples::
     python -m repro plan --model rm2 --sweep replicate=0,0.5,1,2
     python -m repro plan --model rm2 --strategies auto
     python -m repro plan --model rm2 --sweep strategies=row,column,table,auto
+    python -m repro plan --model rm2 --precisions uvm=fp16
+    python -m repro plan --model rm2 --sweep precisions=fp32,fp16,int8,int4
     python -m repro compare --model rm3 --features 97 --gpus 8 --iters 3
     python -m repro replay --model rm2 --vectorized --iters 3
     python -m repro serve --model rm2 --qps 20000 --requests 4000
     python -m repro serve --model rm2 --reference --requests 4000
     python -m repro serve --model rm3 --tiers hbm,dram:8,ssd --staging-gib 2
+    python -m repro serve --model rm3 --tiers hbm,dram:8,ssd \
+        --precisions dram=fp16,ssd=int8
     python -m repro serve --model rm2 --replicate-gib 1
     python -m repro serve --model rm2 --workers 4 --requests 20000
     python -m repro serve --model rm2 --workers 2 --paced --burst \
@@ -117,6 +121,14 @@ def _build_world(args):
         )
     else:
         topology = paper_node(num_gpus=args.gpus, scale=topo_scale)
+    precisions = getattr(args, "precisions", None)
+    if precisions:
+        try:
+            topology = topology.with_precisions(precisions)
+        except ValueError as error:
+            # Same exit contract as argparse's own bad-argument path.
+            print(f"error: --precisions: {error}", file=sys.stderr)
+            raise SystemExit(2) from error
     return model, topology
 
 
@@ -166,7 +178,7 @@ def _cmd_shard(args) -> int:
 
 def _parse_sweep(spec: str):
     """Parse ``hbm=…`` / ``gpus=…`` / ``tiers=…`` / ``replicate=…`` /
-    ``strategies=…`` grids.
+    ``strategies=…`` / ``precisions=…`` grids.
 
     Float grids (``hbm``, ``replicate``) are validated up front by
     :func:`~repro.core.workspace.validate_scale_grid` inside
@@ -176,17 +188,18 @@ def _parse_sweep(spec: str):
     """
     kind, _, values = spec.partition("=")
     if (
-        kind not in ("hbm", "gpus", "tiers", "replicate", "strategies")
+        kind
+        not in ("hbm", "gpus", "tiers", "replicate", "strategies", "precisions")
         or not values
     ):
         raise ValueError(
             f"--sweep expects hbm=<scales>, gpus=<counts>, "
-            f"tiers=<counts>, replicate=<GiB>, or "
-            f"strategies=<kinds>, got {spec!r}"
+            f"tiers=<counts>, replicate=<GiB>, "
+            f"strategies=<kinds>, or precisions=<names>, got {spec!r}"
         )
     if kind in ("hbm", "replicate"):
         return kind, [float(v) for v in values.split(",")]
-    if kind == "strategies":
+    if kind in ("strategies", "precisions"):
         return kind, [v.strip() for v in values.split(",") if v.strip()]
     parsed = [int(v) for v in values.split(",")]
     for value in parsed:
@@ -326,6 +339,14 @@ def _cmd_plan(args) -> int:
             # family (plus the row fallback) over the shared workspace.
             plans = shard_sweep(
                 workspace, sharder=sharder, strategies=values,
+                base_topology=topology,
+            )
+        elif kind == "precisions":
+            # Cold-tier precision grid: each point stores every tier
+            # past the fastest at one quantized encoding (fp32 is the
+            # unquantized baseline point).
+            plans = shard_sweep(
+                workspace, sharder=sharder, precisions=values,
                 base_topology=topology,
             )
         elif kind == "tiers":
@@ -723,14 +744,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "auto); the planner scores candidates under "
                              "the shared capacity model and keeps "
                              "per-table winners")
+    p_plan.add_argument("--precisions", default=None, metavar="SPEC",
+                        help="per-tier storage precisions as "
+                             "tier=precision pairs, e.g. uvm=fp16 or "
+                             "dram=fp16,ssd=int8 (fp32, fp16, int8, "
+                             "int4); quantized tiers admit more rows "
+                             "under the same byte budget")
     p_plan.add_argument("--sweep", default=None, metavar="GRID",
                         help="hbm=<scale,...> (HBM budget multiples), "
                              "gpus=<count,...> (device-count grid), "
                              "tiers=<count,...> (tier-ladder depth grid, "
                              "multi-tier greedy planner), "
                              "replicate=<GiB,...> (hot-row replica "
-                             "budget grid), or strategies=<kinds,...> "
-                             "(per-table strategy-family grid)")
+                             "budget grid), strategies=<kinds,...> "
+                             "(per-table strategy-family grid), or "
+                             "precisions=<name,...> (cold-tier "
+                             "quantization grid)")
     mode = p_plan.add_mutually_exclusive_group()
     mode.add_argument("--vectorized", dest="plan_vectorized",
                       action="store_true", default=True,
@@ -786,6 +815,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "first (hbm,uvm|dram,ssd,hdd); each may "
                                 "override its per-GPU GiB as name:GiB, "
                                 "e.g. hbm,dram:8,ssd (default: hbm,uvm)")
+            p.add_argument("--precisions", default=None, metavar="SPEC",
+                           help="per-tier storage precisions as "
+                                "tier=precision pairs, e.g. "
+                                "dram=fp16,ssd=int8 (fp32, fp16, int8, "
+                                "int4); quantized tiers admit more rows "
+                                "under the same byte budget")
             p.add_argument("--staging-gib", type=float, default=0.0,
                            help="per-device per-cold-tier staging buffer "
                                 "in (paper-scale) GiB: statically-hottest "

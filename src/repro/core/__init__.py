@@ -17,6 +17,14 @@ from repro.core.replicate import (
     carve_replica_budget,
     plan_with_replication,
 )
+from repro.core.quantize import (
+    dequantize_rows,
+    expected_rel_error,
+    measured_rel_error,
+    quantize_by_tiers,
+    quantize_dequantize,
+    quantize_rows,
+)
 from repro.core.workspace import (
     PlannerWorkspace,
     shard_sweep,
@@ -62,12 +70,18 @@ __all__ = [
     "build_milp",
     "build_replication",
     "carve_replica_budget",
+    "dequantize_rows",
     "expected_device_costs_ms",
     "expected_device_costs_ms_many",
     "expected_max_cost_ms",
+    "expected_rel_error",
+    "measured_rel_error",
     "plan_with_replication",
     "plan_with_strategies",
     "proportional_split",
+    "quantize_by_tiers",
+    "quantize_dequantize",
+    "quantize_rows",
     "resolve_strategy_kinds",
     "shard_sweep",
     "stamp_estimated_costs",

@@ -49,10 +49,20 @@ import numpy as np
 
 from repro.core.formulation import RecShardInputs, TableInputs
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
+from repro.core.quantize import tier_expected_errors
 from repro.core.workspace import PlannerWorkspace
 from repro.memory.topology import SystemTopology
 
 _MS = 1e3
+
+
+def _stamp_tier_precisions(metadata: dict, topology: SystemTopology) -> None:
+    """Record the ladder in plan metadata — only when it is quantized,
+    so default-precision plans keep their exact pre-precision schema."""
+    precisions = topology.tier_precisions
+    if any(p != "fp32" for p in precisions):
+        metadata["tier_precisions"] = list(precisions)
+        metadata["tier_expected_rel_error"] = tier_expected_errors(precisions)
 
 
 class _TableState:
@@ -66,12 +76,15 @@ class _TableState:
 
     __slots__ = (
         "index", "inputs", "step", "extra_rows", "weight",
-        "inv_bw_hbm", "inv_bw_uvm", "alloc_bytes",
+        "inv_bw_hbm", "inv_bw_uvm", "alloc_rows",
+        "hbm_row_bytes", "host_row_bytes",
     )
 
     def __init__(self, index: int, inputs: TableInputs, batch_size: int,
                  inv_bw_hbm: float, inv_bw_uvm: float,
-                 use_coverage: bool, use_pooling: bool, reclaim_dead: bool):
+                 use_coverage: bool, use_pooling: bool, reclaim_dead: bool,
+                 hbm_row_bytes: int | None = None,
+                 host_row_bytes: int | None = None):
         self.index = index
         self.inputs = inputs
         self.step = 0
@@ -81,10 +94,18 @@ class _TableState:
         self.weight = coverage * pooling * inputs.row_bytes * batch_size * _MS
         self.inv_bw_hbm = inv_bw_hbm
         self.inv_bw_uvm = inv_bw_uvm
-        # Bytes that must be backed by memory somewhere (dead rows are
+        # Per-tier storage footprint of one row (precision-scaled when
+        # the tier is quantized; the raw row bytes otherwise).
+        self.hbm_row_bytes = (
+            inputs.row_bytes if hbm_row_bytes is None else int(hbm_row_bytes)
+        )
+        self.host_row_bytes = (
+            inputs.row_bytes if host_row_bytes is None else int(host_row_bytes)
+        )
+        # Rows that must be backed by memory somewhere (dead rows are
         # exempt under reclaim_dead).
-        self.alloc_bytes = (
-            inputs.live_bytes if reclaim_dead else inputs.total_bytes
+        self.alloc_rows = (
+            inputs.live_rows if reclaim_dead else inputs.hash_size
         )
 
     @property
@@ -101,17 +122,14 @@ class _TableState:
 
     @property
     def hbm_bytes(self) -> int:
-        return self.hbm_rows * self.inputs.row_bytes
+        return self.hbm_rows * self.hbm_row_bytes
 
     def host_bytes(self) -> int:
-        return max(0, self.alloc_bytes - self.hbm_bytes)
+        return max(0, self.alloc_rows - self.hbm_rows) * self.host_row_bytes
 
     def min_hbm_rows_for_host(self, host_free: int) -> int:
         """Fewest HBM rows that keep the UVM remainder within ``host_free``."""
-        deficit = self.alloc_bytes - host_free
-        if deficit <= 0:
-            return 0
-        return math.ceil(deficit / self.inputs.row_bytes)
+        return max(0, self.alloc_rows - host_free // self.host_row_bytes)
 
     def cost(self) -> float:
         """Expected per-iteration cost (ms) at the current split."""
@@ -132,7 +150,7 @@ class _TableState:
         d_rows = next_rows - self.grid_rows
         # Extra dead rows already in HBM absorb part of the advance.
         d_rows = max(0, d_rows - self.extra_rows)
-        d_bytes = d_rows * self.inputs.row_bytes
+        d_bytes = d_rows * self.hbm_row_bytes
         d_cost = self.weight * d_frac * (self.inv_bw_uvm - self.inv_bw_hbm)
         return d_cost, d_bytes
 
@@ -219,6 +237,8 @@ class RecShardFastSharder:
             _TableState(
                 j, t, self.batch_size, inv_bw_hbm, inv_bw_uvm,
                 self.use_coverage, self.use_pooling, self.reclaim_dead,
+                hbm_row_bytes=topology.hbm.row_bytes_for(t.row_bytes),
+                host_row_bytes=topology.uvm.row_bytes_for(t.row_bytes),
             )
             for j, t in enumerate(inputs.tables)
         ]
@@ -258,10 +278,13 @@ class RecShardFastSharder:
         inputs = ws.inputs
         inv_bw_hbm = 1.0 / topology.hbm.bandwidth
         inv_bw_uvm = 1.0 / topology.uvm.bandwidth
+        hbm_rb = ws.tier_row_bytes(topology.hbm.precision)
+        host_rb = ws.tier_row_bytes(topology.uvm.precision)
         states = [
             _TableState(
                 j, t, self.batch_size, inv_bw_hbm, inv_bw_uvm,
                 self.use_coverage, self.use_pooling, self.reclaim_dead,
+                hbm_row_bytes=int(hbm_rb[j]), host_row_bytes=int(host_rb[j]),
             )
             for j, t in enumerate(inputs.tables)
         ]
@@ -272,12 +295,13 @@ class RecShardFastSharder:
         start_steps = np.zeros(ws.num_tables, dtype=np.int64)
         if warm_start is not None and len(warm_start) == len(states):
             start_steps, hbm_budget = self._warm_start_arrays(
-                ws, warm_start, hbm_budget
+                ws, warm_start, hbm_budget, hbm_rb
             )
             preferred = [warm_start[j].device for j in range(len(states))]
 
         steps = self._waterfill_arrays(
-            ws, weight, inv_bw_hbm, inv_bw_uvm, start_steps, hbm_budget
+            ws, weight, inv_bw_hbm, inv_bw_uvm, start_steps, hbm_budget,
+            hbm_rb,
         )
         for j, state in enumerate(states):
             state.step = int(steps[j])
@@ -285,12 +309,14 @@ class RecShardFastSharder:
             states, topology, preferred=preferred
         )
         self._refill_arrays(
-            ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of, hbm_free
+            ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of, hbm_free,
+            hbm_rb,
         )
         loads = self._recompute_loads(states, device_of, topology.num_devices)
         self._local_search_arrays(states, device_of, loads, hbm_free, host_free)
         self._refill_arrays(
-            ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of, hbm_free
+            ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of, hbm_free,
+            hbm_rb,
         )
         return self._emit_plan(states, device_of, topology, inputs, preferred)
 
@@ -315,6 +341,7 @@ class RecShardFastSharder:
         }
         if preferred is not None:
             metadata["warm_started"] = True
+        _stamp_tier_precisions(metadata, topology)
         if self.reclaim_dead:
             metadata["reclaim_dead"] = True
             metadata["dead_rows"] = [
@@ -455,10 +482,11 @@ class RecShardFastSharder:
         return density
 
     def _waterfill_arrays(
-        self, ws, weight, inv_bw_hbm, inv_bw_uvm, start_steps, budget
+        self, ws, weight, inv_bw_hbm, inv_bw_uvm, start_steps, budget,
+        hbm_rb,
     ):
         """Global waterfill on the workspace arrays (one bulk take)."""
-        d_bytes = ws.d_grid_rows * ws.row_bytes[:, None]
+        d_bytes = ws.d_grid_rows * hbm_rb[:, None]
         density = self._marginal_density(
             ws, weight, inv_bw_hbm, inv_bw_uvm, d_bytes
         )
@@ -482,7 +510,7 @@ class RecShardFastSharder:
 
     def _refill_arrays(
         self, ws, states, weight, inv_bw_hbm, inv_bw_uvm, device_of,
-        hbm_free,
+        hbm_free, hbm_rb,
     ):
         """Per-device refill on the workspace arrays.
 
@@ -500,7 +528,7 @@ class RecShardFastSharder:
             0, extra[:, None] - (grid[:, :-1] - base[:, None])
         )
         adj_bytes = np.maximum(0, ws.d_grid_rows - unabsorbed) * (
-            ws.row_bytes[:, None]
+            hbm_rb[:, None]
         )
         density = self._marginal_density(
             ws, weight, inv_bw_hbm, inv_bw_uvm, adj_bytes
@@ -536,7 +564,9 @@ class RecShardFastSharder:
             state.step = int(steps[j])
             state.extra_rows = int(new_extra[j])
 
-    def _warm_start_arrays(self, ws, previous: ShardingPlan, budget: int):
+    def _warm_start_arrays(
+        self, ws, previous: ShardingPlan, budget: int, hbm_rb
+    ):
         """Vectorized :meth:`_warm_start_splits` over the grid arrays.
 
         A table's walk stops at the first step past the previous plan's
@@ -545,7 +575,7 @@ class RecShardFastSharder:
         ``searchsorted`` per table over the prefix-byte row.
         """
         grid = ws.grid_rows
-        need = (grid - grid[:, :1]) * ws.row_bytes[:, None]
+        need = (grid - grid[:, :1]) * hbm_rb[:, None]
         targets = np.array(
             [previous[j].hbm_rows for j in range(ws.num_tables)],
             dtype=np.int64,
@@ -724,7 +754,7 @@ class RecShardFastSharder:
                 feasible = []
                 for device in range(num_devices):
                     min_rows = state.min_hbm_rows_for_host(host_free[device])
-                    if min_rows * state.inputs.row_bytes <= hbm_free[device]:
+                    if min_rows * state.hbm_row_bytes <= hbm_free[device]:
                         feasible.append((device, min_rows))
                 if not feasible:
                     raise PlanError(
@@ -743,7 +773,7 @@ class RecShardFastSharder:
     @staticmethod
     def _resize_to_fit(state: _TableState, min_rows: int, hbm_free: int) -> None:
         """Adjust the split to ``min_rows <= hbm_rows`` within ``hbm_free``."""
-        max_rows = hbm_free // state.inputs.row_bytes
+        max_rows = hbm_free // state.hbm_row_bytes
         icdf = state.inputs.icdf
         # Largest grid step within max_rows.
         step = state.step

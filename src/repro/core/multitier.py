@@ -41,10 +41,11 @@ import math
 import numpy as np
 
 from repro.core.evaluate import stamp_estimated_costs
-from repro.core.fast import RecShardFastSharder
+from repro.core.fast import RecShardFastSharder, _stamp_tier_precisions
 from repro.core.formulation import MIB, RecShardInputs
 from repro.core.plan import PlanError, ShardingPlan, TablePlacement
 from repro.core.workspace import PlannerWorkspace
+from repro.memory.precision import quantized_row_bytes
 from repro.memory.topology import SystemTopology
 from repro.milp.model import Model, lin_sum
 
@@ -136,14 +137,14 @@ class MultiTierSharder:
             ws.coverage * ws.avg_pooling * ws.row_bytes
             * self.batch_size * _MS
         )
-        d_bytes = ws.d_grid_rows * ws.row_bytes[:, None]
+        d_bytes_fp32 = ws.d_grid_rows * ws.row_bytes[:, None]
         # The bandwidth-delta factor is the only per-tier term of the
         # marginal densities; the factor-free matrix is hoisted and the
         # per-tier product kept in the scalar path's evaluation order
         # (base * factor, then / bytes) so densities — and therefore
         # tie-breaks against the heapq reference — stay bit-identical.
         d_cost_base = weights[:, None] * ws.d_frac[None, :]
-        density = np.empty(d_bytes.shape)
+        density = np.empty(d_bytes_fp32.shape)
         col = np.arange(ws.steps)
         active = ws.total_accesses > 0
         start = np.zeros(ws.num_tables, dtype=np.int64)
@@ -151,6 +152,14 @@ class MultiTierSharder:
         for tier in range(num_tiers - 1):
             budget = topology.tiers[tier].capacity_bytes * topology.num_devices
             factor = inv_bw[tier + 1] - inv_bw[tier]
+            # Rows admitted into this tier are stored at its precision,
+            # so admission is charged at the tier's quantized row bytes.
+            precision = topology.tiers[tier].precision
+            d_bytes = (
+                d_bytes_fp32
+                if precision == "fp32"
+                else ws.d_grid_rows * ws.tier_row_bytes(precision)[:, None]
+            )
             density.fill(np.inf)
             np.divide(d_cost_base * factor, d_bytes, out=density, where=d_bytes > 0)
             mask = active[:, None] & (col[None, :] >= start[:, None])
@@ -190,6 +199,10 @@ class MultiTierSharder:
 
         for tier in range(num_tiers - 1):
             budget = topology.tiers[tier].capacity_bytes * topology.num_devices
+            tier_rb = [
+                quantized_row_bytes(t.row_bytes, topology.tiers[tier].precision)
+                for t in inputs.tables
+            ]
             # Bytes already committed to this tier is zero: boundaries are
             # cumulative, so tier t holds rows between boundaries t-1 and t.
             heap: list[tuple[float, int]] = []
@@ -203,7 +216,7 @@ class MultiTierSharder:
                 d_rows = math.ceil(icdf.rows[step + 1] - 1e-9) - math.ceil(
                     icdf.rows[step] - 1e-9
                 )
-                d_bytes = d_rows * inputs.tables[j].row_bytes
+                d_bytes = d_rows * tier_rb[j]
                 gain = weights[j] * d_frac * (inv_bw[tier + 1] - inv_bw[tier])
                 density = gain / d_bytes if d_bytes else float("inf")
                 heapq.heappush(heap, (-density, j))
@@ -225,7 +238,7 @@ class MultiTierSharder:
                 d_rows = math.ceil(icdf.rows[step + 1] - 1e-9) - math.ceil(
                     icdf.rows[step] - 1e-9
                 )
-                d_bytes = d_rows * inputs.tables[j].row_bytes
+                d_bytes = d_rows * tier_rb[j]
                 if d_bytes > remaining:
                     continue
                 boundary_steps[j][tier] = step + 1
@@ -260,6 +273,7 @@ class MultiTierSharder:
         metadata = {"solver": "greedy"}
         if preferred is not None:
             metadata["warm_started"] = True
+        _stamp_tier_precisions(metadata, topology)
         return ShardingPlan(
             strategy=self.name, placements=final, metadata=metadata
         )
@@ -322,8 +336,14 @@ class MultiTierSharder:
         order = sorted(range(len(placements)), key=lambda j: -costs[j])
         for j in order:
             placement = placements[j]
-            row_bytes = inputs.tables[j].row_bytes
-            need = [r * row_bytes for r in placement.rows_per_tier]
+            tier_rb = [
+                quantized_row_bytes(inputs.tables[j].row_bytes, tier.precision)
+                for tier in topology.tiers
+            ]
+            need = [
+                r * tier_rb[t]
+                for t, r in enumerate(placement.rows_per_tier)
+            ]
             candidates = [
                 m
                 for m in range(num_devices)
@@ -340,12 +360,12 @@ class MultiTierSharder:
                 )
                 rows = list(placement.rows_per_tier)
                 for t in range(num_tiers - 1):
-                    max_rows = max(0, free[device][t] // row_bytes)
+                    max_rows = max(0, free[device][t] // tier_rb[t])
                     overflow = rows[t] - max_rows
                     if overflow > 0:
                         rows[t] -= overflow
                         rows[t + 1] += overflow
-                if rows[-1] * row_bytes > free[device][-1]:
+                if rows[-1] * tier_rb[-1] > free[device][-1]:
                     raise PlanError(
                         f"multi-tier: table {j} fits no device even after "
                         "demotion"
@@ -355,7 +375,7 @@ class MultiTierSharder:
                     device=placement.device,
                     rows_per_tier=tuple(rows),
                 )
-                need = [r * row_bytes for r in rows]
+                need = [r * tier_rb[t] for t, r in enumerate(rows)]
             device_of[j] = device
             loads[device] += costs[j]
             for t, n in enumerate(need):
@@ -366,6 +386,11 @@ class MultiTierSharder:
     # MILP: step formulation generalized to T tiers
     # ------------------------------------------------------------------
     def _shard_milp(self, inputs: RecShardInputs, topology) -> ShardingPlan:
+        if any(t.precision != "fp32" for t in topology.tiers):
+            raise PlanError(
+                "multi-tier MILP supports fp32 tiers only; use "
+                "method='greedy' for quantized ladders"
+            )
         num_tiers = topology.num_tiers
         num_devices = topology.num_devices
         num_boundaries = num_tiers - 1

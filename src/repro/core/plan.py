@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.model import ModelSpec
+from repro.memory.precision import quantized_row_bytes
 from repro.memory.topology import SystemTopology
 
 
@@ -88,10 +89,25 @@ class ShardingPlan:
     def tables_on_device(self, device: int) -> list[TablePlacement]:
         return [p for p in self.placements if p.device == device]
 
-    def tier_bytes(self, model: ModelSpec, device: int, tier_index: int) -> int:
-        """Bytes this plan stores on one device's tier."""
+    def tier_bytes(
+        self,
+        model: ModelSpec,
+        device: int,
+        tier_index: int,
+        precision: str = "fp32",
+    ) -> int:
+        """Bytes this plan stores on one device's tier.
+
+        ``precision`` is the tier's storage precision: quantized tiers
+        hold each row at its reduced encoding, so capacity accounting
+        charges :func:`~repro.memory.precision.quantized_row_bytes` per
+        row (for the default ``fp32`` that is exactly ``row_bytes``).
+        """
         return sum(
-            p.rows_per_tier[tier_index] * model.tables[p.table_index].row_bytes
+            p.rows_per_tier[tier_index]
+            * quantized_row_bytes(
+                model.tables[p.table_index].row_bytes, precision
+            )
             for p in self.placements
             if p.device == device
         )
@@ -136,14 +152,19 @@ class ShardingPlan:
         last_tier = topology.num_tiers - 1
         for device in range(topology.num_devices):
             for tier_index, tier in enumerate(topology.tiers):
-                used = self.tier_bytes(model, device, tier_index)
+                used = self.tier_bytes(
+                    model, device, tier_index, precision=tier.precision
+                )
                 if reclaim and tier_index == last_tier:
                     # Section 3.4: rows never observed in training need
                     # no physical backing; they sit (logically) at the
                     # cold end of the last tier and are not charged.
                     used -= sum(
                         min(dead_rows[p.table_index], p.rows_per_tier[last_tier])
-                        * model.tables[p.table_index].row_bytes
+                        * quantized_row_bytes(
+                            model.tables[p.table_index].row_bytes,
+                            tier.precision,
+                        )
                         for p in self.placements
                         if p.device == device
                     )

@@ -1,0 +1,186 @@
+"""Row codecs for precision-tiered embedding storage.
+
+Each cold tier of a quantized ladder stores its resident rows in a
+reduced-precision format (:mod:`repro.memory.precision`); this module
+implements the actual codecs and their error model:
+
+* ``fp16`` — a plain half-precision cast.  Relative rounding error per
+  element, unit roundoff ``2**-10`` (10 mantissa bits).
+* ``int8`` / ``int4`` — symmetric per-row affine quantization: each row
+  stores one fp32 scale ``s = amax / qmax`` (``qmax = 2**(bits-1) - 1``)
+  and its elements as ``round(w / s)`` clipped to ``[-qmax, qmax]``.
+  ``int4`` packs two codes per byte.
+
+The expected reconstruction error has a closed form under the standard
+uniform-rounding model: a value rounded to a grid of step ``s`` has
+error uniform in ``[-s/2, s/2]``, so the RMS error is ``s / sqrt(12)``.
+Relative to the row's max magnitude that is ``1 / (qmax * sqrt(12))``
+for the integer codecs, and ``2**-10 / sqrt(12)`` (relative to each
+element's own magnitude) for fp16.  :func:`measured_rel_error` checks
+the model against a real round-trip; the accuracy harness
+(``benchmarks/bench_quantized_tiers.py``) checks it against end-to-end
+DLRM quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memory.precision import PRECISIONS, validate_precision
+
+#: fp16 unit roundoff (10 explicit mantissa bits).
+_FP16_EPS = 2.0**-10
+
+
+def expected_rel_error(precision: str) -> float:
+    """Closed-form RMS reconstruction error of one element.
+
+    Relative to the row's max magnitude for the integer codecs (the
+    scale anchor) and to the element's own magnitude for fp16; exactly
+    0 for fp32.  This is the number stamped into plan metadata and
+    serving metrics for every quantized tier.
+    """
+    validate_precision(precision)
+    if precision == "fp32":
+        return 0.0
+    if precision == "fp16":
+        return _FP16_EPS / math.sqrt(12.0)
+    bits = PRECISIONS[precision][0]
+    qmax = 2 ** (bits - 1) - 1
+    return 1.0 / (qmax * math.sqrt(12.0))
+
+
+def tier_expected_errors(precisions) -> list[float]:
+    """Per-tier :func:`expected_rel_error` for a precision ladder."""
+    return [expected_rel_error(p) for p in precisions]
+
+
+@dataclass(frozen=True)
+class QuantizedRows:
+    """Encoded rows: packed codes plus per-row scales (int codecs)."""
+
+    precision: str
+    data: np.ndarray
+    scales: np.ndarray | None
+    dim: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.data.shape[0]
+
+    def storage_bytes(self) -> int:
+        """Actual bytes held (codes + scales) — matches the planner's
+        :func:`~repro.memory.precision.quantized_row_bytes` per row."""
+        total = self.data.nbytes
+        if self.scales is not None:
+            total += self.scales.nbytes
+        return total
+
+
+def _int_scales(weights: np.ndarray, qmax: int) -> np.ndarray:
+    amax = np.max(np.abs(weights), axis=1)
+    scales = amax / qmax
+    # All-zero rows encode to zeros under any positive scale.
+    scales[amax == 0] = 1.0
+    return scales.astype(np.float32)
+
+
+def quantize_rows(weights: np.ndarray, precision: str) -> QuantizedRows:
+    """Encode ``(rows, dim)`` fp32/fp64 weights at ``precision``."""
+    validate_precision(precision)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValueError(f"expected (rows, dim) weights, got {weights.shape}")
+    dim = weights.shape[1]
+    if precision == "fp32":
+        return QuantizedRows(precision, weights.astype(np.float32), None, dim)
+    if precision == "fp16":
+        return QuantizedRows(precision, weights.astype(np.float16), None, dim)
+    bits = PRECISIONS[precision][0]
+    qmax = 2 ** (bits - 1) - 1
+    scales = _int_scales(weights, qmax)
+    codes = np.clip(
+        np.rint(weights / scales[:, None].astype(np.float64)), -qmax, qmax
+    ).astype(np.int8)
+    if precision == "int4":
+        # Two codes per byte, offset to [1, 15] nibbles (code + 8).
+        if dim % 2:
+            codes = np.concatenate(
+                [codes, np.zeros((codes.shape[0], 1), dtype=np.int8)], axis=1
+            )
+        nibbles = (codes + 8).astype(np.uint8)
+        packed = (nibbles[:, 0::2] << 4) | nibbles[:, 1::2]
+        return QuantizedRows(precision, packed, scales, dim)
+    return QuantizedRows(precision, codes, scales, dim)
+
+
+def dequantize_rows(q: QuantizedRows) -> np.ndarray:
+    """Decode back to fp64 ``(rows, dim)`` weights."""
+    if q.precision in ("fp32", "fp16"):
+        return q.data.astype(np.float64)
+    if q.precision == "int4":
+        high = (q.data >> 4).astype(np.int16) - 8
+        low = (q.data & 0x0F).astype(np.int16) - 8
+        codes = np.empty((q.data.shape[0], q.data.shape[1] * 2), dtype=np.int16)
+        codes[:, 0::2] = high
+        codes[:, 1::2] = low
+        codes = codes[:, : q.dim]
+    else:
+        codes = q.data.astype(np.int16)
+    return codes.astype(np.float64) * q.scales[:, None].astype(np.float64)
+
+
+def quantize_dequantize(weights: np.ndarray, precision: str) -> np.ndarray:
+    """Round-trip ``weights`` through the ``precision`` codec."""
+    return dequantize_rows(quantize_rows(weights, precision))
+
+
+def quantize_by_tiers(
+    weights: np.ndarray, rows_per_tier, precisions
+) -> np.ndarray:
+    """Round-trip contiguous row blocks at their tier's precision.
+
+    ``rows_per_tier`` splits the (frequency-ordered) rows exactly as a
+    :class:`~repro.core.plan.TablePlacement` does: the first block is
+    tier 0 (stored at ``precisions[0]``), the next block tier 1, and so
+    on.  This is the storage transform the accuracy harness applies to
+    a trained DLRM's embedding tables to measure a ladder's quality
+    cost.
+    """
+    rows_per_tier = [int(r) for r in rows_per_tier]
+    precisions = list(precisions)
+    if len(rows_per_tier) != len(precisions):
+        raise ValueError(
+            f"{len(rows_per_tier)} tiers vs {len(precisions)} precisions"
+        )
+    if sum(rows_per_tier) != weights.shape[0]:
+        raise ValueError(
+            f"rows_per_tier sums to {sum(rows_per_tier)}, weights have "
+            f"{weights.shape[0]} rows"
+        )
+    out = np.array(weights, dtype=np.float64, copy=True)
+    start = 0
+    for rows, precision in zip(rows_per_tier, precisions):
+        stop = start + rows
+        if rows and precision != "fp32":
+            out[start:stop] = quantize_dequantize(out[start:stop], precision)
+        start = stop
+    return out
+
+
+def measured_rel_error(weights: np.ndarray, precision: str) -> float:
+    """Empirical RMS reconstruction error of one codec round-trip.
+
+    Normalized by the mean per-row max magnitude — the same anchor the
+    closed form uses — so for the integer codecs the measurement lands
+    on :func:`expected_rel_error` (up to the uniform-rounding model's
+    slack) on any non-degenerate weight distribution.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    err = weights - quantize_dequantize(weights, precision)
+    amax = np.max(np.abs(weights), axis=1)
+    anchor = float(np.mean(amax[amax > 0])) if np.any(amax > 0) else 1.0
+    return float(np.sqrt(np.mean(err**2))) / anchor

@@ -64,6 +64,11 @@ class PlannerWorkspace:
         self.row_bytes = np.array(
             [t.row_bytes for t in model.tables], dtype=np.int64
         )
+        self._elem_bytes = np.array(
+            [getattr(t, "dtype_bytes", 4) for t in model.tables],
+            dtype=np.int64,
+        )
+        self._tier_row_bytes_cache: dict[str, np.ndarray] = {}
         self.hash_sizes = np.array(
             [t.num_rows for t in model.tables], dtype=np.int64
         )
@@ -132,6 +137,30 @@ class PlannerWorkspace:
     def profile(self):
         """The profile the buffers were last refreshed from."""
         return self._profile
+
+    def tier_row_bytes(self, precision: str) -> np.ndarray:
+        """Per-table row bytes when stored at ``precision``.
+
+        The vectorized twin of
+        :func:`~repro.memory.precision.quantized_row_bytes` — ``fp32``
+        returns the raw :attr:`row_bytes` array, keeping the default
+        ladder's byte math (and therefore its plans) bit-identical to
+        the pre-precision planner.  Cached per precision: geometry is
+        fixed for the workspace's lifetime.
+        """
+        cached = self._tier_row_bytes_cache.get(precision)
+        if cached is None:
+            from repro.memory.precision import PRECISIONS, validate_precision
+
+            validate_precision(precision)
+            if precision == "fp32":
+                cached = self.row_bytes
+            else:
+                bits, overhead = PRECISIONS[precision]
+                dim = self.row_bytes // self._elem_bytes
+                cached = (dim * bits + 7) // 8 + overhead
+            self._tier_row_bytes_cache[precision] = cached
+        return cached
 
     @property
     def cum_fraction_flat(self) -> np.ndarray:
@@ -312,6 +341,7 @@ def shard_sweep(
     budgets=None,
     replicate_gib=None,
     strategies=None,
+    precisions=None,
     base_topology: SystemTopology | None = None,
     labels=None,
     replicate_scale: float = 1.0,
@@ -343,8 +373,13 @@ def shard_sweep(
             ``auto``) handed to
             :func:`~repro.core.strategies.plan_with_strategies`,
             yielding :class:`~repro.core.strategies.StrategyPlan`\\ s.
+        precisions: grid of cold-tier storage precisions — each point
+            is one precision name (``fp32`` / ``fp16`` / ``int8`` /
+            ``int4``) applied to every tier of ``base_topology`` except
+            the fastest, which keeps its own precision.  ``fp32`` is
+            the unquantized baseline point.
         base_topology: required with ``budgets`` / ``replicate_gib`` /
-            ``strategies``.
+            ``strategies`` / ``precisions``.
         labels: optional explicit ``sweep_key`` per ``topologies`` point
             (e.g. ``tiers=3``); defaults to ``gpus=<n>``.
         replicate_scale: capacity scale applied to the GiB budgets (the
@@ -357,12 +392,12 @@ def shard_sweep(
     """
     grids = [
         g is not None
-        for g in (topologies, budgets, replicate_gib, strategies)
+        for g in (topologies, budgets, replicate_gib, strategies, precisions)
     ]
     if sum(grids) != 1:
         raise ValueError(
             "provide exactly one of topologies=, budgets=, "
-            "replicate_gib=, or strategies="
+            "replicate_gib=, strategies=, or precisions="
         )
     sharder_steps = getattr(sharder, "steps", None)
     if sharder_steps is not None and sharder_steps != workspace.steps:
@@ -422,7 +457,29 @@ def shard_sweep(
             plan.metadata["sweep_key"] = f"replicate_gib={gib:g}"
             plans.append(plan)
         return plans
-    if budgets is not None:
+    if precisions is not None:
+        from repro.memory.precision import validate_precision
+
+        if base_topology is None:
+            raise ValueError("precisions= requires base_topology=")
+        if labels is not None:
+            raise ValueError("labels= applies to topologies= grids")
+        cold = base_topology.tier_names[1:]
+        points = []
+        for token in precisions:
+            try:
+                validate_precision(token)
+            except ValueError as error:
+                raise PlanError(
+                    f"sweep point precisions={token}: {error}"
+                ) from error
+            point = (
+                base_topology.with_precisions(dict.fromkeys(cold, token))
+                if cold
+                else base_topology
+            )
+            points.append((f"precisions={token}", point))
+    elif budgets is not None:
         if base_topology is None:
             raise ValueError("budgets= requires base_topology=")
         if labels is not None:

@@ -15,7 +15,12 @@ from repro.dlrm.layers import (
     dot_interaction,
 )
 from repro.dlrm.model import DLRM, DLRMConfig
-from repro.dlrm.train import bce_loss, train_epoch
+from repro.dlrm.train import (
+    auc_score,
+    bce_loss,
+    synthetic_ctr_labels,
+    train_epoch,
+)
 
 __all__ = [
     "DLRM",
@@ -24,7 +29,9 @@ __all__ = [
     "Linear",
     "MLP",
     "TieredEmbeddingBag",
+    "auc_score",
     "bce_loss",
     "dot_interaction",
+    "synthetic_ctr_labels",
     "train_epoch",
 ]

@@ -17,6 +17,35 @@ def bce_loss(probs: np.ndarray, labels: np.ndarray) -> float:
     )
 
 
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity.
+
+    Ties in ``scores`` get the average rank, matching the trapezoidal
+    AUC.  Returns 0.5 for degenerate single-class labels so quality
+    deltas stay finite on tiny evaluation slices.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = labels > 0.5
+    num_pos = int(pos.sum())
+    num_neg = labels.size - num_pos
+    if num_pos == 0 or num_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1, dtype=np.float64)
+    # Average ranks within tied score groups.
+    sorted_scores = scores[order]
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [scores.size]])
+    for lo, hi in zip(starts, stops):
+        if hi - lo > 1:
+            ranks[order[lo:hi]] = 0.5 * (lo + 1 + hi)
+    rank_sum = float(ranks[pos].sum())
+    return (rank_sum - num_pos * (num_pos + 1) / 2.0) / (num_pos * num_neg)
+
+
 def synthetic_ctr_labels(
     dense: np.ndarray, sparse: JaggedBatch, rng: np.random.Generator
 ) -> np.ndarray:

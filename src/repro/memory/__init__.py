@@ -6,6 +6,11 @@ model captures what the sharding problem needs — per-tier capacity and
 effective bandwidth per device.
 """
 
+from repro.memory.precision import (
+    PRECISIONS,
+    parse_precisions_spec,
+    quantized_row_bytes,
+)
 from repro.memory.tier import MemoryTier
 from repro.memory.topology import SystemTopology
 from repro.memory.presets import (
@@ -22,12 +27,15 @@ from repro.memory.presets import (
 __all__ = [
     "GIB",
     "MemoryTier",
+    "PRECISIONS",
     "SystemTopology",
     "TIER_LADDER",
     "TIER_PRESETS",
     "node_from_tier_names",
     "paper_node",
     "paper_scales",
+    "parse_precisions_spec",
+    "quantized_row_bytes",
     "three_tier_node",
     "tier_ladder_node",
 ]

@@ -1,0 +1,99 @@
+"""Per-tier storage precision: the quantized-capacity axis.
+
+RecShard's byte budgets decide where rows live; storing cold tiers at
+reduced precision multiplies those budgets.  A tier's ``precision``
+names the storage format of every embedding row it holds:
+
+============  ====================  =======================
+precision     bits per element      per-row overhead (bytes)
+============  ====================  =======================
+``fp32``      32                    0
+``fp16``      16                    0
+``int8``      8                     4 (one fp32 scale)
+``int4``      4                     4 (one fp32 scale)
+============  ====================  =======================
+
+The integer formats are symmetric per-row affine codecs (see
+:mod:`repro.core.quantize`): each row stores its elements as signed
+integers plus one fp32 scale, so the byte cost of a ``dim``-element row
+is ``ceil(dim * bits / 8) + overhead``.  ``fp32`` is the identity — its
+row bytes are returned unchanged, which keeps every default-precision
+plan bit-identical to the pre-precision planner.
+
+This module is a leaf (no repro imports) so :mod:`repro.memory.tier`
+can use it without cycles; the actual codecs live in
+:mod:`repro.core.quantize`.
+"""
+
+from __future__ import annotations
+
+#: precision name -> (bits per element, per-row overhead bytes).
+PRECISIONS: dict[str, tuple[int, int]] = {
+    "fp32": (32, 0),
+    "fp16": (16, 0),
+    "int8": (8, 4),
+    "int4": (4, 4),
+}
+
+DEFAULT_PRECISION = "fp32"
+
+
+def validate_precision(name: str) -> str:
+    """Return ``name`` if it is a known precision, else raise."""
+    if name not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {name!r} (have {sorted(PRECISIONS)})"
+        )
+    return name
+
+
+def quantized_row_bytes(
+    row_bytes: int, precision: str, elem_bytes: int = 4
+) -> int:
+    """Bytes one embedding row occupies when stored at ``precision``.
+
+    ``row_bytes`` is the row's full-precision footprint and
+    ``elem_bytes`` its full-precision element width (4 for the fp32
+    tables every workload here uses), so ``row_bytes // elem_bytes`` is
+    the element count.  ``fp32`` short-circuits to ``row_bytes``
+    unchanged — the identity guarantee default-precision plans rely on.
+    """
+    bits, overhead = PRECISIONS[validate_precision(precision)]
+    if precision == DEFAULT_PRECISION:
+        return int(row_bytes)
+    dim = int(row_bytes) // int(elem_bytes)
+    return (dim * bits + 7) // 8 + overhead
+
+
+def parse_precisions_spec(spec) -> dict[str, str]:
+    """Parse ``"hbm=fp32,dram=fp16,ssd=int8"`` into a tier->precision map.
+
+    Accepts a mapping (validated and returned as a plain dict) or a
+    comma-separated string of ``tier=precision`` terms.  Precision
+    names are validated here; tier names are validated against an
+    actual topology by
+    :meth:`~repro.memory.topology.SystemTopology.with_precisions`.
+    """
+    if isinstance(spec, dict):
+        items = list(spec.items())
+    else:
+        items = []
+        for term in str(spec).split(","):
+            term = term.strip()
+            if not term:
+                continue
+            name, sep, precision = term.partition("=")
+            if not sep or not name or not precision:
+                raise ValueError(
+                    f"bad precision term {term!r}: expected "
+                    f"tier=precision (e.g. dram=fp16)"
+                )
+            items.append((name.strip(), precision.strip()))
+    if not items:
+        raise ValueError("empty precision spec")
+    mapping: dict[str, str] = {}
+    for name, precision in items:
+        if name in mapping:
+            raise ValueError(f"tier {name!r} assigned a precision twice")
+        mapping[name] = validate_precision(precision)
+    return mapping

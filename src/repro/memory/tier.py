@@ -1,8 +1,14 @@
-"""A single memory tier: capacity plus effective bandwidth."""
+"""A single memory tier: capacity, effective bandwidth, and precision."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.memory.precision import (
+    DEFAULT_PRECISION,
+    quantized_row_bytes,
+    validate_precision,
+)
 
 
 @dataclass(frozen=True)
@@ -17,17 +23,29 @@ class MemoryTier:
         bandwidth: effective bytes/second for embedding-gather traffic.
             This is the *achieved* random-gather bandwidth, not the
             datasheet peak (see ``repro.memory.presets``).
+        precision: storage format of rows resident on this tier
+            (:data:`~repro.memory.precision.PRECISIONS`).  Scales the
+            planner's byte accounting only — ``fp32`` (the default) is
+            the exact pre-precision behavior.
     """
 
     name: str
     capacity_bytes: int
     bandwidth: float
+    precision: str = DEFAULT_PRECISION
 
     def __post_init__(self):
         if self.capacity_bytes < 0:
             raise ValueError(f"{self.name}: capacity must be >= 0")
         if self.bandwidth <= 0:
             raise ValueError(f"{self.name}: bandwidth must be > 0")
+        validate_precision(self.precision)
+
+    def row_bytes_for(self, row_bytes: int, elem_bytes: int = 4) -> int:
+        """Bytes one ``row_bytes``-sized row occupies on this tier."""
+        return quantized_row_bytes(
+            row_bytes, self.precision, elem_bytes=elem_bytes
+        )
 
     def seconds_for_bytes(self, num_bytes: float) -> float:
         """Transfer-time estimate for ``num_bytes`` of gather traffic."""

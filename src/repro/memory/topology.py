@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.memory.precision import parse_precisions_spec
 from repro.memory.tier import MemoryTier
 
 
@@ -41,6 +42,33 @@ class SystemTopology:
     @property
     def tier_names(self) -> tuple[str, ...]:
         return tuple(t.name for t in self.tiers)
+
+    @property
+    def tier_precisions(self) -> tuple[str, ...]:
+        """Per-tier storage precision, fastest tier first."""
+        return tuple(t.precision for t in self.tiers)
+
+    def with_precisions(self, spec) -> "SystemTopology":
+        """A copy of this topology with per-tier precisions applied.
+
+        ``spec`` is a tier->precision mapping or a
+        ``"hbm=fp32,dram=fp16,ssd=int8"`` string (see
+        :func:`~repro.memory.precision.parse_precisions_spec`).  Tiers
+        not named keep their current precision; naming a tier this
+        topology does not have is an error.
+        """
+        mapping = parse_precisions_spec(spec)
+        unknown = set(mapping) - set(self.tier_names)
+        if unknown:
+            raise ValueError(
+                f"no tier named {sorted(unknown)} "
+                f"(have {list(self.tier_names)})"
+            )
+        tiers = tuple(
+            replace(t, precision=mapping.get(t.name, t.precision))
+            for t in self.tiers
+        )
+        return SystemTopology(num_devices=self.num_devices, tiers=tiers)
 
     @property
     def hbm(self) -> MemoryTier:

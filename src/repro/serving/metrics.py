@@ -43,10 +43,19 @@ class ServingMetrics:
     determinism/parity comparisons.
     """
 
-    def __init__(self, num_devices: int, tier_names=None, priority_names=None):
+    def __init__(
+        self,
+        num_devices: int,
+        tier_names=None,
+        priority_names=None,
+        tier_precisions=None,
+    ):
         self.num_devices = int(num_devices)
         self.tier_names: tuple[str, ...] = tuple(tier_names or ())
         self.priority_names: tuple[str, ...] = tuple(priority_names or ())
+        # Per-tier storage precisions; summary keys are conditional on
+        # any tier being quantized, so fp32 schemas are unchanged.
+        self.tier_precisions: tuple[str, ...] = tuple(tier_precisions or ())
         self._arrival_chunks: list[np.ndarray] = []
         self._batch_start: list[float] = []
         self._batch_finish: list[float] = []
@@ -680,6 +689,13 @@ class ServingMetrics:
             out["load_imbalance"] = self.load_imbalance
         if self._replica_total is not None:
             out["replica_hits"] = int(self._replica_total.sum())
+        if any(p != "fp32" for p in self.tier_precisions):
+            from repro.core.quantize import tier_expected_errors
+
+            out["tier_precisions"] = list(self.tier_precisions)
+            out["tier_expected_rel_error"] = tier_expected_errors(
+                self.tier_precisions
+            )
         if self.shed_requests:
             out["shed_requests"] = self.shed_requests
             out["shed_by_cause"] = dict(self.shed_by_cause)
@@ -735,6 +751,15 @@ class ServingMetrics:
                 f"replica lane:      {s['replica_hits']} lookups "
                 f"({share:.2%}) routed least-loaded"
             )
+        if "tier_precisions" in s:
+            names = self.tier_names or tuple(
+                f"tier{t}" for t in range(len(self.tier_precisions))
+            )
+            ladder = ", ".join(
+                f"{name} {precision}"
+                for name, precision in zip(names, s["tier_precisions"])
+            )
+            lines.append(f"tier precisions:   {ladder}")
         if self.shed_requests:
             offered = self.num_requests + self.shed_requests
             causes = ", ".join(

@@ -329,6 +329,7 @@ class LookupServer:
             num_devices=topology.num_devices,
             tier_names=topology.tier_names,
             priority_names=overload.priority_names if overload else None,
+            tier_precisions=topology.tier_precisions,
         )
         self._busy_until_ms = 0.0
         self._batches_since_check = 0
@@ -460,6 +461,7 @@ class LookupServer:
             priority_names=(
                 self.overload.priority_names if self.overload else None
             ),
+            tier_precisions=self.topology.tier_precisions,
         )
         self._busy_until_ms = 0.0
         self._batches_since_check = 0

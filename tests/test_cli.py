@@ -133,6 +133,71 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "strategies=row" in out and "strategies=auto" in out
 
+    def test_plan_precisions_flag(self, capsys):
+        argv = [
+            "plan", "--model", "rm2", "--precisions", "uvm=fp16",
+        ] + self.COMMON
+        assert main(argv) == 0
+        assert "plan for RM2" in capsys.readouterr().out
+
+    def test_plan_precisions_rejects_unknown_name(self, capsys):
+        argv = [
+            "plan", "--model", "rm2", "--precisions", "uvm=fp12",
+        ] + self.COMMON
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--precisions" in err and "unknown precision" in err
+
+    def test_plan_precisions_rejects_unknown_tier(self, capsys):
+        argv = [
+            "plan", "--model", "rm2", "--precisions", "dram=fp16",
+        ] + self.COMMON
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "no tier named" in capsys.readouterr().err
+
+    def test_plan_sweep_precisions(self, capsys):
+        argv = [
+            "plan", "--model", "rm2", "--sweep", "precisions=fp32,fp16,int8",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "precisions sweep" in out
+        assert "precisions=fp32" in out
+        assert "precisions=int8" in out
+
+    def test_plan_sweep_precisions_rejects_unknown_name(self, capsys):
+        argv = [
+            "plan", "--model", "rm2", "--sweep", "precisions=fp32,fp12",
+        ] + self.COMMON
+        assert main(argv) == 2
+        assert "precisions=fp12" in capsys.readouterr().err
+
+    def test_plan_sweep_unknown_axis_lists_valid_axes(self, capsys):
+        # The axis-name error must name every valid axis so a typo'd
+        # grid is self-correcting from the message alone.
+        argv = ["plan", "--sweep", "precision=fp16"] + self.COMMON
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "--sweep expects" in err
+        for axis in ("hbm=", "gpus=", "tiers=", "replicate=",
+                     "strategies=", "precisions="):
+            assert axis in err
+
+    def test_serve_precisions_flag(self, capsys):
+        argv = [
+            "serve", "--model", "rm2", "--milp-time", "0",
+            "--qps", "20000", "--requests", "400", "--batch-requests", "64",
+            "--precisions", "uvm=int8",
+        ] + self.COMMON
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tier precisions" in out
+        assert "uvm int8" in out
+
     def test_compare(self, capsys):
         argv = [
             "compare", "--model", "rm2", "--milp-time", "0", "--iters", "2",

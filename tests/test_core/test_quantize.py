@@ -1,0 +1,116 @@
+"""Tests for the row codecs and their closed-form error model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.quantize import (
+    dequantize_rows,
+    expected_rel_error,
+    measured_rel_error,
+    quantize_by_tiers,
+    quantize_dequantize,
+    quantize_rows,
+)
+from repro.memory.precision import quantized_row_bytes
+
+
+def make_rows(rows=64, dim=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, dim))
+
+
+class TestCodecs:
+    def test_fp32_round_trip_is_lossless_at_fp32(self):
+        w = make_rows().astype(np.float32).astype(np.float64)
+        assert np.array_equal(quantize_dequantize(w, "fp32"), w)
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8", "int4"])
+    def test_round_trip_error_bounded(self, precision):
+        w = make_rows()
+        err = np.abs(quantize_dequantize(w, precision) - w)
+        if precision == "fp16":
+            bound = 2.0**-10 * np.maximum(np.abs(w), 1e-12)
+        else:
+            qmax = 127 if precision == "int8" else 7
+            # Half a quantization step per element, per row scale.
+            scale = np.max(np.abs(w), axis=1, keepdims=True) / qmax
+            bound = 0.5 * scale + 1e-12
+        assert np.all(err <= bound)
+
+    @pytest.mark.parametrize("precision", ["int8", "int4"])
+    def test_all_zero_rows(self, precision):
+        w = np.zeros((4, 16))
+        assert np.array_equal(quantize_dequantize(w, precision), w)
+
+    @pytest.mark.parametrize("dim", [7, 15, 33])
+    def test_int4_odd_dim(self, dim):
+        w = make_rows(rows=8, dim=dim, seed=1)
+        out = quantize_dequantize(w, "int4")
+        assert out.shape == w.shape
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8", "int4"])
+    def test_storage_matches_planner_accounting(self, precision):
+        dim = 32
+        w = make_rows(rows=16, dim=dim)
+        q = quantize_rows(w, precision)
+        per_row = quantized_row_bytes(dim * 4, precision)
+        assert q.storage_bytes() == 16 * per_row
+
+    def test_int4_values_hit_grid(self):
+        w = make_rows(rows=8, dim=16, seed=2)
+        q = quantize_rows(w, "int4")
+        codes = dequantize_rows(q) / q.scales[:, None]
+        assert np.allclose(codes, np.rint(codes))
+        assert np.max(np.abs(codes)) <= 7
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            quantize_rows(make_rows(), "int2")
+
+
+class TestErrorModel:
+    def test_fp32_is_exact(self):
+        assert expected_rel_error("fp32") == 0.0
+
+    def test_closed_forms(self):
+        assert expected_rel_error("fp16") == pytest.approx(
+            2.0**-10 / math.sqrt(12.0)
+        )
+        assert expected_rel_error("int8") == pytest.approx(
+            1.0 / (127 * math.sqrt(12.0))
+        )
+        assert expected_rel_error("int4") == pytest.approx(
+            1.0 / (7 * math.sqrt(12.0))
+        )
+
+    @pytest.mark.parametrize("precision", ["int8", "int4"])
+    def test_measured_tracks_model(self, precision):
+        # Uniform rows exercise the whole grid; the uniform-rounding
+        # model should land within a small factor of the measurement.
+        rng = np.random.default_rng(3)
+        w = rng.uniform(-1.0, 1.0, size=(256, 64))
+        measured = measured_rel_error(w, precision)
+        expected = expected_rel_error(precision)
+        assert 0.3 * expected < measured < 3.0 * expected
+
+
+class TestQuantizeByTiers:
+    def test_fp32_block_untouched(self):
+        w = make_rows(rows=30, dim=8)
+        out = quantize_by_tiers(w, [10, 20], ["fp32", "int8"])
+        assert np.array_equal(out[:10], w[:10])
+        assert not np.array_equal(out[10:], w[10:])
+
+    def test_validates_lengths(self):
+        w = make_rows(rows=30, dim=8)
+        with pytest.raises(ValueError, match="tiers vs"):
+            quantize_by_tiers(w, [10, 20], ["fp32"])
+        with pytest.raises(ValueError, match="sums to"):
+            quantize_by_tiers(w, [10, 10], ["fp32", "int8"])
+
+    def test_empty_tier_blocks(self):
+        w = make_rows(rows=12, dim=8)
+        out = quantize_by_tiers(w, [12, 0, 0], ["fp32", "fp16", "int4"])
+        assert np.array_equal(out, w)

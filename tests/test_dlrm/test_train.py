@@ -1,0 +1,116 @@
+"""Tests for the DLRM training utilities: AUC, labels, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantize import quantize_by_tiers
+from repro.dlrm import DLRM, DLRMConfig, auc_score, bce_loss, train_epoch
+from repro.dlrm.train import synthetic_ctr_labels
+
+from .test_model import make_batch
+
+
+@pytest.fixture
+def config():
+    return DLRMConfig(
+        dense_features=4,
+        table_rows=[40, 60],
+        embedding_dim=8,
+        bottom_layers=[16],
+        top_layers=[16],
+        seed=3,
+    )
+
+
+class TestAucScore:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        assert auc_score(labels, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        assert auc_score(labels, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_all_tied_scores(self):
+        labels = np.array([0, 1, 0, 1])
+        assert auc_score(labels, np.full(4, 0.5)) == pytest.approx(0.5)
+
+    def test_single_class_degenerate(self):
+        assert auc_score(np.ones(5), np.linspace(0, 1, 5)) == 0.5
+        assert auc_score(np.zeros(5), np.linspace(0, 1, 5)) == 0.5
+
+    def test_partial_overlap(self):
+        # One inversion among 2x2 pairs -> AUC = 3/4.
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.4])
+        assert auc_score(labels, scores) == pytest.approx(0.75)
+
+    def test_matches_pair_counting(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(200) < 0.4).astype(float)
+        scores = rng.normal(size=200) + labels
+        pos = scores[labels > 0.5]
+        neg = scores[labels <= 0.5]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        brute = (wins + 0.5 * ties) / (pos.size * neg.size)
+        assert auc_score(labels, scores) == pytest.approx(brute)
+
+
+class TestTrainingDeterminism:
+    def test_same_seed_same_model(self, config):
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        model_a, model_b = DLRM(config), DLRM(config)
+        batches_a = [make_batch(config, 64, rng_a) for _ in range(3)]
+        batches_b = [make_batch(config, 64, rng_b) for _ in range(3)]
+        losses_a = train_epoch(model_a, batches_a, lr=0.1)
+        losses_b = train_epoch(model_b, batches_b, lr=0.1)
+        assert losses_a == losses_b
+        dense, sparse, _ = make_batch(config, 32, np.random.default_rng(5))
+        assert np.array_equal(
+            model_a.forward(dense, sparse), model_b.forward(dense, sparse)
+        )
+
+    def test_training_learns_signal(self, config):
+        rng = np.random.default_rng(7)
+        model = DLRM(config)
+        batches = [make_batch(config, 128, rng) for _ in range(12)]
+        losses = train_epoch(model, batches, lr=0.2)
+        assert losses[-1] < losses[0]
+        dense, sparse, labels = make_batch(config, 512, rng)
+        auc = auc_score(labels, model.forward(dense, sparse))
+        assert auc > 0.6  # clearly better than chance on held-out data
+
+    def test_labels_deterministic_under_rng(self, config):
+        dense, sparse, _ = make_batch(config, 64, np.random.default_rng(1))
+        a = synthetic_ctr_labels(dense, sparse, np.random.default_rng(9))
+        b = synthetic_ctr_labels(dense, sparse, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+
+class TestQuantizedEmbeddings:
+    def test_quantized_tables_bound_quality_delta(self, config):
+        """End-to-end miniature of the accuracy harness: quantize the
+        cold majority of each trained table and bound the AUC delta."""
+        rng = np.random.default_rng(21)
+        model = DLRM(config)
+        batches = [make_batch(config, 128, rng) for _ in range(12)]
+        train_epoch(model, batches, lr=0.2)
+        dense, sparse, labels = make_batch(config, 512, rng)
+        base_probs = model.forward(dense, sparse)
+        for table in model.tables:
+            rows = table.weight.shape[0]
+            hot = rows // 4
+            table.weight[:] = quantize_by_tiers(
+                table.weight, [hot, rows - hot], ["fp32", "int8"]
+            )
+        quant_probs = model.forward(dense, sparse)
+        auc_delta = abs(
+            auc_score(labels, base_probs) - auc_score(labels, quant_probs)
+        )
+        loss_delta = abs(
+            bce_loss(base_probs, labels) - bce_loss(quant_probs, labels)
+        )
+        assert auc_delta < 0.05
+        assert loss_delta < 0.05

@@ -1,0 +1,99 @@
+"""Tests for per-tier storage precisions in the memory model."""
+
+import pytest
+
+from repro.memory import MemoryTier, quantized_row_bytes, three_tier_node
+from repro.memory.precision import parse_precisions_spec, validate_precision
+
+
+class TestQuantizedRowBytes:
+    def test_fp32_is_identity(self):
+        assert quantized_row_bytes(256, "fp32") == 256
+        # Even with a non-default element width fp32 stays untouched.
+        assert quantized_row_bytes(256, "fp32", elem_bytes=2) == 256
+
+    def test_known_widths(self):
+        # dim = 64 fp32 elements.
+        assert quantized_row_bytes(256, "fp16") == 128
+        assert quantized_row_bytes(256, "int8") == 64 + 4
+        assert quantized_row_bytes(256, "int4") == 32 + 4
+
+    def test_odd_dim_rounds_up(self):
+        # dim = 7: int4 packs 7 nibbles into 4 bytes.
+        assert quantized_row_bytes(28, "int4") == 4 + 4
+
+    def test_monotone_ladder(self):
+        widths = [
+            quantized_row_bytes(512, p) for p in ("fp32", "fp16", "int8", "int4")
+        ]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            quantized_row_bytes(256, "int2")
+        with pytest.raises(ValueError, match="unknown precision"):
+            validate_precision("bf16")
+
+
+class TestParsePrecisionsSpec:
+    def test_string_spec(self):
+        assert parse_precisions_spec("uvm=fp16,ssd=int8") == {
+            "uvm": "fp16",
+            "ssd": "int8",
+        }
+
+    def test_dict_passthrough(self):
+        assert parse_precisions_spec({"uvm": "int4"}) == {"uvm": "int4"}
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_precisions_spec("")
+        with pytest.raises(ValueError):
+            parse_precisions_spec("uvm")
+        with pytest.raises(ValueError):
+            parse_precisions_spec("uvm=fp16,uvm=int8")
+        with pytest.raises(ValueError, match="unknown precision"):
+            parse_precisions_spec("uvm=fp12")
+
+
+class TestTierPrecision:
+    def test_default_is_fp32(self):
+        tier = MemoryTier("hbm", 1000, bandwidth=1.0)
+        assert tier.precision == "fp32"
+        assert tier.row_bytes_for(256) == 256
+
+    def test_quantized_tier_row_bytes(self):
+        tier = MemoryTier("ssd", 1000, bandwidth=1.0, precision="int8")
+        assert tier.row_bytes_for(256) == 68
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            MemoryTier("ssd", 1000, bandwidth=1.0, precision="fp8")
+
+
+class TestWithPrecisions:
+    def test_applies_per_tier(self):
+        topo = three_tier_node(num_gpus=2, scale=0.01)
+        quant = topo.with_precisions("uvm=fp16,ssd=int8")
+        assert topo.tier_precisions == ("fp32", "fp32", "fp32")
+        assert quant.tier_precisions == ("fp32", "fp16", "int8")
+        # Capacities, bandwidths, and device count carry over.
+        assert quant.num_devices == topo.num_devices
+        for a, b in zip(topo.tiers, quant.tiers):
+            assert a.capacity_bytes == b.capacity_bytes
+            assert a.bandwidth == b.bandwidth
+
+    def test_unmentioned_tiers_keep_precision(self):
+        topo = three_tier_node(num_gpus=2, scale=0.01)
+        quant = topo.with_precisions({"ssd": "int4"})
+        assert quant.tier_precisions == ("fp32", "fp32", "int4")
+
+    def test_unknown_tier_name(self):
+        topo = three_tier_node(num_gpus=2, scale=0.01)
+        with pytest.raises(ValueError, match="no tier named"):
+            topo.with_precisions("dram=fp16")
+
+    def test_unknown_precision_name(self):
+        topo = three_tier_node(num_gpus=2, scale=0.01)
+        with pytest.raises(ValueError, match="unknown precision"):
+            topo.with_precisions("ssd=fp64")

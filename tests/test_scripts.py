@@ -1,0 +1,129 @@
+"""Tests for repo tooling scripts (bench trajectory guard)."""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "scripts" / "check_bench_trajectory.py"
+
+
+@pytest.fixture(scope="module")
+def guard():
+    spec = importlib.util.spec_from_file_location("bench_trajectory", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestTrackedKeys:
+    def test_matches_headline_gain_keys(self, guard):
+        doc = {
+            "speedup": 12.0,
+            "scaling": 0.9,
+            "gain": 2.5,
+            "goodput_gain": 5.0,
+            "imbalance_gain": 3.1,
+            "capacity_gain_fp16": 2.0,
+        }
+        assert guard.tracked_keys(doc) == doc
+
+    def test_skips_floors_configs_and_nonnumerics(self, guard):
+        doc = {
+            "speedup": 12.0,
+            "speedup_floor": 10.0,
+            "min_capacity_gain": 1.8,
+            "max_auc_delta": 0.02,
+            "imbalance_gain_floor": 2.0,
+            "scaling_enforced": True,
+            "scalar_plans_per_s": 3.0,
+            "parity": "exact",
+            "workload": {"gpus": 16},
+            "fast_wall_s": 0.1,
+        }
+        assert guard.tracked_keys(doc) == {"speedup": 12.0}
+
+
+class TestCompare:
+    def test_ok_above_ratio(self, guard):
+        rows = guard.compare({"speedup": 9.0}, {"speedup": 10.0}, 0.5)
+        assert rows == [
+            {
+                "key": "speedup",
+                "current": 9.0,
+                "base": 10.0,
+                "ratio": 0.9,
+                "ok": True,
+            }
+        ]
+
+    def test_flags_regression_below_ratio(self, guard):
+        rows = guard.compare({"speedup": 2.0}, {"speedup": 10.0}, 0.5)
+        assert rows[0]["ok"] is False
+
+    def test_new_key_is_skipped_not_failed(self, guard):
+        rows = guard.compare({"gain": 2.0}, {"speedup": 10.0}, 0.5)
+        assert rows == [
+            {"key": "gain", "current": 2.0, "base": None, "ok": True}
+        ]
+
+
+class TestEndToEnd:
+    def run(self, repo, *extra):
+        return subprocess.run(
+            [sys.executable, str(_SCRIPT), *extra],
+            cwd=repo, capture_output=True, text=True,
+        )
+
+    @pytest.fixture
+    def repo(self, tmp_path):
+        reports = tmp_path / "benchmarks" / "reports"
+        reports.mkdir(parents=True)
+        payload = {"bench": "demo", "speedup": 10.0, "workload": {"gpus": 2}}
+        (reports / "BENCH_demo.json").write_text(json.dumps(payload))
+        env_git = ["git", "-C", str(tmp_path)]
+        subprocess.run(env_git + ["init", "-q"], check=True)
+        subprocess.run(env_git + ["add", "-A"], check=True)
+        subprocess.run(
+            env_git
+            + ["-c", "user.email=t@t", "-c", "user.name=t",
+               "commit", "-q", "-m", "baseline"],
+            check=True,
+        )
+        return tmp_path
+
+    def test_unchanged_reports_pass(self, repo):
+        proc = self.run(repo, "--min-ratio", "0.5")
+        assert proc.returncode == 0, proc.stderr
+        assert "bench trajectory OK" in proc.stdout
+
+    def test_regression_fails_with_diff_row(self, repo):
+        path = repo / "benchmarks" / "reports" / "BENCH_demo.json"
+        doc = json.loads(path.read_text())
+        doc["speedup"] = 1.0
+        path.write_text(json.dumps(doc))
+        proc = self.run(repo, "--min-ratio", "0.5")
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+        assert "fell below" in proc.stderr
+
+    def test_new_bench_is_skipped(self, repo):
+        extra = repo / "benchmarks" / "reports" / "BENCH_new.json"
+        extra.write_text(json.dumps({"bench": "new", "speedup": 3.0}))
+        proc = self.run(repo, "--min-ratio", "0.5")
+        assert proc.returncode == 0, proc.stderr
+        assert "(new bench)" in proc.stdout
+
+    def test_named_bench_selection_and_missing(self, repo):
+        proc = self.run(repo, "demo")
+        assert proc.returncode == 0
+        proc = self.run(repo, "nosuch")
+        assert proc.returncode == 2
+        assert "no fresh report" in proc.stderr
+
+    def test_rejects_nonpositive_ratio(self, repo):
+        proc = self.run(repo, "--min-ratio", "0")
+        assert proc.returncode == 2

@@ -134,6 +134,35 @@ class TestLookupServer:
         assert metrics.num_replans >= 1
         assert replan_times == metrics.replan_ms
 
+    def test_quantized_topology_surfaces_precisions(self, world):
+        model, profile, topology = world
+        server = LookupServer(
+            model, profile, topology.with_precisions("uvm=int8"),
+            sharder=RecShardFastSharder(batch_size=BATCH),
+            config=ServingConfig(max_batch_size=16, max_delay_ms=1.0),
+        )
+        metrics = server.serve(
+            synthetic_request_stream(model, num_requests=100, qps=50000, seed=9)
+        )
+        summary = metrics.summary()
+        assert summary["tier_precisions"] == ["fp32", "int8"]
+        assert summary["tier_expected_rel_error"][1] > 0.0
+        assert "tier precisions:" in metrics.format_report()
+
+    def test_fp32_summary_schema_unchanged(self, world):
+        model, profile, topology = world
+        server = LookupServer(
+            model, profile, topology,
+            sharder=RecShardFastSharder(batch_size=BATCH),
+            config=ServingConfig(max_batch_size=16, max_delay_ms=1.0),
+        )
+        metrics = server.serve(
+            synthetic_request_stream(model, num_requests=100, qps=50000, seed=9)
+        )
+        summary = metrics.summary()
+        assert "tier_precisions" not in summary
+        assert "tier_expected_rel_error" not in summary
+
     def test_requires_exactly_one_of_plan_or_sharder(self, world):
         model, profile, topology = world
         with pytest.raises(ValueError):
